@@ -1,0 +1,85 @@
+"""Shared infrastructure for the per-figure benchmark modules.
+
+Every benchmark regenerates one table or figure of the paper and prints
+(and writes to ``benchmarks/results/``) the same rows/series the paper
+reports.  Simulation fidelity knobs are environment-tunable:
+
+* ``REPRO_BENCH_SCALE`` — threshold/intensity scale divisor (default 24;
+  lower = closer to full scale but slower);
+* ``REPRO_BENCH_INTERVALS`` — refresh intervals per run (default 2);
+* ``REPRO_BENCH_BANKS`` — banks simulated per run (default 1).
+
+Sweeps shared by several figures (e.g. Figure 8 and Figure 9 use the
+same 18-workload runs) are cached per process.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from pathlib import Path
+
+from repro.sim.metrics import format_table
+from repro.sim.runner import simulate_workload, sweep
+from repro.workloads.suites import WORKLOAD_ORDER
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "24"))
+BENCH_INTERVALS = int(os.environ.get("REPRO_BENCH_INTERVALS", "2"))
+BENCH_BANKS = int(os.environ.get("REPRO_BENCH_BANKS", "1"))
+
+#: The paper's per-threshold PRA probabilities (Figure 1 reliability).
+PRA_P_FOR_T = {65536: 0.001, 32768: 0.002, 16384: 0.003, 8192: 0.005}
+
+#: Figure 8/9 scheme configurations (dual-core).
+FIG8_SCHEMES: list[tuple[str, str, dict]] = [
+    ("PRA", "pra", {}),
+    ("SCA_64", "sca", {"counters": 64}),
+    ("SCA_128", "sca", {"counters": 128}),
+    ("PRCAT_64", "prcat", {"counters": 64, "max_levels": 11}),
+    ("DRCAT_64", "drcat", {"counters": 64, "max_levels": 11}),
+]
+
+
+def sim_kwargs(**overrides) -> dict:
+    """Default economy knobs for one simulation run."""
+    kw = dict(
+        scale=BENCH_SCALE,
+        n_banks=BENCH_BANKS,
+        n_intervals=BENCH_INTERVALS,
+    )
+    kw.update(overrides)
+    return kw
+
+
+@functools.lru_cache(maxsize=None)
+def fig8_sweep(refresh_threshold: int):
+    """The 18-workload × 5-scheme sweep behind Figures 8 and 9."""
+    results = {}
+    pra_p = PRA_P_FOR_T[refresh_threshold]
+    for label, scheme, extra in FIG8_SCHEMES:
+        for workload in WORKLOAD_ORDER:
+            kw = sim_kwargs(
+                refresh_threshold=refresh_threshold, pra_probability=pra_p
+            )
+            kw.update(extra)
+            results[(workload, label)] = simulate_workload(
+                workload, scheme=scheme, **kw
+            )
+    return results
+
+
+def emit(name: str, title: str, rows: list[dict], columns: list[str]) -> str:
+    """Render, print, and persist one paper-style table."""
+    table = format_table(rows, columns)
+    text = f"== {title} ==\n{table}\n"
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+    return text
+
+
+def mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,69 @@
+"""Figure 13: ETO of benign workloads under kernel rowhammer attacks.
+
+Three attack mixes (heavy 75%, medium 50%, light 25% target-row
+traffic) at T in {32K, 16K, 8K}, with iso-area budgets (SCA_128/CAT_64
+for 32K/16K; SCA_256/CAT_128 at 8K).  Paper shape: heavier attacks cost
+more ETO; SCA grows to several percent at T=16K heavy while the CAT
+schemes stay below ~1%; T=8K is *lower* than 16K because the counter
+budget doubles.
+"""
+
+from _common import emit, mean, sim_kwargs
+
+from repro.sim.runner import simulate_attack
+from repro.workloads.attacks import ATTACK_KERNELS
+
+#: (T, SCA M, CAT M) per the paper's Figure 13 groups.
+THRESHOLD_CONFIGS = [(32768, 128, 64), (16384, 128, 64), (8192, 256, 128)]
+MODES = ("heavy", "medium", "light")
+#: subset of the 12 kernels per cell (REPRO_BENCH_* knobs raise this)
+KERNELS = ATTACK_KERNELS[:4]
+
+
+def build_rows():
+    rows = []
+    for t, sca_m, cat_m in THRESHOLD_CONFIGS:
+        for mode in MODES:
+            row = {"T": f"{t // 1024}K", "mode": mode}
+            for label, scheme, m in (
+                (f"SCA_{sca_m}", "sca", sca_m),
+                (f"PRCAT_{cat_m}", "prcat", cat_m),
+                (f"DRCAT_{cat_m}", "drcat", cat_m),
+            ):
+                eto = mean(
+                    simulate_attack(
+                        kernel,
+                        mode,
+                        scheme,
+                        counters=m,
+                        refresh_threshold=t,
+                        **sim_kwargs(),
+                    ).eto
+                    for kernel in KERNELS
+                )
+                row[label.split("_")[0]] = 100.0 * eto
+            rows.append(row)
+    return rows
+
+
+def test_fig13_kernel_attacks(benchmark):
+    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
+    emit(
+        "fig13_attacks",
+        "Figure 13: mean ETO (%) under kernel attacks "
+        f"({len(KERNELS)} kernels per cell)",
+        rows,
+        ["T", "mode", "SCA", "PRCAT", "DRCAT"],
+    )
+    cell = {(row["T"], row["mode"]): row for row in rows}
+    # Heavier attacks cost more for SCA at every threshold.
+    for t in ("32K", "16K", "8K"):
+        assert cell[(t, "heavy")]["SCA"] >= cell[(t, "light")]["SCA"]
+    # Paper shape: CAT confines attacks to small groups, SCA does not.
+    worst_sca = cell[("16K", "heavy")]["SCA"]
+    assert cell[("16K", "heavy")]["DRCAT"] < 0.5 * worst_sca
+    assert cell[("16K", "heavy")]["PRCAT"] < 0.7 * worst_sca
+    # T=8K stays in the same range as 16K despite the halved threshold,
+    # because the counter budget doubles (the paper reports a slight
+    # *decrease*; our model reproduces parity within 25%).
+    assert cell[("8K", "heavy")]["SCA"] < 1.25 * cell[("16K", "heavy")]["SCA"]

@@ -1,0 +1,8 @@
+"""Benchmark suite configuration."""
+
+import sys
+from pathlib import Path
+
+# Make the sibling helper modules importable when pytest is invoked from
+# the repository root (benchmarks/ is not a package).
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: compare crosstalk-mitigation schemes on one workload.
+
+Runs the paper's four schemes (PRA, SCA, PRCAT, DRCAT) on the
+blackscholes-like workload and prints CMRPO (power overhead relative to
+regular refresh) and ETO (execution-time overhead) for each — the two
+headline metrics of the paper.
+
+Usage::
+
+    python examples/quickstart.py [workload]
+
+``workload`` is any Figure 8 label (comm1..5, swapt, fluid, str, black,
+ferret, face, freq, MTC, MTF, libq, leslie, mum, tigr); default black.
+"""
+
+import sys
+
+from repro import simulate_workload
+from repro.sim.metrics import format_table
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "black"
+    configs = [
+        ("PRA (p=0.002)", "pra", {}),
+        ("SCA, 64 counters", "sca", {"counters": 64}),
+        ("SCA, 128 counters", "sca", {"counters": 128}),
+        ("PRCAT, 64 counters", "prcat", {"counters": 64}),
+        ("DRCAT, 64 counters", "drcat", {"counters": 64}),
+    ]
+    rows = []
+    for label, scheme, extra in configs:
+        result = simulate_workload(
+            workload,
+            scheme=scheme,
+            refresh_threshold=32768,
+            scale=24,
+            n_banks=1,
+            n_intervals=2,
+            **extra,
+        )
+        breakdown = result.cmrpo_breakdown
+        rows.append(
+            {
+                "scheme": label,
+                "CMRPO %": 100 * result.cmrpo,
+                "ETO %": 100 * result.eto,
+                "victim rows/interval": (
+                    result.totals.rows_refreshed_per_bank_interval
+                ),
+                "dyn mW": breakdown.dynamic_mw,
+                "static mW": breakdown.static_mw,
+                "refresh mW": breakdown.refresh_mw,
+            }
+        )
+    print(f"Wordline-crosstalk mitigation on workload {workload!r} (T=32K)\n")
+    print(
+        format_table(
+            rows,
+            [
+                "scheme",
+                "CMRPO %",
+                "ETO %",
+                "victim rows/interval",
+                "dyn mW",
+                "static mW",
+                "refresh mW",
+            ],
+        )
+    )
+    print(
+        "\nThe adaptive tree schemes (PRCAT/DRCAT) cut the refresh power "
+        "overhead\nseveral-fold versus the static (SCA) and probabilistic "
+        "(PRA) baselines\nwhile keeping execution-time overhead negligible "
+        "— the paper's headline result."
+    )
+
+
+if __name__ == "__main__":
+    main()

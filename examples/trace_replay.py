@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Full-pipeline trace replay: MSC-style trace file -> protected DRAM.
+
+Synthesises a USIMM/MSC-format memory trace from a workload model,
+writes it to disk, reads it back, and replays it through the complete
+stack — ROB front end, physical address mapping, closed-page FR-FCFS
+controller, and a mitigation scheme per bank — reporting refresh
+activity and mitigation-induced stall for each scheme.
+
+This is the input path a user with *real* MSC traces would use:
+``repro.cpu.trace.load_trace`` accepts the championship's text format
+directly.
+
+Usage::
+
+    python examples/trace_replay.py [workload] [n_records]
+"""
+
+import sys
+import tempfile
+
+from repro.cpu.trace import load_trace, save_trace
+from repro.dram.config import SystemConfig
+from repro.sim.metrics import format_table
+from repro.sim.replay import replay_trace, synthesize_trace
+from repro.workloads.suites import get_workload
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "black"
+    n_records = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+    # A small-bank config keeps the demo's refresh threshold meaningful
+    # at this trace length.
+    config = SystemConfig(rows_per_bank=4096)
+    threshold = 512
+
+    spec = get_workload(workload)
+    records = synthesize_trace(spec, config, n_records)
+    with tempfile.NamedTemporaryFile("w", suffix=".trace", delete=False) as f:
+        path = f.name
+    save_trace(records, path)
+    loaded = load_trace(path)
+    print(
+        f"Synthesised {len(loaded)} trace records for {workload!r} "
+        f"-> {path}"
+    )
+    print(f"First records: {[r.to_line() for r in loaded[:3]]}\n")
+
+    rows = []
+    for scheme in ("pra", "sca", "prcat", "drcat", "ccache"):
+        result = replay_trace(
+            loaded,
+            config,
+            scheme=scheme,
+            counters=32,
+            max_levels=9,
+            refresh_threshold=threshold,
+            pra_probability=0.002,
+        )
+        rows.append(
+            {
+                "scheme": scheme,
+                "activations": result.activations,
+                "refreshes": result.refresh_commands,
+                "victim rows": result.rows_refreshed,
+                "stall us": result.stall_ns / 1e3,
+                "ETO %": 100 * result.eto,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            ["scheme", "activations", "refreshes", "victim rows",
+             "stall us", "ETO %"],
+        )
+    )
+    print(
+        "\nNote how the CAT schemes refresh far fewer victim rows than "
+        "SCA at equal\ncounter budget, and how the counter cache "
+        "(ccache) achieves exact counting\nat the cost of per-access "
+        "cache traffic (see benchmarks/bench_counter_cache.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

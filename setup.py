@@ -1,0 +1,9 @@
+"""Setup shim for environments whose setuptools lacks PEP 660 support.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` with older setuptools/wheel combinations.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""Reproduction of *Mitigating Wordline Crosstalk Using Adaptive Trees of
+Counters* (Seyedzadeh, Jones, Melhem — ISCA 2018).
+
+The package implements the paper's contribution — the Counter-based
+Adaptive Tree (CAT) family of rowhammer/wordline-crosstalk mitigation
+schemes — together with every substrate the evaluation depends on:
+
+* :mod:`repro.core` — CAT tree, PRCAT, DRCAT, and the SCA / PRA baselines.
+* :mod:`repro.dram` — a DDR3-style bank/channel substrate with targeted
+  refresh and bank-blocking accounting.
+* :mod:`repro.cpu` — USIMM-style trace records and a ROB-limited front end.
+* :mod:`repro.workloads` — synthetic generators for the 18 Memory
+  Scheduling Championship workloads and the 12 kernel rowhammer attacks.
+* :mod:`repro.energy` — the Table II hardware energy/area model and the
+  CMRPO metric.
+* :mod:`repro.analysis` — analytical models (PRA unsurvivability, LFSR
+  Monte-Carlo, SCA energy breakdown, split-threshold cost model).
+* :mod:`repro.sim` — the trace-driven simulator and experiment runner.
+
+Quickstart::
+
+    from repro import simulate_workload
+    result = simulate_workload("blackscholes", scheme="drcat", counters=64)
+    print(result.cmrpo, result.eto)
+"""
+
+from repro.core import (
+    CounterTree,
+    DRCATScheme,
+    MitigationScheme,
+    PRAScheme,
+    PRCATScheme,
+    RefreshCommand,
+    SCAScheme,
+    SplitThresholds,
+    make_scheme,
+)
+from repro.dram.config import DRAMTimings, SystemConfig
+from repro.energy.cmrpo import CMRPOBreakdown, compute_cmrpo
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import simulate_workload, sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CounterTree",
+    "SplitThresholds",
+    "MitigationScheme",
+    "RefreshCommand",
+    "SCAScheme",
+    "PRAScheme",
+    "PRCATScheme",
+    "DRCATScheme",
+    "make_scheme",
+    "SystemConfig",
+    "DRAMTimings",
+    "CMRPOBreakdown",
+    "compute_cmrpo",
+    "SimulationResult",
+    "simulate_workload",
+    "sweep",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Analytical models: reliability, PRNGs, SCA energy, threshold costs."""
+
+from repro.analysis.cost_model import (
+    TreeShapeCost,
+    cost_cat,
+    cost_sca,
+    critical_bias,
+    derive_split_thresholds,
+)
+from repro.analysis.prng import PRNG, CountingPRNG, LFSRPRNG, TrueRandomPRNG
+from repro.analysis.sca_energy import (
+    COUNTER_CACHE_SIZES,
+    FIGURE2_M_SWEEP,
+    SCAEnergyPoint,
+    counter_cache_energy_nj,
+    counter_energy_nj,
+    energy_crossover_m,
+    figure2_sweep,
+    optimal_m,
+    refresh_energy_nj,
+)
+from repro.analysis.unsurvivability import (
+    CHIPKILL_UNSURVIVABILITY,
+    MonteCarloResult,
+    figure1_grid,
+    lfsr_effective_failure_rate,
+    minimum_probability_for_reliability,
+    monte_carlo_window_failures,
+    periods_in_years,
+    unsurvivability,
+)
+
+__all__ = [
+    "PRNG",
+    "TrueRandomPRNG",
+    "LFSRPRNG",
+    "CountingPRNG",
+    "TreeShapeCost",
+    "cost_sca",
+    "cost_cat",
+    "critical_bias",
+    "derive_split_thresholds",
+    "CHIPKILL_UNSURVIVABILITY",
+    "unsurvivability",
+    "figure1_grid",
+    "minimum_probability_for_reliability",
+    "periods_in_years",
+    "MonteCarloResult",
+    "monte_carlo_window_failures",
+    "lfsr_effective_failure_rate",
+    "SCAEnergyPoint",
+    "figure2_sweep",
+    "counter_energy_nj",
+    "refresh_energy_nj",
+    "counter_cache_energy_nj",
+    "optimal_m",
+    "energy_crossover_m",
+    "FIGURE2_M_SWEEP",
+    "COUNTER_CACHE_SIZES",
+]

@@ -1,0 +1,128 @@
+"""Pseudo-random number generator models for PRA.
+
+The paper's reliability analysis (Section III-A) shows that PRA's
+closed-form unsurvivability holds only when the refresh coin-flips come
+from a *true* random number generator.  A cheap LFSR produces correlated
+draws: once an attacker (or an unlucky access pattern) is phase-aligned
+with the register sequence, the per-access refresh events stop being
+independent and failure probability rises by orders of magnitude.
+
+Two models are provided:
+
+* :class:`TrueRandomPRNG` — a high-quality generator (numpy PCG64) that
+  stands in for the paper's 45 nm all-digital TRNG [25].
+* :class:`LFSRPRNG` — a Fibonacci linear-feedback shift register with
+  standard maximal-length taps, used by the Monte-Carlo study in
+  :mod:`repro.analysis.unsurvivability`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+#: Maximal-length Fibonacci LFSR tap masks for the right-shift parity
+#: form used by :meth:`LFSRPRNG.step` (feedback = parity(state & taps),
+#: inserted at the MSB).  Widths 8/9/16/24 are exhaustively verified to
+#: have period ``2**width - 1`` (see tests); the 32-bit constant is the
+#: standard maximal-length mask, screened here for short cycles.
+LFSR_TAPS: dict[int, int] = {
+    8: 0x1D,
+    9: 0x11,
+    16: 0x100B,
+    24: 0x87,
+    32: 0xB4BCD35C,
+}
+
+
+class PRNG(abc.ABC):
+    """Bit-serial random source, as the PRA hardware consumes it."""
+
+    #: short identifier used in scheme descriptions and reports
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def next_bits(self, n_bits: int) -> int:
+        """Return an ``n_bits``-wide unsigned random draw."""
+
+
+class TrueRandomPRNG(PRNG):
+    """High-quality PRNG standing in for a hardware TRNG.
+
+    Draws are i.i.d. uniform, so Eq. 1 of the paper applies exactly.
+    A fixed ``seed`` gives reproducible simulations; ``seed=None`` seeds
+    from the OS for genuinely independent runs.
+    """
+
+    name = "trng"
+
+    def __init__(self, seed: int | None = 12345) -> None:
+        self._rng = np.random.Generator(np.random.PCG64(seed))
+
+    def next_bits(self, n_bits: int) -> int:
+        """Draw ``n_bits`` i.i.d. uniform random bits."""
+        return int(self._rng.integers(0, 1 << n_bits))
+
+
+class LFSRPRNG(PRNG):
+    """Fibonacci LFSR: cheap in hardware, dangerously correlated.
+
+    The register shifts once per emitted bit; an ``n_bits`` draw is the
+    concatenation of ``n_bits`` successive output bits, exactly how a
+    serial hardware LFSR would feed the PRA comparator.
+    """
+
+    name = "lfsr"
+
+    def __init__(self, width: int = 16, seed: int = 0xACE1) -> None:
+        if width not in LFSR_TAPS:
+            raise ValueError(
+                f"no tap table for width {width}; choose from {sorted(LFSR_TAPS)}"
+            )
+        if not 0 < seed < (1 << width):
+            raise ValueError("seed must be a nonzero state within the register width")
+        self.width = width
+        self._taps = LFSR_TAPS[width]
+        self._state = seed
+
+    def step(self) -> int:
+        """Advance one shift; return the emitted output bit.
+
+        Fibonacci form: the feedback bit is the XOR (parity) of the
+        tapped state bits; the register shifts right and the feedback
+        enters at the most-significant position.
+        """
+        out = self._state & 1
+        feedback = (self._state & self._taps).bit_count() & 1
+        self._state >>= 1
+        if feedback:
+            self._state |= 1 << (self.width - 1)
+        return out
+
+    def next_bits(self, n_bits: int) -> int:
+        """Concatenate ``n_bits`` successive serial output bits."""
+        value = 0
+        for _ in range(n_bits):
+            value = (value << 1) | self.step()
+        return value
+
+    @property
+    def period_bound(self) -> int:
+        """Upper bound on the state period (``2**width - 1``)."""
+        return (1 << self.width) - 1
+
+
+class CountingPRNG(PRNG):
+    """Deterministic counter source for tests (worst-case correlation)."""
+
+    name = "counting"
+
+    def __init__(self, start: int = 0) -> None:
+        self._value = start
+
+    def next_bits(self, n_bits: int) -> int:
+        """Return the low bits of a monotonically increasing counter."""
+        out = self._value & ((1 << n_bits) - 1)
+        self._value += 1
+        return out

@@ -1,0 +1,188 @@
+"""PRA reliability analysis (Section III-A, Figure 1, Eq. 1).
+
+PRA protects a victim row only if at least one of the aggressor's T
+activations wins the refresh coin-flip.  With a true RNG the probability
+of an error within Y years is::
+
+    unsurvivability = (1 - p)^T * Q0 * Q1        (Eq. 1)
+
+where ``p`` is the per-access refresh probability, ``Q0`` the number of
+refresh-threshold windows per 64 ms interval, and ``Q1`` the number of
+64 ms periods in Y years.  The module also provides the Monte-Carlo
+study that exposes the weakness of LFSR-driven PRA: correlated draws
+break the independence assumption of Eq. 1, so failures occur orders of
+magnitude earlier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.prng import PRNG, LFSRPRNG
+from repro.dram.config import REFRESH_INTERVAL_S
+
+#: Chipkill's 5-year unsurvivability reference line from Figure 1.
+CHIPKILL_UNSURVIVABILITY = 1e-4
+
+
+def periods_in_years(years: float) -> float:
+    """Number of 64 ms refresh periods in ``years`` years (Q1)."""
+    return years * 365.0 * 24 * 3600 / REFRESH_INTERVAL_S
+
+
+def unsurvivability(
+    probability: float,
+    refresh_threshold: int,
+    years: float = 5.0,
+    q0: float = 20.0,
+) -> float:
+    """Eq. 1: PRA's probability of at least one error within ``years``.
+
+    ``q0`` is the number of threshold windows per refresh interval; the
+    paper plots q0 ∈ {10, 15, 20, 40} for T ∈ {32K, 24K, 16K, 8K}.
+    """
+    if not 0.0 < probability < 1.0:
+        raise ValueError("probability must be in (0, 1)")
+    if refresh_threshold <= 0:
+        raise ValueError("refresh_threshold must be positive")
+    q1 = periods_in_years(years)
+    log_survive_one = refresh_threshold * math.log1p(-probability)
+    return math.exp(log_survive_one) * q0 * q1
+
+
+def figure1_grid(
+    thresholds: tuple[int, ...] = (32768, 24576, 16384, 8192),
+    probabilities: tuple[float, ...] = (0.001, 0.002, 0.003, 0.004, 0.005, 0.006),
+    years: float = 5.0,
+    q0_by_threshold: dict[int, float] | None = None,
+) -> dict[int, dict[float, float]]:
+    """The full Figure 1 data grid: {T: {p: unsurvivability}}.
+
+    The paper pairs larger q0 with smaller T (more threshold windows per
+    interval when the threshold shrinks): q0 = 10, 15, 20, 40.
+    """
+    if q0_by_threshold is None:
+        q0_by_threshold = {32768: 10.0, 24576: 15.0, 16384: 20.0, 8192: 40.0}
+    grid: dict[int, dict[float, float]] = {}
+    for t in thresholds:
+        q0 = q0_by_threshold.get(t, 20.0)
+        grid[t] = {
+            p: unsurvivability(p, t, years=years, q0=q0) for p in probabilities
+        }
+    return grid
+
+
+def minimum_probability_for_reliability(
+    refresh_threshold: int,
+    target: float = CHIPKILL_UNSURVIVABILITY,
+    years: float = 5.0,
+    q0: float = 20.0,
+) -> float:
+    """Smallest p meeting a target unsurvivability (inverts Eq. 1).
+
+    Used to justify the paper's choice of p per threshold (e.g. p=0.003
+    at T=16K because p=0.002 misses the Chipkill line).
+    """
+    q1 = periods_in_years(years)
+    # (1-p)^T * Q0 * Q1 <= target  =>  p >= 1 - (target/(Q0*Q1))^(1/T)
+    return 1.0 - (target / (q0 * q1)) ** (1.0 / refresh_threshold)
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Outcome of an LFSR-PRA Monte-Carlo reliability run."""
+
+    n_windows: int
+    failures: int
+    refresh_threshold: int
+    probability: float
+    prng_name: str
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of aggressor windows that completed unrefreshed."""
+        return self.failures / self.n_windows if self.n_windows else 0.0
+
+    def intervals_to_reach(self, target: float, q0: float = 20.0) -> float:
+        """Refresh intervals until cumulative failure reaches ``target``.
+
+        Treats each interval as ``q0`` independent windows with the
+        measured per-window failure rate.
+        """
+        if self.failure_rate <= 0.0:
+            return math.inf
+        per_interval = self.failure_rate * q0
+        if per_interval >= 1.0:
+            return 1.0
+        return math.log1p(-target) / math.log1p(-per_interval)
+
+
+def monte_carlo_window_failures(
+    prng: PRNG,
+    probability: float,
+    refresh_threshold: int,
+    n_windows: int,
+    random_bits: int = 9,
+) -> MonteCarloResult:
+    """Estimate the per-window failure rate of PRA under a given PRNG.
+
+    One *window* is T consecutive activations of an aggressor row; PRA
+    fails the window when none of the T coin-flips triggers a refresh.
+    For a true RNG the rate approaches ``(1-p)^T``; for an LFSR the
+    draws repeat with the register period and the rate can be grossly
+    higher (or pattern-locked to 0 or 1).
+    """
+    cut = max(1, round(probability * (1 << random_bits)))
+    failures = 0
+    for _ in range(n_windows):
+        refreshed = False
+        for _ in range(refresh_threshold):
+            if prng.next_bits(random_bits) < cut:
+                refreshed = True
+                break
+        if not refreshed:
+            failures += 1
+    return MonteCarloResult(
+        n_windows=n_windows,
+        failures=failures,
+        refresh_threshold=refresh_threshold,
+        probability=probability,
+        prng_name=prng.name,
+    )
+
+
+def lfsr_effective_failure_rate(
+    width: int,
+    probability: float,
+    refresh_threshold: int,
+    random_bits: int = 9,
+    seed: int = 0xACE1,
+) -> float:
+    """Exact per-window failure behaviour of a small LFSR.
+
+    Because the LFSR sequence is deterministic with period 2^width - 1,
+    a window fails iff the aligned stretch of T draws contains no value
+    below the cut.  This walks one full period and reports the fraction
+    of alignments that fail — the quantity a phase-aligned attacker
+    controls.
+    """
+    seed = seed & ((1 << width) - 1) or 1  # fold the seed into the register
+    lfsr = LFSRPRNG(width=width, seed=seed)
+    period = lfsr.period_bound
+    draws = [lfsr.next_bits(random_bits) for _ in range(period)]
+    cut = max(1, round(probability * (1 << random_bits)))
+    hits = [d < cut for d in draws]
+    # For each alignment, does the window of T draws (cyclic) miss all hits?
+    # Compute gaps between consecutive hits once instead of O(period*T).
+    hit_positions = [i for i, h in enumerate(hits) if h]
+    if not hit_positions:
+        return 1.0
+    failures = 0
+    n = len(hit_positions)
+    for i in range(n):
+        gap = (hit_positions[(i + 1) % n] - hit_positions[i]) % period
+        # Alignments starting just after hit i fail when the next hit is
+        # more than T draws away.
+        failures += max(0, gap - refresh_threshold)
+    return failures / period

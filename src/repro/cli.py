@@ -1,0 +1,190 @@
+"""Command-line interface: run paper experiments from a shell.
+
+Subcommands::
+
+    python -m repro run --workload black --scheme drcat [--threshold 32768]
+    python -m repro compare --workload face [--threshold 16384]
+    python -m repro attack --kernel kernel03 --mode heavy --scheme sca
+    python -m repro workloads
+    python -m repro hardware [--counters 64]
+
+All simulation knobs (scale, banks, intervals) are exposed as flags; the
+defaults match the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.energy.hardware_model import TABLE2_M, pra_hardware, scheme_hardware
+from repro.sim.metrics import format_table
+from repro.sim.runner import simulate_attack, simulate_workload
+from repro.workloads.attacks import ATTACK_KERNELS, ATTACK_MODES
+from repro.workloads.suites import SUITES, WORKLOAD_ORDER, get_workload
+
+
+def _add_sim_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--threshold", type=int, default=32768,
+                        help="refresh threshold T (default 32768)")
+    parser.add_argument("--counters", type=int, default=64,
+                        help="counters per bank M (default 64)")
+    parser.add_argument("--levels", type=int, default=11,
+                        help="max CAT depth L (default 11)")
+    parser.add_argument("--pra-p", type=float, default=0.002,
+                        help="PRA refresh probability (default 0.002)")
+    parser.add_argument("--scale", type=float, default=24.0,
+                        help="simulation scale divisor (default 24)")
+    parser.add_argument("--banks", type=int, default=1,
+                        help="banks simulated (default 1)")
+    parser.add_argument("--intervals", type=int, default=2,
+                        help="refresh intervals simulated (default 2)")
+
+
+def _sim_kwargs(args: argparse.Namespace) -> dict:
+    return dict(
+        refresh_threshold=args.threshold,
+        counters=args.counters,
+        max_levels=args.levels,
+        pra_probability=args.pra_p,
+        scale=args.scale,
+        n_banks=args.banks,
+        n_intervals=args.intervals,
+    )
+
+
+def _result_row(label: str, result) -> dict:
+    return {
+        "scheme": label,
+        "CMRPO %": 100 * result.cmrpo,
+        "ETO %": 100 * result.eto,
+        "rows/interval": result.totals.rows_refreshed_per_bank_interval,
+    }
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: one workload, one scheme."""
+    result = simulate_workload(args.workload, scheme=args.scheme, **_sim_kwargs(args))
+    print(format_table([_result_row(args.scheme, result)],
+                       ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare``: all four schemes on one workload."""
+    rows = []
+    for scheme in ("pra", "sca", "prcat", "drcat"):
+        result = simulate_workload(args.workload, scheme=scheme, **_sim_kwargs(args))
+        rows.append(_result_row(scheme, result))
+    print(f"workload={args.workload}  T={args.threshold}  M={args.counters}")
+    print(format_table(rows, ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    """``repro attack``: one kernel-attack experiment."""
+    result = simulate_attack(
+        args.kernel, args.mode, args.scheme, benign=args.benign, **_sim_kwargs(args)
+    )
+    print(format_table([_result_row(f"{args.scheme} vs {args.kernel}", result)],
+                       ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
+    return 0
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    """``repro workloads``: list the 18 workload models."""
+    rows = []
+    for name in WORKLOAD_ORDER:
+        spec = get_workload(name)
+        rows.append(
+            {
+                "workload": name,
+                "suite": spec.suite,
+                "intensity": int(spec.intensity),
+                "zipf": spec.zipf_alpha,
+                "hot_rows": spec.hot_rows,
+                "hot_frac": spec.hot_fraction,
+                "phases": spec.phase_count,
+            }
+        )
+    print(format_table(rows, ["workload", "suite", "intensity", "zipf",
+                              "hot_rows", "hot_frac", "phases"]))
+    return 0
+
+
+def cmd_hardware(args: argparse.Namespace) -> int:
+    """``repro hardware``: print the Table II hardware model."""
+    rows = []
+    m_values = (args.counters,) if args.counters else TABLE2_M
+    for m in m_values:
+        for scheme in ("sca", "prcat", "drcat"):
+            hw = scheme_hardware(scheme, m, args.threshold)
+            rows.append(
+                {
+                    "scheme": f"{scheme}_{m}",
+                    "dyn nJ/access": f"{hw.dynamic_nj_per_access:.2e}",
+                    "static nJ/interval": f"{hw.static_nj_per_interval:.2e}",
+                    "area mm2": f"{hw.area_mm2:.2e}",
+                    "latency ns": hw.latency_ns,
+                }
+            )
+    prng = pra_hardware()
+    rows.append(
+        {
+            "scheme": "pra (PRNG)",
+            "dyn nJ/access": f"{prng.energy_per_access_nj:.2e}",
+            "static nJ/interval": "-",
+            "area mm2": f"{prng.area_mm2:.2e}",
+            "latency ns": "-",
+        }
+    )
+    print(format_table(rows, ["scheme", "dyn nJ/access", "static nJ/interval",
+                              "area mm2", "latency ns"]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CAT rowhammer-mitigation reproduction (ISCA 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one workload with one scheme")
+    p_run.add_argument("--workload", default="black", choices=list(WORKLOAD_ORDER))
+    p_run.add_argument("--scheme", default="drcat",
+                       choices=["pra", "sca", "prcat", "drcat", "ccache"])
+    _add_sim_flags(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all schemes on one workload")
+    p_cmp.add_argument("--workload", default="black", choices=list(WORKLOAD_ORDER))
+    _add_sim_flags(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_atk = sub.add_parser("attack", help="run a kernel attack experiment")
+    p_atk.add_argument("--kernel", default="kernel01",
+                       choices=[k.name for k in ATTACK_KERNELS])
+    p_atk.add_argument("--mode", default="heavy", choices=list(ATTACK_MODES))
+    p_atk.add_argument("--scheme", default="drcat",
+                       choices=["pra", "sca", "prcat", "drcat", "ccache"])
+    p_atk.add_argument("--benign", default="libq", choices=list(WORKLOAD_ORDER))
+    _add_sim_flags(p_atk)
+    p_atk.set_defaults(func=cmd_attack)
+
+    p_wl = sub.add_parser("workloads", help="list the 18 workload models")
+    p_wl.set_defaults(func=cmd_workloads)
+
+    p_hw = sub.add_parser("hardware", help="print Table II hardware model")
+    p_hw.add_argument("--counters", type=int, default=0,
+                      help="single M value (default: the Table II sweep)")
+    p_hw.add_argument("--threshold", type=int, default=32768)
+    p_hw.set_defaults(func=cmd_hardware)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,599 @@
+"""The Counter-based Adaptive Tree (CAT) data structure.
+
+This module implements Algorithm 1 of the paper together with the
+SRAM-oriented layout of Figure 5: an array ``I`` of intermediate nodes
+(two child pointers plus two leaf flags each), an array ``C`` of counters,
+and — for DRCAT — an array ``W`` of 2-bit weight registers.
+
+A CAT guards the ``N`` rows of one DRAM bank.  Leaves are *active
+counters*, each owning a contiguous, power-of-two-aligned range of rows.
+When a counter at tree level ``l`` reaches the split threshold ``T_l`` it
+splits: a free counter is activated as a clone and the range halves.  When
+a counter reaches the refresh threshold ``T`` (always the effective
+threshold at the maximum level, or everywhere once the counter pool is
+exhausted) the tree emits a refresh command for its range plus the two
+adjacent rows, and the counter resets.
+
+DRCAT reconfiguration (Section V-B) is implemented by
+:meth:`CounterTree.reconfigure`: when a counter's weight saturates, two
+zero-weight sibling leaves are merged (releasing one counter and one
+intermediate node) and the released counter splits the hot leaf.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import RefreshCommand
+from repro.core.thresholds import SplitThresholds
+
+#: Weight register saturation limit (2-bit registers in the paper).
+WEIGHT_MAX = 3
+#: Weight assigned to freshly split counters during reconfiguration, so
+#: they "remain split for a reasonable period of time".
+WEIGHT_AFTER_SPLIT = 1
+#: Harvest tokens granted per refresh event (and their cap).  Bounds how
+#: many merge+split reconfigurations can happen between refreshes, so
+#: background split requests cannot thrash the tree.  Sized to let one
+#: new hot cluster descend from the pre-split level to maximum depth
+#: (plus background noise) between two refresh events.
+HARVEST_BUDGET_PER_REFRESH = 32
+
+_NO_NODE = -1
+
+
+class CounterTree:
+    """An adaptive binary tree of row-activation counters for one bank.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of rows ``N`` in the bank; must be a power of two.
+    thresholds:
+        The :class:`~repro.core.thresholds.SplitThresholds` schedule,
+        which also fixes ``M`` (counters) and ``L`` (max levels).
+    track_weights:
+        Enable the 2-bit weight registers used by DRCAT.  PRCAT leaves
+        this off, saving the (modelled) weight-update work.
+
+    Notes
+    -----
+    The tree is stored exactly as in Figure 5: ``self._child`` /
+    ``self._is_leaf`` mirror the I-array (index = intermediate node id,
+    two slots per node) and ``self._count`` mirrors the C-array.  Row
+    ranges per counter (``Li``/``Ui`` of Algorithm 1) are maintained
+    redundantly for O(1) refresh-range emission and for invariant checks;
+    hardware would derive them from the traversal path.
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        thresholds: SplitThresholds,
+        track_weights: bool = False,
+    ) -> None:
+        if n_rows < 2 or n_rows & (n_rows - 1):
+            raise ValueError(f"n_rows must be a power of two >= 2, got {n_rows}")
+        m = thresholds.n_counters
+        if 1 << (thresholds.max_levels - 1) > n_rows:
+            raise ValueError(
+                f"max_levels={thresholds.max_levels} implies groups smaller than "
+                f"one row for n_rows={n_rows}"
+            )
+        self.n_rows = n_rows
+        self.thresholds = thresholds
+        self.n_counters = m
+        self.max_levels = thresholds.max_levels
+        self.track_weights = track_weights
+        self._n_addr_bits = n_rows.bit_length() - 1
+
+        # C-array and per-counter metadata.
+        self._count = [0] * m
+        self._level = [0] * m
+        self._low = [0] * m
+        self._high = [0] * m
+        self._weight = [0] * m
+        self._counter_active = [False] * m
+
+        # I-array: children as (left, right) ids; leaf flags per slot.
+        self._child_l = [_NO_NODE] * (m - 1)
+        self._child_r = [_NO_NODE] * (m - 1)
+        self._leaf_l = [False] * (m - 1)
+        self._leaf_r = [False] * (m - 1)
+        self._inode_active = [False] * (m - 1)
+
+        self._free_counters: list[int] = []
+        self._free_inodes: list[int] = []
+
+        # Statistics of interest to the hardware model / ablations.
+        self.total_splits = 0
+        self.total_merges = 0
+        self.total_refresh_commands = 0
+        self.total_rows_refreshed = 0
+        self.total_sram_reads = 0
+
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # construction / reset
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Rebuild the initial tree (used at PRCAT epochs).
+
+        The initial shape is a complete balanced tree with
+        ``thresholds.presplit_levels`` levels, i.e. ``2**(λ-1)`` active
+        counters, matching Section IV-C's pre-split optimisation.  With
+        λ = 1 this degenerates to the single root counter of Algorithm 1.
+        """
+        m = self.n_counters
+        for i in range(m):
+            self._count[i] = 0
+            self._level[i] = 0
+            self._low[i] = 0
+            self._high[i] = 0
+            self._weight[i] = 0
+            self._counter_active[i] = False
+        for j in range(m - 1):
+            self._child_l[j] = _NO_NODE
+            self._child_r[j] = _NO_NODE
+            self._leaf_l[j] = False
+            self._leaf_r[j] = False
+            self._inode_active[j] = False
+
+        lam = self.thresholds.presplit_levels
+        n_leaves = 1 << (lam - 1)
+        group = self.n_rows // n_leaves
+        for i in range(n_leaves):
+            self._counter_active[i] = True
+            self._level[i] = lam - 1
+            self._low[i] = i * group
+            self._high[i] = (i + 1) * group - 1
+        self._n_active = n_leaves
+        self._free_counters = list(range(m - 1, n_leaves - 1, -1))
+
+        n_inodes = n_leaves - 1
+        # Heap-style complete tree: inode j has children 2j+1 / 2j+2 while
+        # those are inodes, leaves at the bottom level map in order.
+        for j in range(n_inodes):
+            self._inode_active[j] = True
+            left, right = 2 * j + 1, 2 * j + 2
+            if left < n_inodes:
+                self._child_l[j] = left
+                self._leaf_l[j] = False
+            else:
+                self._child_l[j] = _heap_leaf_index(left, n_inodes)
+                self._leaf_l[j] = True
+            if right < n_inodes:
+                self._child_r[j] = right
+                self._leaf_r[j] = False
+            else:
+                self._child_r[j] = _heap_leaf_index(right, n_inodes)
+                self._leaf_r[j] = True
+        self._free_inodes = list(range(self.n_counters - 2, n_inodes - 1, -1))
+        self._root_is_leaf = n_inodes == 0
+        self._root = 0  # counter 0 if root_is_leaf else inode 0
+        # Per-counter harvest-blocked flags: a failed harvest only parks
+        # the *requesting* counter until the next refresh event, so a
+        # permanently-over-threshold background counter cannot starve a
+        # newly hot one of its harvest attempt.
+        self._harvest_blocked = [False] * m
+        self._harvest_budget = HARVEST_BUDGET_PER_REFRESH
+
+    # ------------------------------------------------------------------
+    # hot path
+    # ------------------------------------------------------------------
+
+    def lookup(self, row: int) -> int:
+        """Return the index of the active counter covering ``row``."""
+        if self._root_is_leaf:
+            self.total_sram_reads += 1
+            return self._root
+        node = self._root
+        shift = self._n_addr_bits - 1
+        reads = 1
+        while True:
+            bit = (row >> shift) & 1
+            shift -= 1
+            if bit:
+                nxt, is_leaf = self._child_r[node], self._leaf_r[node]
+            else:
+                nxt, is_leaf = self._child_l[node], self._leaf_l[node]
+            reads += 1
+            if is_leaf:
+                self.total_sram_reads += reads
+                return nxt
+            node = nxt
+
+    def access(self, row: int) -> RefreshCommand | None:
+        """Record one activation of ``row`` (lines 4-12 of Algorithm 1).
+
+        Returns a :class:`RefreshCommand` when the covering counter hits
+        the refresh threshold ``T``, else ``None``.  Splitting (the RCM
+        of Algorithm 1) happens transparently when a split threshold is
+        hit and a counter is available.  With weight tracking enabled
+        (DRCAT), an exhausted counter pool is replenished on demand by
+        merging the coldest sibling-leaf pair — so the tree keeps
+        adapting between refresh events instead of waiting for periodic
+        reset (PRCAT) or weight saturation.
+        """
+        idx = self.lookup(row)
+        count = self._count[idx] + 1
+        if count >= self.thresholds.refresh_threshold:
+            # Refresh the counter's rows plus both adjacent rows.
+            self._count[idx] = 0
+            cmd = RefreshCommand(self._low[idx] - 1, self._high[idx] + 1)
+            self.total_refresh_commands += 1
+            self.total_rows_refreshed += cmd.row_count(self.n_rows)
+            if self.track_weights:
+                for i in range(self.n_counters):
+                    self._harvest_blocked[i] = False
+                self._harvest_budget = HARVEST_BUDGET_PER_REFRESH
+                self._bump_weight(idx)
+            return cmd
+        self._count[idx] = count
+        level = self._level[idx]
+        if (
+            level < self.max_levels - 1
+            and count >= self.thresholds.threshold_for_level(level)
+        ):
+            if self._free_counters:
+                # Split threshold reached: activate a clone (RCM).
+                self._split(idx, row)
+            elif (
+                self.track_weights
+                and not self._harvest_blocked[idx]
+                and self._harvest_budget > 0
+            ):
+                # DRCAT: free a counter by merging the coldest pair.  The
+                # victim must carry less than half the requester's count:
+                # under uniform access every sibling pair holds about half
+                # the requester's count, so harvesting self-extinguishes
+                # (CAT then behaves like SCA, as the paper requires),
+                # while under skew/drift cold victims pass easily.  A
+                # counter whose weight reached 2 was just refreshed
+                # repeatedly — certified hot — so it gets the fully
+                # permissive gate (any victim count below T is safe from
+                # an immediate refresh) instead of its post-refresh
+                # restart count, which would deadlock against stale
+                # victim counts until the next blanket refresh.
+                if self._weight[idx] >= 2:
+                    gate = self.thresholds.refresh_threshold - 1
+                else:
+                    gate = max(1, count // 2)
+                if self.reconfigure(idx, count_gate=gate):
+                    self._harvest_budget -= 1
+                else:
+                    # No suitably cold pair for this counter right now;
+                    # it stops trying until the next refresh event
+                    # changes counts/weights.
+                    self._harvest_blocked[idx] = True
+        return None
+
+    def _split(self, idx: int, row: int) -> None:
+        """Split leaf ``idx``; ``row`` locates its parent slot."""
+        if not self._free_counters:
+            # Guard: callers check the free list before splitting; an
+            # empty pool here simply means nothing to do.
+            return
+        new = self._free_counters.pop()
+        self._n_active += 1
+        low, high = self._low[idx], self._high[idx]
+        mid = (low + high) // 2
+        self._count[new] = self._count[idx]
+        self._level[idx] += 1
+        self._level[new] = self._level[idx]
+        self._low[idx], self._high[idx] = low, mid
+        self._low[new], self._high[new] = mid + 1, high
+        self._counter_active[new] = True
+        if self.track_weights:
+            self._weight[new] = self._weight[idx]
+
+        inode = self._free_inodes.pop()
+        self._inode_active[inode] = True
+        self._child_l[inode] = idx
+        self._child_r[inode] = new
+        self._leaf_l[inode] = True
+        self._leaf_r[inode] = True
+        self._replace_slot(row, old_leaf=idx, new_node=inode)
+        self.total_splits += 1
+
+    def _replace_slot(self, row: int, old_leaf: int, new_node: int) -> None:
+        """Repoint the parent slot that held leaf ``old_leaf`` to an inode."""
+        if self._root_is_leaf:
+            self._root = new_node
+            self._root_is_leaf = False
+            return
+        node = self._root
+        shift = self._n_addr_bits - 1
+        while True:
+            bit = (row >> shift) & 1
+            shift -= 1
+            if bit:
+                nxt, is_leaf = self._child_r[node], self._leaf_r[node]
+                if is_leaf and nxt == old_leaf:
+                    self._child_r[node] = new_node
+                    self._leaf_r[node] = False
+                    return
+            else:
+                nxt, is_leaf = self._child_l[node], self._leaf_l[node]
+                if is_leaf and nxt == old_leaf:
+                    self._child_l[node] = new_node
+                    self._leaf_l[node] = False
+                    return
+            if is_leaf:
+                raise RuntimeError("leaf mismatch during split repointing")
+            node = nxt
+
+    # ------------------------------------------------------------------
+    # DRCAT weight tracking and reconfiguration
+    # ------------------------------------------------------------------
+
+    def _bump_weight(self, hot_idx: int) -> None:
+        """Refresh-event weight update: hot counter up, all others down.
+
+        A refresh from a counter *below* the maximum level is strong
+        evidence the tree is mis-sharpened (a well-adapted tree refreshes
+        hot rows from maximum-depth leaves), so it advances the weight by
+        two steps; a max-depth refresh advances by one.  Other counters
+        decay by one (floor 0).
+        """
+        hot_step = 2 if self._level[hot_idx] < self.max_levels - 1 else 1
+        for i in range(self.n_counters):
+            if not self._counter_active[i]:
+                continue
+            if i == hot_idx:
+                self._weight[i] = min(WEIGHT_MAX, self._weight[i] + hot_step)
+            elif self._weight[i] > 0:
+                self._weight[i] -= 1
+
+    def weight_saturated(self, idx: int) -> bool:
+        """True when counter ``idx``'s weight register is at its cap."""
+        return self._weight[idx] >= WEIGHT_MAX
+
+    def hottest_saturated_counter(self) -> int | None:
+        """Index of a weight-saturated counter, or ``None``."""
+        for i in range(self.n_counters):
+            if self._counter_active[i] and self._weight[i] >= WEIGHT_MAX:
+                return i
+        return None
+
+    def reconfigure(self, hot_idx: int, count_gate: int | None = None) -> bool:
+        """DRCAT step: merge a cold sibling pair, re-split ``hot_idx``.
+
+        ``count_gate`` caps the inherited count a merge victim may carry
+        (defaults to ``T/2``); harvest callers pass the requester's own
+        count so only strictly-colder pairs are sacrificed.
+
+        Returns ``True`` when a reconfiguration happened (a suitable
+        sibling-leaf pair existed and the hot leaf was splittable).
+        """
+        if not self._counter_active[hot_idx]:
+            return False
+        if self._level[hot_idx] >= self.max_levels - 1:
+            return False
+        if self._high[hot_idx] == self._low[hot_idx]:
+            return False
+        found = self._find_cold_pair(exclude=hot_idx, count_gate=count_gate)
+        if found is None:
+            return False
+        inode, parent, parent_slot_right = found
+
+        left = self._child_l[inode]
+        right = self._child_r[inode]
+        # Promote the left counter to cover the merged range; release the
+        # right counter and the inode.  max() keeps detection sound: the
+        # merged region can only be refreshed earlier, never later.
+        self._count[left] = max(self._count[left], self._count[right])
+        self._level[left] -= 1
+        self._high[left] = self._high[right]
+        self._counter_active[right] = False
+        self._count[right] = 0
+        self._weight[right] = 0
+        self._free_counters.append(right)
+        self._inode_active[inode] = False
+        self._free_inodes.append(inode)
+        if parent == _NO_NODE:
+            self._root = left
+            self._root_is_leaf = True
+        elif parent_slot_right:
+            self._child_r[parent] = left
+            self._leaf_r[parent] = True
+        else:
+            self._child_l[parent] = left
+            self._leaf_l[parent] = True
+        self._n_active -= 1
+        self.total_merges += 1
+
+        # Split the hot counter with the freed resources.
+        self._split(hot_idx, self._low[hot_idx])
+        sibling = self._find_sibling_of(hot_idx)
+        self._weight[hot_idx] = WEIGHT_AFTER_SPLIT
+        if sibling is not None:
+            self._weight[sibling] = WEIGHT_AFTER_SPLIT
+        return True
+
+    def _find_cold_pair(
+        self, exclude: int, count_gate: int | None = None
+    ) -> tuple[int, int, bool] | None:
+        """Locate the *coldest* inode whose children are two weight-zero
+        leaves.
+
+        Zero weight alone is not enough: a pair can have weight 0 yet
+        carry counts close to the refresh threshold, and merging it (with
+        the sound ``max`` count inheritance) would soon refresh a
+        double-sized region.  Among the zero-weight sibling pairs the one
+        with the smallest merged count is selected, subject to
+        ``count_gate`` (default ``T/2``).
+
+        Returns ``(inode, parent_inode, parent_slot_is_right)`` with
+        ``parent_inode == -1`` when the inode is the root.  ``exclude``
+        (the hot counter) may not be one of the merged leaves.
+        """
+        if self._root_is_leaf:
+            return None
+        best: tuple[int, int, bool] | None = None
+        best_count = None
+        # Merging lifts the surviving counter one level up; never lift
+        # above the pre-split skeleton (the balanced hardware baseline),
+        # or a later refresh would cover a larger group than even SCA's.
+        min_child_level = self.thresholds.presplit_levels
+        # The inherited count must stay below the refresh threshold so a
+        # merge can never trigger an immediate refresh; the min-count
+        # preference below picks genuinely cold pairs first.  (A stricter
+        # T/2 ceiling starves harvesting mid-epoch: regions that went
+        # cold keep their stale counts until the next blanket refresh.)
+        ceiling = self.thresholds.refresh_threshold - 1
+        count_gate = ceiling if count_gate is None else min(ceiling, count_gate)
+        stack: list[tuple[int, int, bool]] = [(self._root, _NO_NODE, False)]
+        while stack:
+            node, parent, slot_right = stack.pop()
+            l_leaf, r_leaf = self._leaf_l[node], self._leaf_r[node]
+            left, right = self._child_l[node], self._child_r[node]
+            if l_leaf and r_leaf:
+                merged_count = max(self._count[left], self._count[right])
+                if (
+                    left != exclude
+                    and right != exclude
+                    and self._weight[left] == 0
+                    and self._weight[right] == 0
+                    and self._level[left] >= min_child_level
+                    and merged_count <= count_gate
+                ):
+                    if best_count is None or merged_count < best_count:
+                        best = (node, parent, slot_right)
+                        best_count = merged_count
+            if not l_leaf:
+                stack.append((left, node, False))
+            if not r_leaf:
+                stack.append((right, node, True))
+        return best
+
+    def _find_sibling_of(self, idx: int) -> int | None:
+        """Return the leaf sibling of leaf ``idx`` if it has one."""
+        if self._root_is_leaf:
+            return None
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if self._leaf_l[node] and self._child_l[node] == idx:
+                return self._child_r[node] if self._leaf_r[node] else None
+            if self._leaf_r[node] and self._child_r[node] == idx:
+                return self._child_l[node] if self._leaf_l[node] else None
+            if not self._leaf_l[node]:
+                stack.append(self._child_l[node])
+            if not self._leaf_r[node]:
+                stack.append(self._child_r[node])
+        return None
+
+    # ------------------------------------------------------------------
+    # introspection (tests, invariants, reports)
+    # ------------------------------------------------------------------
+
+    @property
+    def active_counters(self) -> int:
+        """Number of currently active (leaf) counters."""
+        return self._n_active
+
+    @property
+    def free_counters(self) -> int:
+        """Number of counters still available for splits."""
+        return len(self._free_counters)
+
+    def counter_state(self, idx: int) -> dict[str, int]:
+        """Expose one counter's registers (for tests and examples)."""
+        return {
+            "count": self._count[idx],
+            "level": self._level[idx],
+            "low": self._low[idx],
+            "high": self._high[idx],
+            "weight": self._weight[idx],
+            "active": int(self._counter_active[idx]),
+        }
+
+    def partition(self) -> list[tuple[int, int, int]]:
+        """Sorted ``(low, high, counter_index)`` of all active counters."""
+        parts = [
+            (self._low[i], self._high[i], i)
+            for i in range(self.n_counters)
+            if self._counter_active[i]
+        ]
+        parts.sort()
+        return parts
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` on any structural violation.
+
+        Checks DESIGN.md invariants 1 and 3: the active counters tile
+        ``[0, N)`` exactly, counter/inode accounting is conserved, and the
+        pointer structure reaches each active counter exactly once.
+        """
+        parts = self.partition()
+        if not parts:
+            raise AssertionError("no active counters")
+        if parts[0][0] != 0:
+            raise AssertionError(f"partition does not start at 0: {parts[0]}")
+        for (lo1, hi1, _), (lo2, _hi2, _) in zip(parts, parts[1:]):
+            if lo2 != hi1 + 1:
+                raise AssertionError(f"gap/overlap between {hi1} and {lo2}")
+        if parts[-1][1] != self.n_rows - 1:
+            raise AssertionError(f"partition does not end at N-1: {parts[-1]}")
+        if self._n_active + len(self._free_counters) != self.n_counters:
+            raise AssertionError("counter conservation violated")
+        reached = set()
+        if self._root_is_leaf:
+            reached.add(self._root)
+        else:
+            stack = [self._root]
+            seen_inodes = set()
+            while stack:
+                node = stack.pop()
+                if node in seen_inodes:
+                    raise AssertionError(f"inode {node} reached twice")
+                seen_inodes.add(node)
+                for child, is_leaf in (
+                    (self._child_l[node], self._leaf_l[node]),
+                    (self._child_r[node], self._leaf_r[node]),
+                ):
+                    if is_leaf:
+                        if child in reached:
+                            raise AssertionError(f"leaf {child} reached twice")
+                        reached.add(child)
+                    else:
+                        stack.append(child)
+            if len(seen_inodes) != self._n_active - 1:
+                raise AssertionError(
+                    f"{len(seen_inodes)} inodes for {self._n_active} leaves"
+                )
+        active = {i for i in range(self.n_counters) if self._counter_active[i]}
+        if reached != active:
+            raise AssertionError(f"reachable {reached} != active {active}")
+        for lo, hi, i in parts:
+            width = hi - lo + 1
+            expected = self.n_rows >> self._level[i]
+            if width != expected:
+                raise AssertionError(
+                    f"counter {i} at level {self._level[i]} covers {width} rows, "
+                    f"expected {expected}"
+                )
+
+    def depth_histogram(self) -> dict[int, int]:
+        """Map level -> number of active counters at that level."""
+        hist: dict[int, int] = {}
+        for i in range(self.n_counters):
+            if self._counter_active[i]:
+                hist[self._level[i]] = hist.get(self._level[i], 0) + 1
+        return hist
+
+    def is_balanced(self) -> bool:
+        """True when all active counters sit at one level (SCA-like)."""
+        return len(self.depth_histogram()) == 1
+
+
+def _heap_leaf_index(heap_pos: int, n_inodes: int) -> int:
+    """Map a heap position in a complete tree to its in-order leaf rank.
+
+    For a complete tree with ``n_inodes = 2**k - 1`` internal nodes the
+    leaves occupy heap positions ``n_inodes .. 2*n_inodes``; position
+    order equals left-to-right order, which is the counter index layout
+    :meth:`CounterTree.reset` uses.
+    """
+    return heap_pos - n_inodes

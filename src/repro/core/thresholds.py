@@ -1,0 +1,254 @@
+"""Split-threshold schedules for the Counter-based Adaptive Tree.
+
+Section IV-D of the paper shows that the CAT's effectiveness is sensitive
+to the *split thresholds* ``T_l`` — the counter value at which a level-
+``l`` leaf splits into two level-``l+1`` leaves.  Three facts anchor the
+schedule:
+
+* ``T_{L-1} = T`` (the refresh threshold itself terminates the schedule);
+* ``T_{L-2} = T/2`` so the tree always finishes growing before any counter
+  can reach ``T``;
+* at the *critical bias* (the access skew at which an unbalanced tree
+  starts beating the balanced one, ``x > 3w`` in the paper's 4-counter
+  example) the tie condition gives ``T_{l+1} = 2 T_l`` between adjacent
+  levels near the start of growth.
+
+The paper's generalized model lives in a technical report that is not
+public; for the one configuration whose values the paper prints
+(``T = 32768, M = 64, L = 10``: 5155, 10309, 12886, 16384, 32768) we use
+the published constants verbatim.  For every other configuration we
+provide two strategies:
+
+``"model"`` (default)
+    A cost-balance schedule derived from the same reasoning as the paper's
+    4-counter example, implemented in
+    :func:`repro.analysis.cost_model.derive_split_thresholds`.  It
+    interpolates between the doubling regime at the first split level and
+    the fixed ``T/2 → T`` tail, which reproduces the published M=64/L=10
+    values to within a few percent.
+
+``"geometric"``
+    The naive repeated-doubling schedule ``T_l = T / 2^(L-1-l)``, useful
+    as an ablation baseline (bench ``bench_ablation_thresholds``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Published split thresholds, keyed by (refresh_threshold, M, L).
+#: Values are for levels m-1 .. L-1 where m = log2(M).
+PAPER_THRESHOLDS: dict[tuple[int, int, int], tuple[int, ...]] = {
+    (32768, 64, 10): (5155, 10309, 12886, 16384, 32768),
+}
+
+
+def _model_schedule(refresh_threshold: int, first_level: int, last_level: int) -> list[int]:
+    """Cost-balance schedule between ``first_level`` and ``last_level``.
+
+    The tail is pinned at ``T/2`` and ``T``.  The head starts the doubling
+    regime; interior levels grow by a smoothly decreasing ratio so the
+    schedule matches the published (T=32K, M=64, L=10) values closely.
+
+    The schedule for ``k = last_level - first_level + 1`` levels is built
+    backwards from the tail:
+
+    * ``T[last] = T``
+    * ``T[last-1] = T/2``
+    * remaining head levels are spaced so that the *first* ratio is 2
+      (the critical-bias tie condition) and intermediate ratios shrink
+      geometrically toward ~1.25, mirroring the published sequence
+      (ratios 2.0, 1.25, 1.27, 2.0 for the anchor configuration).
+    """
+    t = refresh_threshold
+    k = last_level - first_level + 1
+    if k <= 0:
+        return []
+    if k == 1:
+        return [t]
+    if k == 2:
+        return [t // 2, t]
+    # Head: levels first..last-2 (k-1 values ending at T/2).
+    # We want value[0]*2 == value[1] (tie condition) and the remaining
+    # ratios easing toward 5/4 as in the anchor sequence.
+    n_head = k - 1  # number of values up to and including T/2
+    values = [0.0] * n_head
+    values[-1] = t / 2
+    # Work backwards with ratios: last head gap uses ratio r_i that decays
+    # from 5/4 upward as we get closer to T/2, and the very first gap is 2.
+    ratios = _head_ratios(n_head)
+    for i in range(n_head - 2, -1, -1):
+        values[i] = values[i + 1] / ratios[i]
+    schedule = [int(round(v)) for v in values] + [t]
+    # Monotonicity guard (rounding could create ties on tiny T).
+    for i in range(1, len(schedule)):
+        if schedule[i] <= schedule[i - 1]:
+            schedule[i] = schedule[i - 1] + 1
+    return schedule
+
+
+def _head_ratios(n_head: int) -> list[float]:
+    """Ratios between consecutive head values (length ``n_head - 1``).
+
+    The first ratio is the tie-condition 2.0; subsequent ratios ease to
+    5/4 then drift slightly up, matching the anchor sequence
+    2.0, 1.25, 1.2715 (then the pinned final jump T/2 -> T of 2.0).
+    """
+    n_ratios = n_head - 1
+    if n_ratios <= 0:
+        return []
+    if n_ratios == 1:
+        return [2.0]
+    ratios = [2.0]
+    # Remaining ratios: geometric easing from 1.25 toward ~1.30.
+    for j in range(1, n_ratios):
+        frac = (j - 1) / max(1, n_ratios - 2) if n_ratios > 2 else 0.0
+        ratios.append(1.25 + 0.0215 * frac * (n_ratios - 1))
+    return ratios
+
+
+def _geometric_schedule(refresh_threshold: int, first_level: int, last_level: int) -> list[int]:
+    """Repeated-doubling schedule ``T_l = T / 2^(last_level - l)``."""
+    out = []
+    for level in range(first_level, last_level + 1):
+        out.append(max(1, refresh_threshold >> (last_level - level)))
+    return out
+
+
+@dataclass(frozen=True)
+class SplitThresholds:
+    """The per-level split-threshold schedule of one CAT configuration.
+
+    Attributes
+    ----------
+    refresh_threshold:
+        The crosstalk refresh threshold ``T`` (e.g. 32768).
+    n_counters:
+        ``M``, the number of hardware counters per bank (power of two).
+    max_levels:
+        ``L``, the maximum tree depth (levels ``0 .. L-1``).
+    presplit_levels:
+        ``λ``: the CAT starts from a complete balanced tree with λ levels
+        (λ = log2(M) in the paper's model derivation, which leaves M/2
+        counters free to grow the tree non-uniformly).
+    values:
+        Tuple of thresholds for levels ``presplit_levels-1 .. L-1``;
+        ``values[-1] == refresh_threshold``.
+    strategy:
+        Which schedule produced the values (``"paper"``, ``"model"`` or
+        ``"geometric"``).
+    """
+
+    refresh_threshold: int
+    n_counters: int
+    max_levels: int
+    presplit_levels: int
+    values: tuple[int, ...]
+    strategy: str
+
+    @classmethod
+    def create(
+        cls,
+        refresh_threshold: int,
+        n_counters: int,
+        max_levels: int,
+        strategy: str = "auto",
+        presplit_levels: int | None = None,
+    ) -> "SplitThresholds":
+        """Build a schedule for a (T, M, L) configuration.
+
+        ``strategy="auto"`` selects the paper-published table when the
+        configuration matches, otherwise the cost-balance model.
+        """
+        if n_counters < 2 or n_counters & (n_counters - 1):
+            raise ValueError(f"n_counters must be a power of two >= 2, got {n_counters}")
+        m = int(math.log2(n_counters))
+        if presplit_levels is None:
+            presplit_levels = m
+        if not 1 <= presplit_levels <= m:
+            raise ValueError(
+                f"presplit_levels must be in [1, log2(M)={m}], got {presplit_levels}"
+            )
+        if max_levels <= m:
+            raise ValueError(
+                f"max_levels (L={max_levels}) must exceed log2(M)={m} for the "
+                "tree to have room to grow; use SCA for a purely static scheme"
+            )
+        first_level = presplit_levels - 1
+        last_level = max_levels - 1
+        key = (refresh_threshold, n_counters, max_levels)
+        if strategy == "auto":
+            strategy = "paper" if key in PAPER_THRESHOLDS else "model"
+        if strategy == "paper":
+            if key not in PAPER_THRESHOLDS:
+                raise KeyError(
+                    f"no published thresholds for T={refresh_threshold}, "
+                    f"M={n_counters}, L={max_levels}; use strategy='model'"
+                )
+            published = PAPER_THRESHOLDS[key]
+            # Published values cover levels m-1 .. L-1.  If λ < m the head
+            # levels below m-1 extend by halving.
+            values = list(published)
+            for _ in range(m - presplit_levels):
+                values.insert(0, max(1, values[0] // 2))
+        elif strategy == "model":
+            values = _model_schedule(refresh_threshold, first_level, last_level)
+        elif strategy == "geometric":
+            values = _geometric_schedule(refresh_threshold, first_level, last_level)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        values_t = tuple(values)
+        if len(values_t) != last_level - first_level + 1:
+            raise AssertionError("schedule length mismatch")
+        if values_t[-1] != refresh_threshold:
+            raise AssertionError("schedule must terminate at the refresh threshold")
+        if any(b <= a for a, b in zip(values_t, values_t[1:])):
+            raise AssertionError(f"schedule must be strictly increasing: {values_t}")
+        return cls(
+            refresh_threshold=refresh_threshold,
+            n_counters=n_counters,
+            max_levels=max_levels,
+            presplit_levels=presplit_levels,
+            values=values_t,
+            strategy=strategy,
+        )
+
+    def threshold_for_level(self, level: int) -> int:
+        """Split threshold ``T_l`` for a counter at tree level ``level``.
+
+        Levels below the pre-split depth never hold an active counter once
+        the pre-split completes, but during construction-from-root (λ=1)
+        they use the first scheduled value extended by halving.
+        """
+        first_level = self.presplit_levels - 1
+        if level >= self.max_levels - 1:
+            return self.refresh_threshold
+        if level < first_level:
+            # Extend below the schedule by halving (only reachable when a
+            # caller builds from the root with λ < presplit schedule head).
+            return max(1, self.values[0] >> (first_level - level))
+        return self.values[level - first_level]
+
+    def scaled(self, factor: float) -> "SplitThresholds":
+        """Return a schedule with every threshold divided by ``factor``.
+
+        Used by the simulator's scale-invariance machinery: dividing T and
+        all split thresholds by the same factor (while dividing access
+        counts identically) preserves the tree dynamics.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        new_values = [max(2, int(round(v / factor))) for v in self.values]
+        # Re-impose strict monotonicity after rounding.
+        for i in range(1, len(new_values)):
+            if new_values[i] <= new_values[i - 1]:
+                new_values[i] = new_values[i - 1] + 1
+        return SplitThresholds(
+            refresh_threshold=new_values[-1],
+            n_counters=self.n_counters,
+            max_levels=self.max_levels,
+            presplit_levels=self.presplit_levels,
+            values=tuple(new_values),
+            strategy=self.strategy + "+scaled",
+        )

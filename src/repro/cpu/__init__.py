@@ -1,0 +1,20 @@
+"""CPU front end: trace format and ROB-limited issue model."""
+
+from repro.cpu.rob import ROBFrontEnd, TimedAccess
+from repro.cpu.trace import (
+    TraceRecord,
+    load_trace,
+    read_trace,
+    save_trace,
+    write_trace,
+)
+
+__all__ = [
+    "ROBFrontEnd",
+    "TimedAccess",
+    "TraceRecord",
+    "load_trace",
+    "read_trace",
+    "save_trace",
+    "write_trace",
+]

@@ -1,0 +1,97 @@
+"""USIMM-style memory trace records.
+
+The Memory Scheduling Championship distributes traces as text lines of
+the form ``<cycle-gap> <op> <address> [<pc>]`` where the cycle gap counts
+non-memory instructions executed since the previous memory operation.
+We implement the same format so synthetic workloads can be written to
+disk, inspected, and replayed — and so a user with real MSC traces can
+feed them straight in.
+
+:class:`TraceRecord` is the in-memory form; :func:`write_trace` /
+:func:`read_trace` handle the text serialisation.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One memory operation in a USIMM-style trace.
+
+    Attributes
+    ----------
+    cycle_gap:
+        Core cycles of non-memory work since the previous record.
+    op:
+        ``"R"`` (read) or ``"W"`` (write).
+    address:
+        Physical byte address.
+    pc:
+        Program counter of the instruction (0 when unknown).
+    """
+
+    cycle_gap: int
+    op: str
+    address: int
+    pc: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cycle_gap < 0:
+            raise ValueError("cycle_gap must be non-negative")
+        if self.op not in ("R", "W"):
+            raise ValueError(f"op must be 'R' or 'W', got {self.op!r}")
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+
+    def to_line(self) -> str:
+        """Serialise in MSC text format."""
+        if self.pc:
+            return f"{self.cycle_gap} {self.op} 0x{self.address:x} 0x{self.pc:x}"
+        return f"{self.cycle_gap} {self.op} 0x{self.address:x}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        """Parse one MSC text line."""
+        parts = line.split()
+        if len(parts) not in (3, 4):
+            raise ValueError(f"malformed trace line: {line!r}")
+        gap = int(parts[0])
+        op = parts[1].upper()
+        address = int(parts[2], 0)
+        pc = int(parts[3], 0) if len(parts) == 4 else 0
+        return cls(gap, op, address, pc)
+
+
+def write_trace(records: Iterable[TraceRecord], stream: io.TextIOBase) -> int:
+    """Write records to a text stream; returns the number written."""
+    count = 0
+    for record in records:
+        stream.write(record.to_line())
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def read_trace(stream: io.TextIOBase) -> Iterator[TraceRecord]:
+    """Yield records from a text stream, skipping blanks and comments."""
+    for line in stream:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield TraceRecord.from_line(line)
+
+
+def save_trace(records: Iterable[TraceRecord], path: str) -> int:
+    """Write a trace file to ``path``; returns the record count."""
+    with open(path, "w", encoding="ascii") as f:
+        return write_trace(records, f)
+
+
+def load_trace(path: str) -> list[TraceRecord]:
+    """Read a full trace file into memory."""
+    with open(path, "r", encoding="ascii") as f:
+        return list(read_trace(f))

@@ -1,0 +1,41 @@
+"""DRAM substrate: configuration, address mapping, banks, controller."""
+
+from repro.dram.address import AddressMapper, DecodedAddress
+from repro.dram.bank import BankState
+from repro.dram.config import (
+    DUAL_CORE_2CH,
+    DUAL_CORE_4CH,
+    NAMED_CONFIGS,
+    QUAD_CORE_2CH,
+    QUAD_CORE_4CH,
+    REFRESH_INTERVAL_S,
+    REGULAR_REFRESH_POWER_MW,
+    ROW_REFRESH_ENERGY_NJ,
+    DRAMTimings,
+    SystemConfig,
+)
+from repro.dram.controller import CompletedRequest, MemoryController, MemRequest
+from repro.dram.memory_system import MemorySystem
+from repro.dram.refresh import RefreshAccountant, intervals_in
+
+__all__ = [
+    "AddressMapper",
+    "DecodedAddress",
+    "BankState",
+    "SystemConfig",
+    "DRAMTimings",
+    "DUAL_CORE_2CH",
+    "DUAL_CORE_4CH",
+    "QUAD_CORE_2CH",
+    "QUAD_CORE_4CH",
+    "NAMED_CONFIGS",
+    "REFRESH_INTERVAL_S",
+    "REGULAR_REFRESH_POWER_MW",
+    "ROW_REFRESH_ENERGY_NJ",
+    "MemoryController",
+    "MemRequest",
+    "CompletedRequest",
+    "MemorySystem",
+    "RefreshAccountant",
+    "intervals_in",
+]

@@ -1,0 +1,118 @@
+"""Physical address decomposition (Table I mapping policies).
+
+USIMM's closed-page mapping interleaves consecutive cache lines across
+channels so that row, rank and bank bits sit above the channel bits:
+``rw:rk:bk:ch:col:offset`` (most-significant field first).  The
+``AddressMapper`` decodes a physical byte address into
+(channel, rank, bank, row, column) and re-encodes for round-tripping.
+
+The 4-channel policy of Section VIII-B is the same field order with two
+channel bits instead of one, which — bank size held fixed — quadruples
+the number of banks in the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import SystemConfig
+
+
+def _log2(value: int, name: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """One physical address split into DRAM coordinates."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+    def flat_bank(self, config: SystemConfig) -> int:
+        """Global bank index in ``[0, config.n_banks)``.
+
+        Ordering is channel-major, then rank, then bank — the order the
+        memory system uses to index its per-bank mitigation engines.
+        """
+        return (
+            self.channel * config.ranks_per_channel + self.rank
+        ) * config.banks_per_rank + self.bank
+
+
+class AddressMapper:
+    """Encode/decode physical addresses under ``rw:rk:bk:ch:col:offset``."""
+
+    #: columns per row: 8KB row / 64B line = 128 cache lines (Micron 4Gb
+    #: x8 geometry used by the paper's USIMM configuration).
+    COLUMNS_PER_ROW = 128
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self._offset_bits = _log2(config.cache_line_bytes, "cache_line_bytes")
+        self._col_bits = _log2(self.COLUMNS_PER_ROW, "columns_per_row")
+        self._ch_bits = _log2(config.n_channels, "n_channels")
+        self._bk_bits = _log2(config.banks_per_rank, "banks_per_rank")
+        self._rk_bits = _log2(config.ranks_per_channel, "ranks_per_channel")
+        self._row_bits = _log2(config.rows_per_bank, "rows_per_bank")
+
+    @property
+    def address_bits(self) -> int:
+        """Total significant physical address bits."""
+        return (
+            self._offset_bits
+            + self._col_bits
+            + self._ch_bits
+            + self._bk_bits
+            + self._rk_bits
+            + self._row_bits
+        )
+
+    def decode(self, phys_addr: int) -> DecodedAddress:
+        """Split a physical byte address into DRAM coordinates."""
+        if phys_addr < 0:
+            raise ValueError("physical address must be non-negative")
+        value = phys_addr >> self._offset_bits
+        column = value & ((1 << self._col_bits) - 1)
+        value >>= self._col_bits
+        channel = value & ((1 << self._ch_bits) - 1)
+        value >>= self._ch_bits
+        bank = value & ((1 << self._bk_bits) - 1)
+        value >>= self._bk_bits
+        rank = value & ((1 << self._rk_bits) - 1)
+        value >>= self._rk_bits
+        row = value & ((1 << self._row_bits) - 1)
+        return DecodedAddress(channel, rank, bank, row, column)
+
+    def encode(
+        self,
+        channel: int,
+        rank: int,
+        bank: int,
+        row: int,
+        column: int = 0,
+        offset: int = 0,
+    ) -> int:
+        """Inverse of :meth:`decode` (used by trace generators)."""
+        for name, value, bits in (
+            ("channel", channel, self._ch_bits),
+            ("rank", rank, self._rk_bits),
+            ("bank", bank, self._bk_bits),
+            ("row", row, self._row_bits),
+            ("column", column, self._col_bits),
+            ("offset", offset, self._offset_bits),
+        ):
+            if not 0 <= value < (1 << bits) and not (bits == 0 and value == 0):
+                raise ValueError(f"{name}={value} out of range for {bits} bits")
+        value = row
+        value = (value << self._rk_bits) | rank
+        value = (value << self._bk_bits) | bank
+        value = (value << self._ch_bits) | channel
+        value = (value << self._col_bits) | column
+        value = (value << self._offset_bits) | offset
+        return value

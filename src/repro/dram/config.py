@@ -1,0 +1,125 @@
+"""System configuration (Table I of the paper) and derived quantities.
+
+The default configuration models the paper's dual-core USIMM setup:
+two 3.2 GHz cores, an 800 MHz memory bus, 16 GB across 2 channels,
+1 rank/channel, 8 banks/rank, 64K rows/bank, closed-page FR-FCFS with the
+``rw:rk:bk:ch:col:offset`` address mapping.  The quad-core variants of
+Section VIII-B change the core count, channel count, and rows per bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Regular auto-refresh interval (seconds) used throughout the paper.
+REFRESH_INTERVAL_S = 0.064
+#: Energy to refresh a single DRAM row (nJ), from Smart Refresh [60].
+ROW_REFRESH_ENERGY_NJ = 1.0
+#: Regular refresh power for one 64K-row bank over 64 ms (mW), Section VI.
+REGULAR_REFRESH_POWER_MW = 2.5
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """DDR3-style timing constraints (55 nm Micron datasheet values).
+
+    Only the parameters the ETO model consumes are carried; the full
+    datasheet has dozens more that do not affect refresh-stall
+    accounting.
+    All times in nanoseconds.
+    """
+
+    t_ck: float = 1.25          #: bus clock period (800 MHz)
+    t_rcd: float = 13.75        #: ACT -> column command
+    t_rp: float = 13.75         #: PRE -> ACT
+    t_ras: float = 35.0         #: ACT -> PRE
+    t_rc: float = 48.75         #: ACT -> ACT same bank (row cycle)
+    t_rfc: float = 260.0        #: regular REF command duration
+    t_cas: float = 13.75        #: column access strobe latency
+
+    @property
+    def row_refresh_ns(self) -> float:
+        """Time one targeted single-row refresh occupies the bank.
+
+        A targeted refresh is an ACT+PRE pair on the victim row, i.e. one
+        row cycle tRC — this is what TRR-style mitigations issue.
+        """
+        return self.t_rc
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full system description for one experiment (Table I defaults)."""
+
+    n_cores: int = 2
+    core_freq_ghz: float = 3.2
+    bus_freq_mhz: float = 800.0
+    n_channels: int = 2
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    rows_per_bank: int = 65536
+    cache_line_bytes: int = 64
+    rob_entries: int = 128
+    fetch_width: int = 4
+    retire_width: int = 2
+    pipeline_depth: int = 10
+    write_queue_capacity: int = 64
+    page_policy: str = "closed"
+    scheduling: str = "FRFCFS"
+    address_mapping: str = "rw:rk:bk:ch:col:offset"
+    timings: DRAMTimings = field(default_factory=DRAMTimings)
+
+    def __post_init__(self) -> None:
+        if self.rows_per_bank & (self.rows_per_bank - 1):
+            raise ValueError("rows_per_bank must be a power of two")
+        for name in ("n_channels", "ranks_per_channel", "banks_per_rank"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two")
+
+    @property
+    def n_banks(self) -> int:
+        """Total banks in the system."""
+        return self.n_channels * self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def total_rows(self) -> int:
+        """Total DRAM rows across all banks."""
+        return self.n_banks * self.rows_per_bank
+
+    def with_channels(self, n_channels: int) -> "SystemConfig":
+        """Derive the 4-channel mapping variant of Section VIII-B.
+
+        USIMM's 4-channel policy keeps bank size fixed and quadruples the
+        total bank count (16 -> 64): four channels of two-rank DIMMs
+        versus two channels of single-rank DIMMs.
+        """
+        ranks = 2 if n_channels == 4 else 1
+        return replace(self, n_channels=n_channels, ranks_per_channel=ranks)
+
+    def with_cores(self, n_cores: int) -> "SystemConfig":
+        """Derive the quad-core variant (128K rows/bank per Fig. 11)."""
+        rows = self.rows_per_bank
+        if n_cores == 4:
+            rows = 131072
+        elif n_cores == 2:
+            rows = 65536
+        return replace(self, n_cores=n_cores, rows_per_bank=rows)
+
+
+#: The paper's default dual-core / 2-channel configuration.
+DUAL_CORE_2CH = SystemConfig()
+#: Dual-core with the 4-channel mapping policy (16 -> 64 banks).
+DUAL_CORE_4CH = SystemConfig(n_channels=4, ranks_per_channel=2)
+#: Quad-core variants used in Figure 11 (128K rows per bank).
+QUAD_CORE_2CH = SystemConfig(n_cores=4, rows_per_bank=131072)
+QUAD_CORE_4CH = SystemConfig(
+    n_cores=4, rows_per_bank=131072, n_channels=4, ranks_per_channel=2
+)
+
+NAMED_CONFIGS: dict[str, SystemConfig] = {
+    "dual-core/2channels": DUAL_CORE_2CH,
+    "dual-core/4channels": DUAL_CORE_4CH,
+    "quad-core/2channels": QUAD_CORE_2CH,
+    "quad-core/4channels": QUAD_CORE_4CH,
+}

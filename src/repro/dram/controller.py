@@ -1,0 +1,135 @@
+"""A lightweight FR-FCFS-flavoured memory-controller model.
+
+The paper's USIMM configuration uses a closed-page policy with FR-FCFS
+scheduling.  Under closed-page, every request activates its row, performs
+the column burst and precharges, so "row hit first" reduces to batching
+requests that target the *same row and arrive together*.  This model
+implements exactly that reduced discipline:
+
+* per-bank FIFO queues with a bounded write queue (Table I: 64 entries);
+* same-row requests at the queue head coalesce into one activation;
+* bank busy-horizons from :mod:`repro.dram.bank` provide timing;
+* mitigation refreshes injected by the bank's scheme block the queue.
+
+It exists so the ROB front end (:mod:`repro.cpu.rob`) has a realistic
+sink, and so tests can exercise queueing effects; the headline
+experiments drive :class:`~repro.dram.memory_system.MemorySystem`
+directly with pre-timed traces, which is equivalent for ETO purposes
+because all compared schemes see identical demand streams.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.base import MitigationScheme
+from repro.dram.bank import BankState
+from repro.dram.config import SystemConfig
+
+
+@dataclass(frozen=True, slots=True)
+class MemRequest:
+    """One demand memory request as issued by the CPU front end."""
+
+    arrival_ns: float
+    bank: int
+    row: int
+    is_write: bool = False
+    request_id: int = 0
+
+
+@dataclass(slots=True)
+class CompletedRequest:
+    """Completion record returned by the controller."""
+
+    request: MemRequest
+    start_ns: float
+    done_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        """Arrival-to-completion latency of the request."""
+        return self.done_ns - self.request.arrival_ns
+
+
+class MemoryController:
+    """Closed-page FR-FCFS controller over a set of banks.
+
+    Requests are enqueued with :meth:`enqueue` and drained with
+    :meth:`drain`, which services queues in arrival order per bank while
+    coalescing consecutive same-row requests into a single activation
+    (the closed-page analogue of row-hit-first).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        schemes: list[MitigationScheme | None] | None = None,
+    ) -> None:
+        self.config = config
+        self.banks = [BankState(config.timings) for _ in range(config.n_banks)]
+        self.schemes = schemes if schemes is not None else [None] * config.n_banks
+        if len(self.schemes) != config.n_banks:
+            raise ValueError(
+                f"expected {config.n_banks} schemes, got {len(self.schemes)}"
+            )
+        self._queues: list[deque[MemRequest]] = [
+            deque() for _ in range(config.n_banks)
+        ]
+        self._write_backlog = 0
+        self.completed: list[CompletedRequest] = []
+
+    def enqueue(self, request: MemRequest) -> None:
+        """Admit one request; enforces the write-queue capacity."""
+        if not 0 <= request.bank < self.config.n_banks:
+            raise ValueError(f"bank {request.bank} out of range")
+        if request.is_write:
+            if self._write_backlog >= self.config.write_queue_capacity:
+                # Model write-queue pressure by draining before admitting.
+                self.drain_bank(request.bank)
+            self._write_backlog += 1
+        self._queues[request.bank].append(request)
+
+    def drain_bank(self, bank: int) -> list[CompletedRequest]:
+        """Service every queued request on ``bank`` in order."""
+        queue = self._queues[bank]
+        bank_state = self.banks[bank]
+        scheme = self.schemes[bank]
+        done_list: list[CompletedRequest] = []
+        prev_row: int | None = None
+        prev_done = 0.0
+        while queue:
+            req = queue.popleft()
+            if req.is_write:
+                self._write_backlog -= 1
+            if prev_row == req.row and req.arrival_ns <= prev_done:
+                # Closed-page coalescing: piggyback on the open activation
+                # burst; column access only, no new ACT seen by the scheme.
+                start = max(req.arrival_ns, prev_done)
+                done = start + self.config.timings.t_cas
+            else:
+                start = max(req.arrival_ns, bank_state.free_at_ns)
+                done = bank_state.serve_access(req.arrival_ns)
+                if scheme is not None:
+                    for cmd in scheme.access(req.row):
+                        rows = cmd.row_count(self.config.rows_per_bank)
+                        bank_state.serve_refresh(done, rows)
+                prev_row = req.row
+            prev_done = done
+            record = CompletedRequest(req, start, done)
+            done_list.append(record)
+            self.completed.append(record)
+        return done_list
+
+    def drain(self) -> list[CompletedRequest]:
+        """Service all queues; returns completions in per-bank order."""
+        out: list[CompletedRequest] = []
+        for bank in range(self.config.n_banks):
+            out.extend(self.drain_bank(bank))
+        return out
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet serviced."""
+        return sum(len(q) for q in self._queues)

@@ -1,0 +1,111 @@
+"""The DRAM memory system: banks + per-bank mitigation engines.
+
+This is the integration point between the substrate and the paper's
+contribution: every bank owns a :class:`~repro.core.base.MitigationScheme`
+instance; each demand activation is forwarded to the bank's scheme, and
+any refresh commands the scheme emits occupy that bank for the modelled
+duration, delaying subsequent demand requests (the source of ETO).
+
+Auto-refresh epoch boundaries (every 64 ms of simulated time) invoke each
+scheme's ``on_interval_boundary`` hook — PRCAT rebuilds its tree there,
+SCA and DRCAT reset their counts (all accumulated crosstalk pressure is
+cleared by the blanket refresh).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.base import MitigationScheme, RefreshCommand
+from repro.dram.bank import BankState
+from repro.dram.config import REFRESH_INTERVAL_S, SystemConfig
+
+
+class MemorySystem:
+    """All banks of one system plus their mitigation engines.
+
+    Parameters
+    ----------
+    config:
+        System geometry and timings.
+    scheme_factory:
+        Callable ``(n_rows) -> MitigationScheme`` constructing one
+        mitigation engine per bank.  ``None`` runs an unprotected
+        baseline (used to measure the ETO denominator).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheme_factory: Callable[[int], MitigationScheme] | None,
+        epoch_s: float = REFRESH_INTERVAL_S,
+    ) -> None:
+        self.config = config
+        self.banks = [BankState(config.timings) for _ in range(config.n_banks)]
+        self.schemes: list[MitigationScheme | None] = [
+            scheme_factory(config.rows_per_bank) if scheme_factory else None
+            for _ in range(config.n_banks)
+        ]
+        if epoch_s <= 0:
+            raise ValueError("epoch_s must be positive")
+        self._epoch_ns = epoch_s * 1e9
+        self._next_epoch_ns = self._epoch_ns
+        self.total_refresh_commands = 0
+        self.total_rows_refreshed = 0
+        self.last_completion_ns = 0.0
+
+    def access(self, time_ns: float, bank: int, row: int) -> float:
+        """One demand activation; returns its completion time (ns)."""
+        self._advance_epochs(time_ns)
+        bank_state = self.banks[bank]
+        scheme = self.schemes[bank]
+        done = bank_state.serve_access(time_ns)
+        if scheme is not None:
+            for cmd in scheme.access(row):
+                self._apply_refresh(bank_state, done, cmd)
+        self.last_completion_ns = max(self.last_completion_ns, bank_state.free_at_ns)
+        return done
+
+    def _apply_refresh(
+        self, bank_state: BankState, time_ns: float, cmd: RefreshCommand
+    ) -> None:
+        rows = cmd.row_count(self.config.rows_per_bank)
+        bank_state.serve_refresh(time_ns, rows)
+        self.total_refresh_commands += 1
+        self.total_rows_refreshed += rows
+
+    def _advance_epochs(self, time_ns: float) -> None:
+        while time_ns >= self._next_epoch_ns:
+            for bank_state in self.banks:
+                bank_state.reset_epoch()
+            for scheme in self.schemes:
+                if scheme is not None:
+                    scheme.on_interval_boundary()
+            self._next_epoch_ns += self._epoch_ns
+
+    # -- aggregate views -------------------------------------------------
+
+    @property
+    def total_stall_ns(self) -> float:
+        """Demand stall attributed to mitigation refreshes, all banks."""
+        return sum(b.stall_ns for b in self.banks)
+
+    @property
+    def total_activations(self) -> int:
+        """Demand activations served across all banks."""
+        return sum(b.activations for b in self.banks)
+
+    @property
+    def total_mitigation_busy_ns(self) -> float:
+        """Time spent on victim-refresh row-ops across all banks."""
+        return sum(b.mitigation_busy_ns for b in self.banks)
+
+    def scheme_stats(self) -> dict[str, int]:
+        """Merged stats across all per-bank scheme instances."""
+        merged: dict[str, int] = {}
+        for scheme in self.schemes:
+            if scheme is None:
+                continue
+            for key, value in scheme.stats.snapshot().items():
+                merged[key] = merged.get(key, 0) + value
+        return merged

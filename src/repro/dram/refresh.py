@@ -1,0 +1,82 @@
+"""Refresh engines: regular auto-refresh and targeted victim refresh.
+
+Two refresh flavours matter to the paper:
+
+* **Auto-refresh** — every row refreshed once per 64 ms interval.  Its
+  power (2.5 mW per 64K-row bank) is the *denominator* of the CMRPO
+  metric; the schemes never change it.
+* **Targeted (victim) refresh** — extra row refreshes commanded by the
+  mitigation scheme.  Their energy (1 nJ/row) and the bank-blocking they
+  cause are the *numerator* side of CMRPO and the source of ETO.
+
+:class:`RefreshAccountant` aggregates both, giving the energy model one
+authoritative place to read refresh totals from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.config import (
+    REFRESH_INTERVAL_S,
+    REGULAR_REFRESH_POWER_MW,
+    ROW_REFRESH_ENERGY_NJ,
+)
+
+
+@dataclass
+class RefreshAccountant:
+    """Energy/row bookkeeping for one bank's refresh activity."""
+
+    rows_per_bank: int
+    #: victim rows refreshed by the mitigation scheme
+    victim_rows: int = 0
+    #: targeted refresh commands issued
+    commands: int = 0
+    #: per-interval victim-row counts (one entry per completed interval)
+    per_interval: list[int] = field(default_factory=list)
+    _current_interval_rows: int = 0
+
+    def record_victim_refresh(self, n_rows: int) -> None:
+        """Account ``n_rows`` of targeted refresh."""
+        if n_rows < 0:
+            raise ValueError("n_rows must be non-negative")
+        self.victim_rows += n_rows
+        self._current_interval_rows += n_rows
+        self.commands += 1
+
+    def close_interval(self) -> None:
+        """Seal the current 64 ms interval's count."""
+        self.per_interval.append(self._current_interval_rows)
+        self._current_interval_rows = 0
+
+    def victim_energy_nj(self) -> float:
+        """Total targeted-refresh energy (nJ)."""
+        return self.victim_rows * ROW_REFRESH_ENERGY_NJ
+
+    def victim_power_mw(self, elapsed_s: float) -> float:
+        """Average targeted-refresh power over ``elapsed_s`` seconds."""
+        if elapsed_s <= 0:
+            raise ValueError("elapsed_s must be positive")
+        return self.victim_energy_nj() * 1e-9 / elapsed_s * 1e3
+
+    @staticmethod
+    def regular_refresh_power_mw() -> float:
+        """The CMRPO reference power (per bank)."""
+        return REGULAR_REFRESH_POWER_MW
+
+    @staticmethod
+    def regular_refresh_energy_per_interval_nj(rows_per_bank: int) -> float:
+        """Energy of one blanket refresh pass over the bank (nJ)."""
+        return rows_per_bank * ROW_REFRESH_ENERGY_NJ
+
+    def mean_rows_per_interval(self) -> float:
+        """Average victim rows per sealed interval (0 when none sealed)."""
+        if not self.per_interval:
+            return 0.0
+        return sum(self.per_interval) / len(self.per_interval)
+
+
+def intervals_in(elapsed_s: float) -> float:
+    """How many 64 ms auto-refresh intervals fit in ``elapsed_s``."""
+    return elapsed_s / REFRESH_INTERVAL_S

@@ -1,0 +1,43 @@
+"""Energy models: Table II hardware model and the CMRPO metric."""
+
+from repro.energy.cmrpo import (
+    STATIC_AMORTIZATION_BANKS,
+    CMRPOBreakdown,
+    compute_cmrpo,
+)
+from repro.energy.hardware_model import (
+    COUNTER_CACHE_EQUIVALENT_COUNTERS,
+    DRCAT_LATENCY_NS,
+    DRCAT_RECONFIG_LATENCY_NS,
+    PRCAT_LATENCY_NS,
+    PRNG_ENERGY_PER_ACCESS_NJ,
+    TABLE2,
+    TABLE2_L,
+    TABLE2_M,
+    TABLE2_T,
+    PRNGHardware,
+    SchemeHardware,
+    iso_area_counters,
+    pra_hardware,
+    scheme_hardware,
+)
+
+__all__ = [
+    "CMRPOBreakdown",
+    "compute_cmrpo",
+    "STATIC_AMORTIZATION_BANKS",
+    "SchemeHardware",
+    "PRNGHardware",
+    "scheme_hardware",
+    "pra_hardware",
+    "iso_area_counters",
+    "TABLE2",
+    "TABLE2_M",
+    "TABLE2_T",
+    "TABLE2_L",
+    "PRCAT_LATENCY_NS",
+    "DRCAT_LATENCY_NS",
+    "DRCAT_RECONFIG_LATENCY_NS",
+    "PRNG_ENERGY_PER_ACCESS_NJ",
+    "COUNTER_CACHE_EQUIVALENT_COUNTERS",
+]

@@ -1,0 +1,32 @@
+"""Simulation harness: trace-driven simulator, metrics, sweep runner."""
+
+from repro.sim.metrics import (
+    RunTotals,
+    SimulationResult,
+    format_table,
+    mean_over,
+)
+from repro.sim.replay import ReplayResult, replay_trace, synthesize_trace
+from repro.sim.runner import (
+    simulate_attack,
+    simulate_workload,
+    suite_means,
+    sweep,
+)
+from repro.sim.simulator import TraceDrivenSimulator, scaled_threshold
+
+__all__ = [
+    "RunTotals",
+    "SimulationResult",
+    "format_table",
+    "mean_over",
+    "simulate_attack",
+    "simulate_workload",
+    "suite_means",
+    "sweep",
+    "TraceDrivenSimulator",
+    "scaled_threshold",
+    "ReplayResult",
+    "replay_trace",
+    "synthesize_trace",
+]

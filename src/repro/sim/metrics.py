@@ -1,0 +1,124 @@
+"""Result records and metric derivation for trace-driven runs.
+
+A simulation run produces raw per-bank activity totals; this module
+turns them into the paper's two headline metrics:
+
+* **CMRPO** — computed by :mod:`repro.energy.cmrpo` from full-scale
+  per-interval access and victim-refresh counts;
+* **ETO** — the fraction of execution time demand requests spent stalled
+  behind mitigation refreshes, corrected for the simulation's time-axis
+  compression (see DESIGN.md, "Scale factor").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.cmrpo import CMRPOBreakdown
+
+
+@dataclass(frozen=True)
+class RunTotals:
+    """Raw, simulation-scale totals collected by one run."""
+
+    scheme: str
+    workload: str
+    scale: float
+    n_banks_simulated: int
+    n_intervals: int
+    accesses: int
+    refresh_commands: int
+    rows_refreshed: int
+    stall_ns: float
+    elapsed_ns: float
+    mitigation_busy_ns: float
+    #: activations per simulated bank per interval, at full (paper) scale
+    full_scale_accesses_per_interval: float
+
+    @property
+    def rows_refreshed_per_bank_interval(self) -> float:
+        """Victim rows per bank per interval (scale-invariant)."""
+        denom = self.n_banks_simulated * self.n_intervals
+        return self.rows_refreshed / denom if denom else 0.0
+
+    @property
+    def eto(self) -> float:
+        """Execution-time overhead (fraction).
+
+        The simulated interval is compressed by ``scale`` while the
+        per-event stall magnitudes are physical, so the raw stall ratio
+        overstates ETO by exactly ``scale``; divide it back out.
+        """
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return (self.stall_ns / self.elapsed_ns) / self.scale
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """One (workload, scheme, config) experiment outcome."""
+
+    totals: RunTotals
+    cmrpo_breakdown: CMRPOBreakdown
+    parameters: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def cmrpo(self) -> float:
+        """Crosstalk mitigation refresh power overhead (fraction)."""
+        return self.cmrpo_breakdown.cmrpo
+
+    @property
+    def eto(self) -> float:
+        """Execution time overhead (fraction)."""
+        return self.totals.eto
+
+    @property
+    def scheme(self) -> str:
+        """Scheme kind this result was measured for."""
+        return self.totals.scheme
+
+    @property
+    def workload(self) -> str:
+        """Workload label this result was measured on."""
+        return self.totals.workload
+
+    def summary(self) -> dict[str, float | str]:
+        """Flat record suitable for table printing."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "cmrpo_pct": 100.0 * self.cmrpo,
+            "eto_pct": 100.0 * self.eto,
+            "dynamic_mw": self.cmrpo_breakdown.dynamic_mw,
+            "static_mw": self.cmrpo_breakdown.static_mw,
+            "refresh_mw": self.cmrpo_breakdown.refresh_mw,
+            "rows_per_interval": self.totals.rows_refreshed_per_bank_interval,
+        }
+
+
+def mean_over(results: list[SimulationResult], attr: str) -> float:
+    """Arithmetic mean of ``attr`` (``"cmrpo"`` or ``"eto"``) over runs."""
+    if not results:
+        raise ValueError("no results to average")
+    return sum(getattr(r, attr) for r in results) / len(results)
+
+
+def format_table(rows: list[dict[str, object]], columns: list[str]) -> str:
+    """Plain-text table used by benches to print paper-style rows."""
+    widths = {c: len(c) for c in columns}
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c, "")
+            text = f"{value:.3f}" if isinstance(value, float) else str(value)
+            widths[c] = max(widths[c], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines = [header, "  ".join("-" * widths[c] for c in columns)]
+    for cells in rendered:
+        lines.append(
+            "  ".join(cell.ljust(widths[c]) for cell, c in zip(cells, columns))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""End-to-end trace replay: USIMM-style traces through the full stack.
+
+The figure benchmarks drive the banks with pre-timed synthetic row
+streams for speed; this module provides the *full* pipeline for users
+with real traces (or for generating trace files from the workload
+models):
+
+    TraceRecord list
+      -> ROBFrontEnd          (cycle gaps -> issue timestamps)
+      -> AddressMapper        (physical address -> channel/rank/bank/row)
+      -> MemoryController     (closed-page FR-FCFS, coalescing)
+      -> per-bank MitigationScheme
+
+:func:`replay_trace` returns per-bank refresh and stall totals plus the
+scheme stats; :func:`synthesize_trace` converts a workload model into a
+multi-bank MSC-style trace so the two input paths are interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import make_scheme
+from repro.core.base import MitigationScheme
+from repro.cpu.rob import ROBFrontEnd
+from repro.cpu.trace import TraceRecord
+from repro.dram.address import AddressMapper
+from repro.dram.config import SystemConfig
+from repro.dram.controller import MemoryController, MemRequest
+from repro.workloads.suites import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of a full-pipeline trace replay."""
+
+    requests: int
+    activations: int
+    refresh_commands: int
+    rows_refreshed: int
+    stall_ns: float
+    execution_time_ns: float
+    scheme_stats: dict[str, int]
+
+    @property
+    def eto(self) -> float:
+        """Mitigation-induced stall as a fraction of execution time."""
+        if self.execution_time_ns <= 0:
+            return 0.0
+        return self.stall_ns / self.execution_time_ns
+
+
+def replay_trace(
+    records: list[TraceRecord],
+    config: SystemConfig,
+    scheme: str = "drcat",
+    *,
+    counters: int = 64,
+    max_levels: int = 11,
+    refresh_threshold: int = 32768,
+    pra_probability: float = 0.002,
+) -> ReplayResult:
+    """Run a trace through front end, mapping, controller and scheme."""
+    mapper = AddressMapper(config)
+    front_end = ROBFrontEnd(config)
+    schemes: list[MitigationScheme | None] = [
+        make_scheme(
+            scheme,
+            config.rows_per_bank,
+            refresh_threshold,
+            n_counters=counters,
+            max_levels=max_levels,
+            probability=pra_probability,
+        )
+        for _ in range(config.n_banks)
+    ]
+    controller = MemoryController(config, schemes)
+
+    timed = front_end.schedule(records)
+    for i, access in enumerate(timed):
+        decoded = mapper.decode(access.address)
+        controller.enqueue(
+            MemRequest(
+                arrival_ns=access.time_ns,
+                bank=decoded.flat_bank(config),
+                row=decoded.row,
+                is_write=access.is_write,
+                request_id=i,
+            )
+        )
+    completed = controller.drain()
+
+    stall_ns = sum(b.stall_ns for b in controller.banks)
+    rows = sum(b.rows_refreshed for b in controller.banks)
+    merged: dict[str, int] = {}
+    refresh_commands = 0
+    activations = 0
+    for s in schemes:
+        if s is None:
+            continue
+        refresh_commands += s.stats.refresh_commands
+        activations += s.stats.activations
+        for key, value in s.stats.snapshot().items():
+            merged[key] = merged.get(key, 0) + value
+    exec_time = max((c.done_ns for c in completed), default=0.0)
+    return ReplayResult(
+        requests=len(records),
+        activations=activations,
+        refresh_commands=refresh_commands,
+        rows_refreshed=rows,
+        stall_ns=stall_ns,
+        execution_time_ns=exec_time,
+        scheme_stats=merged,
+    )
+
+
+def synthesize_trace(
+    workload: WorkloadSpec,
+    config: SystemConfig,
+    n_records: int,
+    *,
+    mean_gap_cycles: int = 40,
+    banks: int | None = None,
+    seed: int = 0,
+) -> list[TraceRecord]:
+    """Generate an MSC-style trace file content from a workload model.
+
+    Rows follow the workload's stream model (independent streams per
+    bank); accesses round-robin over ``banks`` banks with geometric
+    cycle gaps around ``mean_gap_cycles``.
+    """
+    if n_records <= 0:
+        return []
+    n_banks = banks if banks is not None else min(4, config.n_banks)
+    mapper = AddressMapper(config)
+    model = workload.stream_model(config.rows_per_bank)
+    rng = np.random.Generator(np.random.PCG64(workload.seed * 31 + seed))
+    per_bank = n_records // n_banks + 1
+    bank_rows = []
+    for bank in range(n_banks):
+        layout = model.phase_layout(workload.rng(salt=bank))
+        bank_rows.append(model.sample(rng, per_bank, layout))
+    gaps = rng.geometric(1.0 / max(1, mean_gap_cycles), size=n_records)
+    records = []
+    ranks = config.ranks_per_channel
+    banks_per_rank = config.banks_per_rank
+    for i in range(n_records):
+        flat = i % n_banks
+        channel = flat // (ranks * banks_per_rank)
+        rank = (flat // banks_per_rank) % ranks
+        bank = flat % banks_per_rank
+        row = int(bank_rows[flat][i // n_banks])
+        address = mapper.encode(channel, rank, bank, row, column=0)
+        op = "R" if rng.random() < workload.read_fraction else "W"
+        records.append(TraceRecord(int(gaps[i]), op, address))
+    return records

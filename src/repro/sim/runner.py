@@ -1,0 +1,144 @@
+"""Experiment runner: the public entry points benches and examples use.
+
+:func:`simulate_workload` runs one (workload, scheme) experiment with the
+paper's default configuration; :func:`sweep` runs a cartesian sweep and
+returns results keyed by parameters — the helper every figure bench is
+built on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.dram.config import DUAL_CORE_2CH, SystemConfig
+from repro.sim.metrics import SimulationResult, mean_over
+from repro.sim.simulator import TraceDrivenSimulator
+from repro.workloads.attacks import AttackKernel, get_kernel
+from repro.workloads.suites import WORKLOAD_ORDER, WorkloadSpec, get_workload
+
+#: Default simulation economy knobs.  Benches override for more fidelity.
+DEFAULT_SCALE = 16.0
+DEFAULT_BANKS = 2
+DEFAULT_INTERVALS = 2
+
+
+def simulate_workload(
+    workload: str | WorkloadSpec,
+    scheme: str = "drcat",
+    *,
+    config: SystemConfig | None = None,
+    counters: int = 64,
+    max_levels: int = 11,
+    refresh_threshold: int = 32768,
+    pra_probability: float = 0.002,
+    threshold_strategy: str = "auto",
+    scale: float = DEFAULT_SCALE,
+    n_banks: int = DEFAULT_BANKS,
+    n_intervals: int = DEFAULT_INTERVALS,
+) -> SimulationResult:
+    """Run one experiment and return CMRPO/ETO metrics.
+
+    ``workload`` may be a Figure 8 label (``"blackscholes"`` is accepted
+    as an alias for ``"black"``) or a :class:`WorkloadSpec`.
+    """
+    spec = _resolve_workload(workload)
+    sim = TraceDrivenSimulator(
+        config or DUAL_CORE_2CH,
+        scheme,
+        n_counters=counters,
+        max_levels=max_levels,
+        refresh_threshold=refresh_threshold,
+        pra_probability=pra_probability,
+        threshold_strategy=threshold_strategy,
+        scale=scale,
+        n_banks_simulated=n_banks,
+        n_intervals=n_intervals,
+    )
+    return sim.run(spec)
+
+
+def simulate_attack(
+    kernel: str | AttackKernel,
+    mode: str,
+    scheme: str,
+    *,
+    benign: str | WorkloadSpec = "libq",
+    config: SystemConfig | None = None,
+    counters: int = 64,
+    max_levels: int = 11,
+    refresh_threshold: int = 32768,
+    pra_probability: float = 0.002,
+    scale: float = DEFAULT_SCALE,
+    n_banks: int = DEFAULT_BANKS,
+    n_intervals: int = DEFAULT_INTERVALS,
+) -> SimulationResult:
+    """Run one Figure 13 attack experiment."""
+    kernel_obj = get_kernel(kernel) if isinstance(kernel, str) else kernel
+    benign_spec = _resolve_workload(benign)
+    sim = TraceDrivenSimulator(
+        config or DUAL_CORE_2CH,
+        scheme,
+        n_counters=counters,
+        max_levels=max_levels,
+        refresh_threshold=refresh_threshold,
+        pra_probability=pra_probability,
+        scale=scale,
+        n_banks_simulated=n_banks,
+        n_intervals=n_intervals,
+    )
+    return sim.run_attack(kernel_obj, mode, benign_spec)
+
+
+def sweep(
+    workloads: Iterable[str | WorkloadSpec] | None = None,
+    schemes: Iterable[str] = ("pra", "sca", "prcat", "drcat"),
+    **kwargs,
+) -> dict[tuple[str, str], SimulationResult]:
+    """Cartesian (workload × scheme) sweep.
+
+    Returns ``{(workload_name, scheme): SimulationResult}``.  Keyword
+    arguments forward to :func:`simulate_workload`; per-scheme overrides
+    can be given as ``scheme_overrides={"sca": {"counters": 128}}``.
+    """
+    scheme_overrides: dict[str, dict] = kwargs.pop("scheme_overrides", {})
+    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    results: dict[tuple[str, str], SimulationResult] = {}
+    for workload in names:
+        spec = _resolve_workload(workload)
+        for scheme in schemes:
+            overrides = dict(kwargs)
+            overrides.update(scheme_overrides.get(scheme, {}))
+            results[(spec.name, scheme)] = simulate_workload(
+                spec, scheme, **overrides
+            )
+    return results
+
+
+def suite_means(
+    results: dict[tuple[str, str], SimulationResult], attr: str = "cmrpo"
+) -> dict[str, float]:
+    """Per-scheme mean of ``attr`` over all workloads in a sweep."""
+    by_scheme: dict[str, list[SimulationResult]] = {}
+    for (_workload, scheme), result in results.items():
+        by_scheme.setdefault(scheme, []).append(result)
+    return {
+        scheme: mean_over(runs, attr) for scheme, runs in by_scheme.items()
+    }
+
+
+def _resolve_workload(workload: str | WorkloadSpec) -> WorkloadSpec:
+    if isinstance(workload, WorkloadSpec):
+        return workload
+    aliases = {
+        "blackscholes": "black",
+        "facesim": "face",
+        "streamcluster": "str",
+        "fluidanimate": "fluid",
+        "swaptions": "swapt",
+        "freqmine": "freq",
+        "libquantum": "libq",
+        "leslie3d": "leslie",
+        "mummer": "mum",
+        "tigr": "tigr",
+    }
+    return get_workload(aliases.get(workload, workload))

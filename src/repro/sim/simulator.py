@@ -1,0 +1,324 @@
+"""The trace-driven simulator gluing workloads, DRAM and schemes.
+
+One :class:`TraceDrivenSimulator` run models ``n_banks_simulated`` banks
+of the configured system over ``n_intervals`` auto-refresh intervals.
+Mitigation schemes are per-bank and independent, so simulating a subset
+of banks and averaging is statistically equivalent to simulating all of
+them — the remaining banks would simply replay the same workload model
+with different seeds.
+
+Scaling (see DESIGN.md): with ``scale = s`` the simulator divides the
+per-interval activation budget *and* every threshold (refresh + split)
+by ``s`` while compressing the simulated interval to ``64 ms / s`` so the
+physical arrival *rate* is preserved.  Refresh-event counts per interval
+and rows per event are invariant under this transformation; the measured
+stall ratio overstates ETO by exactly ``s`` and is corrected in
+:class:`~repro.sim.metrics.RunTotals`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.base import MitigationScheme
+from repro.core import make_scheme
+from repro.dram.config import REFRESH_INTERVAL_S, SystemConfig
+from repro.dram.memory_system import MemorySystem
+from repro.energy.cmrpo import compute_cmrpo
+from repro.sim.metrics import RunTotals, SimulationResult
+from repro.workloads.attacks import AttackKernel, attack_stream
+from repro.workloads.suites import WorkloadSpec
+from repro.workloads.synthetic import interarrival_times_ns
+
+
+def scaled_threshold(refresh_threshold: int, scale: float) -> int:
+    """The simulation-scale refresh threshold (minimum 32)."""
+    return max(32, int(round(refresh_threshold / scale)))
+
+
+class TraceDrivenSimulator:
+    """Run one (workload, scheme) experiment on a subset of banks."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheme_kind: str,
+        *,
+        n_counters: int = 64,
+        max_levels: int = 11,
+        refresh_threshold: int = 32768,
+        pra_probability: float = 0.002,
+        threshold_strategy: str = "auto",
+        scale: float = 16.0,
+        n_banks_simulated: int = 2,
+        n_intervals: int = 2,
+    ) -> None:
+        if scale < 1.0:
+            raise ValueError("scale must be >= 1")
+        if n_banks_simulated < 1 or n_intervals < 1:
+            raise ValueError("need at least one bank and one interval")
+        self.config = config
+        self.scheme_kind = scheme_kind.lower()
+        self.n_counters = n_counters
+        self.max_levels = max_levels
+        self.refresh_threshold = refresh_threshold
+        self.pra_probability = pra_probability
+        self.threshold_strategy = threshold_strategy
+        self.scale = scale
+        self.n_banks_simulated = min(n_banks_simulated, config.n_banks)
+        self.n_intervals = n_intervals
+        self.sim_threshold = scaled_threshold(refresh_threshold, scale)
+        self.epoch_s = REFRESH_INTERVAL_S / scale
+
+    # -- scheme construction ------------------------------------------------
+
+    def _scheme_factory(self) -> Callable[[int], MitigationScheme]:
+        kind = self.scheme_kind
+        sim_t = self.sim_threshold
+        effective_scale = self.refresh_threshold / sim_t
+
+        def factory(n_rows: int) -> MitigationScheme:
+            if kind in ("prcat", "drcat"):
+                scheme = make_scheme(
+                    kind,
+                    n_rows,
+                    self.refresh_threshold,
+                    n_counters=self.n_counters,
+                    max_levels=self.max_levels,
+                    threshold_strategy=self.threshold_strategy,
+                )
+                # Swap in the scaled schedule so tree dynamics replay at
+                # simulation scale with identical shape.
+                scaled = scheme.schedule.scaled(effective_scale)
+                scheme.schedule = scaled
+                scheme.tree.thresholds = scaled
+                scheme.refresh_threshold = scaled.refresh_threshold
+                scheme.tree.reset()
+                return scheme
+            if kind == "sca":
+                return make_scheme(
+                    kind, n_rows, sim_t, n_counters=self.n_counters
+                )
+            if kind == "ccache":
+                return make_scheme(kind, n_rows, sim_t)
+            if kind == "pra":
+                return make_scheme(
+                    kind, n_rows, sim_t, probability=self.pra_probability
+                )
+            raise ValueError(f"unknown scheme kind {kind!r}")
+
+        return factory
+
+    # -- stream preparation --------------------------------------------------
+
+    def _interval_rows(
+        self, workload: WorkloadSpec, bank: int, interval: int
+    ) -> np.ndarray:
+        """Row ids of one bank-interval, honouring the workload's phases.
+
+        Phase boundaries fall *mid-interval* (at global fraction
+        ``(k + 0.45) / phase_count``), never aligned with the 64 ms
+        epochs: context switches and application phases are asynchronous
+        with auto-refresh.  This is the temporal drift DRCAT's
+        reconfiguration exists for — an epoch-aligned drift would let
+        PRCAT adapt for free at its reset.
+        """
+        n_rows = self.config.rows_per_bank
+        model = workload.stream_model(n_rows)
+        n_accesses = max(1, int(round(workload.intensity / self.scale)))
+        rng = workload.rng(salt=interval * 31 + bank * 977 + 5)
+        segments = _phase_segments(interval, workload.phase_count)
+        parts: list[np.ndarray] = []
+        remaining = n_accesses
+        for seg_index, (fraction, phase) in enumerate(segments):
+            count = (
+                remaining
+                if seg_index == len(segments) - 1
+                else int(round(n_accesses * fraction))
+            )
+            count = min(count, remaining)
+            remaining -= count
+            if count <= 0:
+                continue
+            layout = model.phase_layout(workload.rng(salt=phase * 7177 + bank))
+            parts.append(model.sample(rng, count, layout))
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, workload: WorkloadSpec) -> SimulationResult:
+        """Simulate the workload; return metrics at paper scale."""
+        rows_fn = lambda bank, interval: self._interval_rows(  # noqa: E731
+            workload, bank, interval
+        )
+        totals = self._run_streams(workload.name, workload.intensity, rows_fn)
+        return self._finalize(totals)
+
+    def run_attack(
+        self,
+        kernel: AttackKernel,
+        mode: str,
+        benign: WorkloadSpec,
+    ) -> SimulationResult:
+        """Simulate an attack-kernel mix (Figure 13)."""
+        n_rows = self.config.rows_per_bank
+
+        def rows_fn(bank: int, interval: int) -> np.ndarray:
+            n_accesses = max(1, int(round(benign.intensity / self.scale)))
+            rng = np.random.Generator(
+                np.random.PCG64(kernel.seed * 39_916_801 + bank * 53 + interval)
+            )
+            return attack_stream(
+                kernel, mode, n_rows, n_accesses, bank=bank, benign=benign, rng=rng
+            )
+
+        label = f"{kernel.name}:{mode}:{benign.name}"
+        totals = self._run_streams(label, benign.intensity, rows_fn)
+        return self._finalize(totals)
+
+    def _run_streams(
+        self,
+        label: str,
+        full_intensity: float,
+        rows_fn: Callable[[int, int], np.ndarray],
+    ) -> RunTotals:
+        memory = MemorySystem(
+            self.config, self._scheme_factory(), epoch_s=self.epoch_s
+        )
+        self._last_memory = memory
+        epoch_ns = self.epoch_s * 1e9
+        arrival_rng = np.random.Generator(np.random.PCG64(0xC0FFEE))
+        accesses = 0
+        for interval in range(self.n_intervals):
+            base_ns = interval * epoch_ns
+            per_bank: list[tuple[np.ndarray, np.ndarray]] = []
+            for bank in range(self.n_banks_simulated):
+                rows = rows_fn(bank, interval)
+                times = interarrival_times_ns(arrival_rng, len(rows), epoch_ns)
+                per_bank.append((times + base_ns, rows))
+            # Merge bank streams in global time order so epoch boundaries
+            # advance consistently for every scheme instance.
+            merged = _merge_streams(per_bank)
+            access = memory.access
+            for time_ns, bank, row in merged:
+                access(time_ns, int(bank), int(row))
+            accesses += sum(len(rows) for _, rows in per_bank)
+        elapsed_ns = self.n_intervals * epoch_ns
+        return RunTotals(
+            scheme=self.scheme_kind,
+            workload=label,
+            scale=self.scale,
+            n_banks_simulated=self.n_banks_simulated,
+            n_intervals=self.n_intervals,
+            accesses=accesses,
+            refresh_commands=memory.total_refresh_commands,
+            rows_refreshed=memory.total_rows_refreshed,
+            stall_ns=memory.total_stall_ns,
+            elapsed_ns=elapsed_ns,
+            mitigation_busy_ns=memory.total_mitigation_busy_ns,
+            full_scale_accesses_per_interval=full_intensity,
+        )
+
+    def _finalize(self, totals: RunTotals) -> SimulationResult:
+        measured_fetch_nj_per_access = 0.0
+        if self.scheme_kind == "ccache":
+            # Following Figure 2 the CMRPO treats the cache optimistically
+            # (no-miss); the measured counter-fetch energy is surfaced in
+            # the result parameters (and in bench_counter_cache) instead.
+            memory = getattr(self, "_last_memory", None)
+            if memory is not None and totals.accesses:
+                fetch_nj = sum(
+                    s.miss_energy_nj()
+                    for s in memory.schemes
+                    if s is not None and hasattr(s, "miss_energy_nj")
+                )
+                measured_fetch_nj_per_access = fetch_nj / totals.accesses
+        breakdown = compute_cmrpo(
+            self.scheme_kind,
+            accesses_per_interval=totals.full_scale_accesses_per_interval,
+            victim_rows_per_interval=totals.rows_refreshed_per_bank_interval,
+            n_counters=self.n_counters,
+            refresh_threshold=self.refresh_threshold,
+            max_levels=self.max_levels,
+            pra_probability=(
+                self.pra_probability if self.scheme_kind == "pra" else None
+            ),
+        )
+        parameters = {
+            "n_counters": self.n_counters,
+            "max_levels": self.max_levels,
+            "refresh_threshold": self.refresh_threshold,
+            "scale": self.scale,
+            "sim_threshold": self.sim_threshold,
+            "config": self.config,
+        }
+        if self.scheme_kind == "pra":
+            parameters["probability"] = self.pra_probability
+        if self.scheme_kind == "ccache":
+            parameters["fetch_nj_per_access"] = measured_fetch_nj_per_access
+        return SimulationResult(
+            totals=totals, cmrpo_breakdown=breakdown, parameters=parameters
+        )
+
+
+def _phase_segments(interval: int, phase_count: int) -> list[tuple[float, int]]:
+    """Split one interval into (fraction, phase-id) segments.
+
+    ``phase_count`` is the number of hot-set relocations per 64 ms
+    interval (context switches / application phases are much shorter
+    than the refresh epoch).  Boundaries fall at local fractions
+    ``(k + 0.45) / phase_count`` — deliberately *not* aligned with the
+    epoch edges where PRCAT resets.  Each segment gets a globally unique
+    phase id so its hot-set layout is fresh.
+    """
+    if phase_count <= 1:
+        return [(1.0, 0)]
+    edges = [0.0] + [
+        (k + 0.45) / phase_count for k in range(phase_count)
+    ] + [1.0]
+    segments: list[tuple[float, int]] = []
+    for k, (a, b) in enumerate(zip(edges, edges[1:])):
+        if b <= a:
+            continue
+        # Continuous numbering across epochs: the trailing segment of
+        # interval i and the leading segment of interval i+1 share one
+        # phase id, so no hot-set move ever coincides with an epoch edge.
+        phase_id = interval * phase_count + k
+        segments.append((b - a, phase_id))
+    return segments
+
+
+def _merge_streams(
+    per_bank: list[tuple[np.ndarray, np.ndarray]]
+) -> np.ndarray:
+    """Merge per-bank (times, rows) into one (time, bank, row) array."""
+    if not per_bank:
+        return np.empty((0, 3))
+    chunks = []
+    for bank, (times, rows) in enumerate(per_bank):
+        chunk = np.empty((len(rows), 3))
+        chunk[:, 0] = times
+        chunk[:, 1] = bank
+        chunk[:, 2] = rows
+        chunks.append(chunk)
+    merged = np.concatenate(chunks)
+    order = np.argsort(merged[:, 0], kind="stable")
+    return merged[order]
+
+
+def baseline_execution_time_ns(
+    config: SystemConfig, n_accesses: int, duration_ns: float
+) -> float:
+    """Unprotected execution time for an interval (ETO denominator).
+
+    Under the busy-horizon bank model the demand stream itself completes
+    at ``duration_ns`` plus at most one row cycle, so the denominator is
+    the simulated duration — which is how :class:`RunTotals` computes
+    ETO.  Exposed for tests that validate this assumption.
+    """
+    return duration_ns + config.timings.t_rc * math.ceil(
+        n_accesses / max(1, n_accesses)
+    )

@@ -1,0 +1,47 @@
+"""Workload substrate: MSC-style suites, synthetic streams, attacks."""
+
+from repro.workloads.attacks import (
+    ATTACK_KERNELS,
+    ATTACK_MODES,
+    TARGETS_PER_BANK,
+    AttackKernel,
+    attack_stream,
+    get_kernel,
+)
+from repro.workloads.suites import (
+    SUITES,
+    WORKLOAD_ORDER,
+    WORKLOADS,
+    WorkloadSpec,
+    get_workload,
+    phase_layouts,
+    row_frequency_histogram,
+)
+from repro.workloads.synthetic import (
+    PhaseLayout,
+    StreamModel,
+    interarrival_times_ns,
+    single_aggressor_stream,
+    uniform_stream,
+)
+
+__all__ = [
+    "ATTACK_KERNELS",
+    "ATTACK_MODES",
+    "TARGETS_PER_BANK",
+    "AttackKernel",
+    "attack_stream",
+    "get_kernel",
+    "SUITES",
+    "WORKLOAD_ORDER",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "get_workload",
+    "phase_layouts",
+    "row_frequency_histogram",
+    "PhaseLayout",
+    "StreamModel",
+    "interarrival_times_ns",
+    "single_aggressor_stream",
+    "uniform_stream",
+]

@@ -1,0 +1,129 @@
+"""Kernel rowhammer attacks (Section VIII-D).
+
+The paper stresses the schemes with 12 "kernel attacks" in the style of
+ARMOR's attack kernels: each kernel picks a handful of target rows per
+bank (4 per bank in the paper's configuration) and hammers them far more
+frequently than any benign row, with the target placement following a
+Gaussian distribution over the row space.  Attack traffic is blended
+with a memory-intensive benign workload at three mix ratios:
+
+* **Heavy** — 75 % target-row accesses, 25 % benign;
+* **Medium** — 50 % / 50 %;
+* **Light** — 25 % / 75 %.
+
+:func:`attack_stream` produces the blended per-bank row stream; the 12
+kernels differ in their seeds and Gaussian placement parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.suites import WorkloadSpec, get_workload
+
+#: Attack-mix ratios, Figure 13.
+ATTACK_MODES: dict[str, float] = {"heavy": 0.75, "medium": 0.50, "light": 0.25}
+
+#: Targets per bank in the paper's dual-core/2-channel configuration.
+TARGETS_PER_BANK = 4
+
+
+@dataclass(frozen=True)
+class AttackKernel:
+    """One of the 12 attack kernels."""
+
+    name: str
+    seed: int
+    targets_per_bank: int = TARGETS_PER_BANK
+    #: Gaussian placement: mean position as a fraction of the row space
+    center_fraction: float = 0.5
+    #: Gaussian std-dev as a fraction of the row space
+    spread_fraction: float = 0.15
+
+    def pick_targets(self, n_rows: int, bank: int) -> np.ndarray:
+        """Draw this kernel's target rows for one bank (Gaussian placed)."""
+        rng = np.random.Generator(np.random.PCG64(self.seed * 7919 + bank))
+        mean = self.center_fraction * n_rows
+        std = max(1.0, self.spread_fraction * n_rows)
+        targets: set[int] = set()
+        while len(targets) < self.targets_per_bank:
+            draw = int(round(rng.normal(mean, std)))
+            if 0 <= draw < n_rows:
+                targets.add(draw)
+        return np.array(sorted(targets), dtype=np.int64)
+
+
+#: The 12 kernels: seeds and Gaussian placements differ per kernel.
+ATTACK_KERNELS: tuple[AttackKernel, ...] = tuple(
+    AttackKernel(
+        name=f"kernel{i + 1:02d}",
+        seed=1_000 + 37 * i,
+        center_fraction=0.2 + 0.05 * i,
+        spread_fraction=0.08 + 0.01 * (i % 5),
+    )
+    for i in range(12)
+)
+
+
+def get_kernel(name: str) -> AttackKernel:
+    """Look up an attack kernel by name (``kernel01`` .. ``kernel12``)."""
+    for kernel in ATTACK_KERNELS:
+        if kernel.name == name:
+            return kernel
+    raise KeyError(f"unknown attack kernel {name!r}")
+
+
+def attack_stream(
+    kernel: AttackKernel,
+    mode: str,
+    n_rows: int,
+    n_accesses: int,
+    bank: int = 0,
+    benign: WorkloadSpec | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Blend attack and benign traffic for one bank and one interval.
+
+    Parameters
+    ----------
+    kernel:
+        The attack kernel (target placement + seed).
+    mode:
+        ``"heavy"``, ``"medium"`` or ``"light"``.
+    n_rows, n_accesses:
+        Bank geometry and interval activation budget.
+    bank:
+        Bank index (targets differ per bank).
+    benign:
+        Benign workload blended in; defaults to the memory-intensive
+        ``libq`` spec, matching the paper's "memory-intensive workloads".
+    rng:
+        Override the deterministic generator (tests).
+    """
+    if mode not in ATTACK_MODES:
+        raise KeyError(
+            f"unknown attack mode {mode!r}; choose from {sorted(ATTACK_MODES)}"
+        )
+    if benign is None:
+        benign = get_workload("libq")
+    if rng is None:
+        rng = np.random.Generator(
+            np.random.PCG64(kernel.seed * 104_729 + bank * 13)
+        )
+    target_fraction = ATTACK_MODES[mode]
+    n_target = int(round(n_accesses * target_fraction))
+    n_benign = n_accesses - n_target
+
+    targets = kernel.pick_targets(n_rows, bank)
+    # Hammering alternates across the target set (multi-sided hammer).
+    target_part = targets[rng.integers(0, len(targets), size=n_target)]
+
+    model = benign.stream_model(n_rows)
+    layout = model.phase_layout(rng)
+    benign_part = model.sample(rng, n_benign, layout)
+
+    rows = np.concatenate([target_part, benign_part])
+    rng.shuffle(rows)
+    return rows.astype(np.int64, copy=False)

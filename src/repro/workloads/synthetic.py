@@ -1,0 +1,178 @@
+"""Synthetic DRAM row-access stream generators.
+
+The paper evaluates on Memory Scheduling Championship traces; those are
+not redistributable, so we synthesise per-bank row-activation streams
+with the statistical structure the paper documents:
+
+* **unbalanced access**: a small group of rows dominates the activations
+  of a bank within a refresh interval (Figure 3);
+* **suite-dependent skew**: commercial workloads are moderately skewed,
+  some PARSEC workloads (blackscholes, facesim) extremely so, streaming
+  SPEC workloads nearly uniform;
+* **temporal phases**: hot sets move between intervals (the behaviour
+  DRCAT's reconfiguration targets).
+
+A stream is described by a :class:`StreamModel` built from a workload's
+parameters; :meth:`StreamModel.sample` draws the row ids of one refresh
+interval for one bank.  Mitigation schemes only observe (time, row), so
+matching these marginals exercises the identical code paths real traces
+would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StreamModel:
+    """Mixture model for one bank's row-activation stream.
+
+    ``hot_fraction`` of activations go to ``n_hot`` rows grouped in
+    ``n_clusters`` contiguous clusters (intra-cluster popularity is
+    Zipf-ranked); the remaining activations follow a Zipf-over-ranks
+    distribution across the whole bank through a per-phase permutation.
+    """
+
+    n_rows: int
+    n_hot: int
+    hot_fraction: float
+    n_clusters: int
+    zipf_alpha: float
+    #: support of the background distribution (rows with nonzero mass)
+    background_rows: int
+
+    def __post_init__(self) -> None:
+        if self.n_rows <= 0:
+            raise ValueError("n_rows must be positive")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must lie in [0, 1]")
+        if self.n_hot < 0 or self.n_hot > self.n_rows:
+            raise ValueError("n_hot out of range")
+        if self.hot_fraction > 0 and self.n_hot == 0:
+            raise ValueError("hot_fraction > 0 requires n_hot > 0")
+        if self.n_clusters <= 0:
+            raise ValueError("n_clusters must be positive")
+        if not 0 < self.background_rows <= self.n_rows:
+            raise ValueError("background_rows out of range")
+
+    def phase_layout(self, rng: np.random.Generator) -> "PhaseLayout":
+        """Draw the row placement for one phase (hot clusters + perm)."""
+        hot_rows = _draw_hot_rows(rng, self.n_rows, self.n_hot, self.n_clusters)
+        background = rng.choice(
+            self.n_rows, size=self.background_rows, replace=False
+        )
+        return PhaseLayout(hot_rows=hot_rows, background_rows=background)
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        n_accesses: int,
+        layout: "PhaseLayout",
+    ) -> np.ndarray:
+        """Draw ``n_accesses`` row ids for one interval in one phase."""
+        if n_accesses <= 0:
+            return np.empty(0, dtype=np.int64)
+        n_hot_acc = int(round(n_accesses * self.hot_fraction))
+        n_bg_acc = n_accesses - n_hot_acc
+        parts = []
+        if n_hot_acc and len(layout.hot_rows):
+            probs = _zipf_probs(len(layout.hot_rows), max(self.zipf_alpha, 1.0))
+            parts.append(
+                rng.choice(layout.hot_rows, size=n_hot_acc, p=probs)
+            )
+        elif n_hot_acc:
+            n_bg_acc += n_hot_acc
+        if n_bg_acc:
+            probs = _zipf_probs(len(layout.background_rows), self.zipf_alpha)
+            parts.append(
+                rng.choice(layout.background_rows, size=n_bg_acc, p=probs)
+            )
+        rows = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        rng.shuffle(rows)
+        return rows.astype(np.int64, copy=False)
+
+
+@dataclass(frozen=True)
+class PhaseLayout:
+    """Concrete row placement of one phase."""
+
+    hot_rows: np.ndarray
+    background_rows: np.ndarray
+
+
+def _zipf_probs(n: int, alpha: float) -> np.ndarray:
+    """Normalised Zipf-over-ranks probabilities for ``n`` items.
+
+    ``alpha = 0`` degenerates to uniform; larger alpha concentrates mass
+    on the first ranks.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-alpha) if alpha > 0 else np.ones(n)
+    return weights / weights.sum()
+
+
+def _draw_hot_rows(
+    rng: np.random.Generator, n_rows: int, n_hot: int, n_clusters: int
+) -> np.ndarray:
+    """Place ``n_hot`` hot rows into ``n_clusters`` contiguous clusters."""
+    if n_hot == 0:
+        return np.empty(0, dtype=np.int64)
+    n_clusters = min(n_clusters, n_hot)
+    base, extra = divmod(n_hot, n_clusters)
+    rows: list[np.ndarray] = []
+    for c in range(n_clusters):
+        size = base + (1 if c < extra else 0)
+        start = int(rng.integers(0, max(1, n_rows - size)))
+        rows.append(np.arange(start, start + size, dtype=np.int64))
+    out = np.unique(np.concatenate(rows))
+    # Collisions between clusters can shrink the set; top up randomly.
+    while len(out) < n_hot:
+        filler = rng.integers(0, n_rows, size=n_hot - len(out))
+        out = np.unique(np.concatenate([out, filler]))
+    return out[:n_hot]
+
+
+def interarrival_times_ns(
+    rng: np.random.Generator, n_accesses: int, duration_ns: float
+) -> np.ndarray:
+    """Poisson-like arrival timestamps filling ``duration_ns``.
+
+    Exponential inter-arrivals are drawn and rescaled so the final
+    arrival lands just inside the interval — preserving both the mean
+    rate and the burstiness that makes bank-conflict stalls realistic.
+    """
+    if n_accesses <= 0:
+        return np.empty(0, dtype=np.float64)
+    gaps = rng.exponential(1.0, size=n_accesses)
+    times = np.cumsum(gaps)
+    times *= duration_ns / times[-1] * (1.0 - 1e-9)
+    return times
+
+
+def uniform_stream(n_rows: int) -> StreamModel:
+    """A fully uniform stream (the pattern under which CAT mimics SCA)."""
+    return StreamModel(
+        n_rows=n_rows,
+        n_hot=0,
+        hot_fraction=0.0,
+        n_clusters=1,
+        zipf_alpha=0.0,
+        background_rows=n_rows,
+    )
+
+
+def single_aggressor_stream(n_rows: int, hot_fraction: float = 0.9) -> StreamModel:
+    """A classic rowhammer pattern: one row takes most activations."""
+    return StreamModel(
+        n_rows=n_rows,
+        n_hot=1,
+        hot_fraction=hot_fraction,
+        n_clusters=1,
+        zipf_alpha=1.2,
+        background_rows=n_rows,
+    )

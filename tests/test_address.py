@@ -1,0 +1,100 @@
+"""Tests for the address mapping (Table I policies)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.address import AddressMapper
+from repro.dram.config import DUAL_CORE_2CH, DUAL_CORE_4CH, SystemConfig
+
+
+class TestRoundTrip:
+    def test_encode_decode_roundtrip(self):
+        mapper = AddressMapper(DUAL_CORE_2CH)
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            ch = int(rng.integers(0, 2))
+            rk = 0
+            bk = int(rng.integers(0, 8))
+            row = int(rng.integers(0, 65536))
+            col = int(rng.integers(0, 128))
+            addr = mapper.encode(ch, rk, bk, row, col)
+            decoded = mapper.decode(addr)
+            assert (decoded.channel, decoded.rank, decoded.bank) == (ch, rk, bk)
+            assert (decoded.row, decoded.column) == (row, col)
+
+    def test_decode_encode_roundtrip(self):
+        mapper = AddressMapper(DUAL_CORE_2CH)
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            addr = int(rng.integers(0, 1 << mapper.address_bits)) & ~0x3F
+            d = mapper.decode(addr)
+            assert mapper.encode(d.channel, d.rank, d.bank, d.row, d.column) == addr
+
+
+class TestFieldLayout:
+    def test_offset_bits_are_cache_line(self):
+        mapper = AddressMapper(DUAL_CORE_2CH)
+        d0 = mapper.decode(0)
+        d63 = mapper.decode(63)
+        assert d0 == d63  # same cache line -> same coordinates
+
+    def test_consecutive_lines_interleave_channels(self):
+        """col bits sit above offset, channel above col: consecutive
+        cache lines share a channel until the column wraps."""
+        mapper = AddressMapper(DUAL_CORE_2CH)
+        base = mapper.encode(0, 0, 0, 0, 0)
+        next_line = mapper.decode(base + 64)
+        assert next_line.column == 1
+        assert next_line.channel == 0
+
+    def test_column_wrap_changes_channel(self):
+        mapper = AddressMapper(DUAL_CORE_2CH)
+        last_col = mapper.encode(0, 0, 0, 0, 127)
+        nxt = mapper.decode(last_col + 64)
+        assert nxt.channel == 1
+        assert nxt.column == 0
+
+    def test_address_bits(self):
+        mapper = AddressMapper(DUAL_CORE_2CH)
+        # offset 6 + col 7 + ch 1 + bk 3 + rk 0 + row 16 = 33 bits = 8 GiB
+        assert mapper.address_bits == 33
+
+
+class TestFourChannel:
+    def test_more_channel_and_rank_bits(self):
+        mapper2 = AddressMapper(DUAL_CORE_2CH)
+        mapper4 = AddressMapper(DUAL_CORE_4CH)
+        # one extra channel bit + one extra rank bit
+        assert mapper4.address_bits == mapper2.address_bits + 2
+
+    def test_four_channel_flat_banks(self):
+        config = DUAL_CORE_4CH
+        mapper = AddressMapper(config)
+        seen = set()
+        for ch in range(4):
+            for rk in range(2):
+                for bk in range(8):
+                    addr = mapper.encode(ch, rk, bk, 5, 0)
+                    seen.add(mapper.decode(addr).flat_bank(config))
+        assert seen == set(range(64))
+
+
+class TestValidation:
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            AddressMapper(DUAL_CORE_2CH).decode(-1)
+
+    def test_rejects_out_of_range_fields(self):
+        mapper = AddressMapper(DUAL_CORE_2CH)
+        with pytest.raises(ValueError):
+            mapper.encode(2, 0, 0, 0)   # only 2 channels
+        with pytest.raises(ValueError):
+            mapper.encode(0, 0, 8, 0)   # only 8 banks
+        with pytest.raises(ValueError):
+            mapper.encode(0, 0, 0, 65536)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(rows_per_bank=1000)
+        with pytest.raises(ValueError):
+            SystemConfig(n_channels=3)

@@ -1,0 +1,93 @@
+"""Tests for the kernel rowhammer attack generators (Section VIII-D)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.attacks import (
+    ATTACK_KERNELS,
+    ATTACK_MODES,
+    TARGETS_PER_BANK,
+    attack_stream,
+    get_kernel,
+)
+from repro.workloads.suites import get_workload
+
+
+class TestKernels:
+    def test_twelve_kernels(self):
+        assert len(ATTACK_KERNELS) == 12
+
+    def test_lookup(self):
+        assert get_kernel("kernel01").name == "kernel01"
+        with pytest.raises(KeyError):
+            get_kernel("kernel99")
+
+    def test_four_targets_per_bank(self):
+        for kernel in ATTACK_KERNELS[:3]:
+            targets = kernel.pick_targets(65536, bank=0)
+            assert len(targets) == TARGETS_PER_BANK
+            assert len(set(targets.tolist())) == TARGETS_PER_BANK
+
+    def test_targets_in_range(self):
+        for bank in range(4):
+            targets = ATTACK_KERNELS[0].pick_targets(4096, bank)
+            assert targets.min() >= 0 and targets.max() < 4096
+
+    def test_targets_differ_per_bank(self):
+        t0 = ATTACK_KERNELS[0].pick_targets(65536, 0)
+        t1 = ATTACK_KERNELS[0].pick_targets(65536, 1)
+        assert set(t0.tolist()) != set(t1.tolist())
+
+    def test_targets_deterministic(self):
+        a = ATTACK_KERNELS[5].pick_targets(65536, 2)
+        b = ATTACK_KERNELS[5].pick_targets(65536, 2)
+        assert list(a) == list(b)
+
+    def test_gaussian_placement_concentrates_near_center(self):
+        kernel = ATTACK_KERNELS[0]
+        n_rows = 65536
+        all_targets = np.concatenate(
+            [kernel.pick_targets(n_rows, b) for b in range(64)]
+        )
+        center = kernel.center_fraction * n_rows
+        spread = kernel.spread_fraction * n_rows
+        within = np.abs(all_targets - center) < 3 * spread
+        assert within.mean() > 0.9
+
+
+class TestMixes:
+    def test_three_modes(self):
+        assert set(ATTACK_MODES) == {"heavy", "medium", "light"}
+        assert ATTACK_MODES["heavy"] == 0.75
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(KeyError):
+            attack_stream(ATTACK_KERNELS[0], "extreme", 1024, 100)
+
+    def test_target_fraction_realised(self):
+        kernel = ATTACK_KERNELS[1]
+        n_rows, n_accesses = 65536, 40_000
+        targets = set(kernel.pick_targets(n_rows, 0).tolist())
+        for mode, fraction in ATTACK_MODES.items():
+            rows = attack_stream(kernel, mode, n_rows, n_accesses, bank=0)
+            on_target = sum(1 for r in rows.tolist() if r in targets)
+            assert on_target / n_accesses == pytest.approx(fraction, abs=0.05)
+
+    def test_stream_length(self):
+        rows = attack_stream(ATTACK_KERNELS[2], "medium", 4096, 5000)
+        assert len(rows) == 5000
+
+    def test_custom_benign_workload(self):
+        rows = attack_stream(
+            ATTACK_KERNELS[3],
+            "light",
+            4096,
+            5000,
+            benign=get_workload("comm1"),
+        )
+        assert rows.min() >= 0 and rows.max() < 4096
+
+    def test_deterministic_stream(self):
+        a = attack_stream(ATTACK_KERNELS[4], "heavy", 4096, 2000, bank=1)
+        b = attack_stream(ATTACK_KERNELS[4], "heavy", 4096, 2000, bank=1)
+        assert np.array_equal(a, b)

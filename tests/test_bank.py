@@ -1,0 +1,103 @@
+"""Tests for the bank timing model (refresh backlog + stall accounting)."""
+
+import pytest
+
+from repro.dram.bank import BACKLOG_ESCALATION_ROWS, BankState
+from repro.dram.config import DRAMTimings
+
+
+def make_bank():
+    return BankState(DRAMTimings())
+
+
+class TestDemandService:
+    def test_access_occupies_one_row_cycle(self):
+        bank = make_bank()
+        done = bank.serve_access(100.0)
+        assert done == pytest.approx(100.0 + bank.timings.t_rc)
+        assert bank.activations == 1
+
+    def test_back_to_back_accesses_queue(self):
+        bank = make_bank()
+        bank.serve_access(0.0)
+        done = bank.serve_access(1.0)  # arrives while busy
+        assert done == pytest.approx(2 * bank.timings.t_rc)
+
+    def test_idle_gap_means_no_queueing(self):
+        bank = make_bank()
+        bank.serve_access(0.0)
+        done = bank.serve_access(1000.0)
+        assert done == pytest.approx(1000.0 + bank.timings.t_rc)
+
+
+class TestRefreshBacklog:
+    def test_refresh_enqueues_without_blocking(self):
+        bank = make_bank()
+        bank.serve_refresh(0.0, 100)
+        assert bank.refresh_backlog_rows == 100
+        assert bank.rows_refreshed == 100
+        assert bank.free_at_ns == 0.0  # demand horizon untouched
+
+    def test_backlog_drains_in_idle_gap(self):
+        bank = make_bank()
+        t_op = bank.timings.row_refresh_ns
+        bank.serve_refresh(0.0, 10)
+        # demand arrives long after the backlog would fully drain
+        done = bank.serve_access(100 * t_op)
+        assert bank.refresh_backlog_rows == 0
+        assert bank.stall_ns == 0.0
+        assert done == pytest.approx(100 * t_op + bank.timings.t_rc)
+        assert bank.mitigation_busy_ns == pytest.approx(10 * t_op)
+
+    def test_demand_mid_rowop_waits_residual(self):
+        bank = make_bank()
+        t_op = bank.timings.row_refresh_ns
+        bank.serve_refresh(0.0, 1000)
+        # demand arrives in the middle of the 4th row-op
+        arrival = 3.5 * t_op
+        done = bank.serve_access(arrival)
+        assert bank.stall_ns == pytest.approx(0.5 * t_op)
+        assert done == pytest.approx(4 * t_op + bank.timings.t_rc)
+        assert bank.refresh_backlog_rows == 1000 - 4
+
+    def test_stall_bounded_by_one_rowop(self):
+        bank = make_bank()
+        bank.serve_refresh(0.0, 10_000)
+        bank.serve_access(10.0)
+        assert bank.stall_ns <= bank.timings.row_refresh_ns
+
+    def test_multiple_refresh_commands_accumulate(self):
+        bank = make_bank()
+        bank.serve_refresh(0.0, 50)
+        bank.serve_refresh(0.0, 70)
+        assert bank.refresh_backlog_rows == 120
+
+    def test_zero_rows_is_noop(self):
+        bank = make_bank()
+        horizon = bank.serve_refresh(5.0, 0)
+        assert horizon == 0.0
+        assert bank.refresh_backlog_rows == 0
+
+
+class TestEscalation:
+    def test_escalates_above_cap(self):
+        bank = make_bank()
+        bank.serve_refresh(0.0, BACKLOG_ESCALATION_ROWS + 5)
+        assert bank.escalations == 1
+        assert bank.refresh_backlog_rows == 0
+        assert bank.free_at_ns > 0
+
+    def test_no_escalation_below_cap(self):
+        bank = make_bank()
+        bank.serve_refresh(0.0, BACKLOG_ESCALATION_ROWS)
+        assert bank.escalations == 0
+
+
+class TestEpochReset:
+    def test_blanket_refresh_absorbs_backlog(self):
+        bank = make_bank()
+        bank.serve_refresh(0.0, 500)
+        bank.reset_epoch()
+        assert bank.refresh_backlog_rows == 0
+        # energy accounting unchanged: rows were commanded
+        assert bank.rows_refreshed == 500

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "black"
+        assert args.scheme == "drcat"
+        assert args.threshold == 32768
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "doom"])
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "magic"])
+
+
+FAST = ["--scale", "128", "--banks", "1", "--intervals", "1"]
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "--workload", "libq", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "CMRPO" in out and "drcat" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--workload", "libq", *FAST]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("pra", "sca", "prcat", "drcat"):
+            assert scheme in out
+
+    def test_attack(self, capsys):
+        assert main(
+            ["attack", "--kernel", "kernel02", "--mode", "light",
+             "--scheme", "sca", *FAST]
+        ) == 0
+        assert "kernel02" in capsys.readouterr().out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "comm1" in out and "tigr" in out
+        assert out.count("\n") >= 19
+
+    def test_hardware_table(self, capsys):
+        assert main(["hardware"]) == 0
+        out = capsys.readouterr().out
+        assert "sca_32" in out and "drcat_512" in out and "PRNG" in out
+
+    def test_hardware_single_m(self, capsys):
+        assert main(["hardware", "--counters", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "sca_64" in out and "sca_32" not in out

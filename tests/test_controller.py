@@ -1,0 +1,103 @@
+"""Tests for the FR-FCFS-flavoured memory controller model."""
+
+import pytest
+
+from repro.core.sca import SCAScheme
+from repro.dram.config import SystemConfig
+from repro.dram.controller import MemoryController, MemRequest
+
+
+def small_config():
+    return SystemConfig(rows_per_bank=1024)
+
+
+class TestQueueing:
+    def test_requests_serviced_in_order(self):
+        ctrl = MemoryController(small_config())
+        for i in range(5):
+            ctrl.enqueue(MemRequest(i * 10.0, bank=0, row=i, request_id=i))
+        done = ctrl.drain_bank(0)
+        ids = [c.request.request_id for c in done]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_completion_times_monotone_per_bank(self):
+        ctrl = MemoryController(small_config())
+        for i in range(10):
+            ctrl.enqueue(MemRequest(i * 5.0, bank=0, row=i % 3))
+        done = ctrl.drain_bank(0)
+        times = [c.done_ns for c in done]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_rejects_bad_bank(self):
+        ctrl = MemoryController(small_config())
+        with pytest.raises(ValueError):
+            ctrl.enqueue(MemRequest(0.0, bank=999, row=0))
+
+    def test_pending_counts(self):
+        ctrl = MemoryController(small_config())
+        ctrl.enqueue(MemRequest(0.0, bank=0, row=0))
+        ctrl.enqueue(MemRequest(0.0, bank=1, row=0))
+        assert ctrl.pending == 2
+        ctrl.drain()
+        assert ctrl.pending == 0
+
+
+class TestCoalescing:
+    def test_same_row_burst_coalesces(self):
+        """Consecutive same-row requests piggyback on one activation."""
+        ctrl = MemoryController(small_config())
+        ctrl.enqueue(MemRequest(0.0, bank=0, row=7))
+        ctrl.enqueue(MemRequest(1.0, bank=0, row=7))
+        done = ctrl.drain_bank(0)
+        t_cas = ctrl.config.timings.t_cas
+        assert done[1].done_ns - done[0].done_ns == pytest.approx(t_cas)
+
+    def test_different_rows_full_cycle(self):
+        ctrl = MemoryController(small_config())
+        ctrl.enqueue(MemRequest(0.0, bank=0, row=7))
+        ctrl.enqueue(MemRequest(1.0, bank=0, row=8))
+        done = ctrl.drain_bank(0)
+        t_rc = ctrl.config.timings.t_rc
+        assert done[1].done_ns - done[0].done_ns == pytest.approx(t_rc)
+
+    def test_coalesced_access_counts_one_activation_for_scheme(self):
+        config = small_config()
+        schemes = [SCAScheme(1024, 100, 8) for _ in range(config.n_banks)]
+        ctrl = MemoryController(config, schemes)
+        for i in range(10):
+            ctrl.enqueue(MemRequest(float(i), bank=0, row=7))
+        ctrl.drain_bank(0)
+        # burst of 10 same-row requests = 1 wordline activation
+        assert schemes[0].counter_value(0) == 1
+
+
+class TestSchemeIntegration:
+    def test_threshold_refresh_blocks_bank(self):
+        config = small_config()
+        schemes = [SCAScheme(1024, 2, 8) for _ in range(config.n_banks)]
+        ctrl = MemoryController(config, schemes)
+        # alternate rows to defeat coalescing; threshold 2 fires quickly
+        for i in range(6):
+            ctrl.enqueue(MemRequest(i * 1000.0, bank=0, row=(i % 2) * 200))
+        done = ctrl.drain_bank(0)
+        assert schemes[0].stats.refresh_commands >= 1
+        assert len(done) == 6
+
+    def test_write_queue_capacity_triggers_drain(self):
+        config = small_config()
+        ctrl = MemoryController(config)
+        for i in range(config.write_queue_capacity + 5):
+            ctrl.enqueue(
+                MemRequest(float(i), bank=0, row=i % 4, is_write=True)
+            )
+        # the overflow drain serviced the backlog
+        assert ctrl.pending <= config.write_queue_capacity
+        assert len(ctrl.completed) >= 5
+
+
+class TestLatency:
+    def test_latency_property(self):
+        ctrl = MemoryController(small_config())
+        ctrl.enqueue(MemRequest(100.0, bank=2, row=1))
+        (done,) = ctrl.drain_bank(2)
+        assert done.latency_ns == pytest.approx(ctrl.config.timings.t_rc)

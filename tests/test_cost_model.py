@@ -1,0 +1,89 @@
+"""Tests for the Section IV-D refresh-cost model."""
+
+import pytest
+
+from repro.analysis.cost_model import (
+    TreeShapeCost,
+    cost_cat,
+    cost_sca,
+    critical_bias,
+    derive_split_thresholds,
+)
+
+
+class TestClosedForms:
+    def test_cost_sca_formula(self):
+        # Eq. 2: w * R / T
+        assert cost_sca(16384, 655360, 32768) == pytest.approx(327680.0)
+
+    def test_critical_bias_is_three_w(self):
+        assert critical_bias(100.0) == 300.0
+
+    def test_costs_equal_at_critical_bias(self):
+        """Eq. 4: CostCAT == CostSCA exactly at x = 3w."""
+        w, r, t = 1000.0, 1e6, 32768.0
+        x = critical_bias(w)
+        assert cost_cat(w, x, r, t) == pytest.approx(cost_sca(w, r, t), rel=1e-9)
+
+    def test_cat_wins_above_critical_bias(self):
+        w, r, t = 1000.0, 1e6, 32768.0
+        assert cost_cat(w, 5 * w, r, t) < cost_sca(w, r, t)
+
+    def test_sca_wins_below_critical_bias(self):
+        w, r, t = 1000.0, 1e6, 32768.0
+        assert cost_cat(w, 1 * w, r, t) > cost_sca(w, r, t)
+
+
+class TestTreeShapeCost:
+    def test_balanced_tree_matches_cost_sca(self):
+        n = 4096
+        shape = TreeShapeCost(n, levels=(2, 2, 2, 2), shares=(0.25,) * 4)
+        r, t = 1e6, 32768.0
+        assert shape.rows_refreshed(r, t) == pytest.approx(cost_sca(n / 4, r, t))
+
+    def test_rejects_non_tiling_levels(self):
+        with pytest.raises(ValueError):
+            TreeShapeCost(1024, levels=(1, 2), shares=(0.5, 0.5))
+
+    def test_rejects_bad_shares(self):
+        with pytest.raises(ValueError):
+            TreeShapeCost(1024, levels=(1, 2, 2), shares=(0.5, 0.2, 0.2))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TreeShapeCost(1024, levels=(1, 1), shares=(1.0,))
+
+    def test_deep_hot_leaf_cheaper_under_bias(self):
+        """A deep leaf absorbing a hot share refreshes fewer rows."""
+        n, r, t = 4096, 1e6, 4096.0
+        balanced = TreeShapeCost(n, (2, 2, 2, 2), (0.25,) * 4)
+        unbalanced = TreeShapeCost(
+            n, levels=(1, 2, 3, 3), shares=(0.2, 0.1, 0.05, 0.65)
+        )
+        assert unbalanced.rows_refreshed(r, t) < balanced.rows_refreshed(r, t)
+
+
+class TestDeriveSplitThresholds:
+    def test_terminates_at_t_and_half(self):
+        values = derive_split_thresholds(32768, 64, 11)
+        assert values[-1] == 32768
+        assert values[-2] == 16384
+
+    def test_close_to_paper_anchor(self):
+        values = derive_split_thresholds(32768, 64, 10)
+        paper = (5155, 10309, 12886, 16384, 32768)
+        assert len(values) == len(paper)
+        for model_v, paper_v in zip(values, paper):
+            assert model_v == pytest.approx(paper_v, rel=0.12)
+
+    def test_strictly_increasing_on_many_configs(self):
+        for t in (2048, 8192, 32768):
+            for m, l in ((16, 9), (64, 11), (256, 13)):
+                values = derive_split_thresholds(t, m, l)
+                assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_two_level_span(self):
+        values = derive_split_thresholds(1024, 64, 8)
+        # levels 5..7 -> 3 values
+        assert len(values) == 3
+        assert values[-1] == 1024

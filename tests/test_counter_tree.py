@@ -1,0 +1,219 @@
+"""Tests for the CAT tree data structure (Algorithm 1 + Figure 5 layout)."""
+
+import numpy as np
+import pytest
+
+from repro.core.counter_tree import CounterTree
+from repro.core.thresholds import SplitThresholds
+
+
+def make_tree(n_rows=1024, t=512, m=8, l=8, weights=False, presplit=None):
+    th = SplitThresholds.create(t, m, l, presplit_levels=presplit)
+    return CounterTree(n_rows, th, track_weights=weights)
+
+
+class TestConstruction:
+    def test_presplit_counter_count(self):
+        tree = make_tree(m=8)  # λ = 3 -> 4 leaves
+        assert tree.active_counters == 4
+        assert tree.free_counters == 4
+
+    def test_presplit_partition_is_uniform(self):
+        tree = make_tree(n_rows=1024, m=8)
+        parts = tree.partition()
+        widths = {hi - lo + 1 for lo, hi, _ in parts}
+        assert widths == {256}
+
+    def test_presplit_lambda_one_is_single_root(self):
+        tree = make_tree(m=8, presplit=1)
+        assert tree.active_counters == 1
+        lo, hi, _ = tree.partition()[0]
+        assert (lo, hi) == (0, 1023)
+
+    def test_invariants_hold_initially(self):
+        make_tree().check_invariants()
+
+    def test_rejects_non_power_of_two_rows(self):
+        th = SplitThresholds.create(512, 8, 8)
+        with pytest.raises(ValueError):
+            CounterTree(1000, th)
+
+    def test_rejects_depth_beyond_rows(self):
+        th = SplitThresholds.create(512, 8, 8)
+        with pytest.raises(ValueError):
+            CounterTree(64, th)  # 2^(8-1) = 128 > 64
+
+
+class TestLookup:
+    def test_lookup_matches_partition(self):
+        tree = make_tree()
+        for row in (0, 100, 255, 256, 511, 512, 1023):
+            idx = tree.lookup(row)
+            state = tree.counter_state(idx)
+            assert state["low"] <= row <= state["high"]
+
+    def test_lookup_every_row_covered_exactly_once(self):
+        tree = make_tree(n_rows=256, t=64, m=8, l=7)
+        rng = np.random.default_rng(0)
+        for row in rng.integers(0, 256, size=2000):
+            tree.access(int(row))
+        counts = {}
+        for row in range(256):
+            idx = tree.lookup(row)
+            counts.setdefault(idx, 0)
+            counts[idx] += 1
+        for lo, hi, idx in tree.partition():
+            assert counts[idx] == hi - lo + 1
+
+
+class TestSplitting:
+    def test_split_on_threshold(self):
+        tree = make_tree(n_rows=1024, t=512, m=8, l=8)
+        t0 = tree.thresholds.threshold_for_level(2)  # presplit level λ-1=2
+        before = tree.active_counters
+        for _ in range(t0):
+            tree.access(5)
+        assert tree.active_counters == before + 1
+        tree.check_invariants()
+
+    def test_split_clones_count(self):
+        tree = make_tree(n_rows=1024, t=512, m=8, l=8)
+        t0 = tree.thresholds.threshold_for_level(2)
+        for _ in range(t0):
+            tree.access(5)
+        idx = tree.lookup(5)
+        sibling = tree.lookup(5 + 128)  # other half of the split range
+        assert tree.counter_state(idx)["count"] == t0
+        assert tree.counter_state(sibling)["count"] == t0
+
+    def test_split_halves_range(self):
+        tree = make_tree(n_rows=1024, t=512, m=8, l=8)
+        t0 = tree.thresholds.threshold_for_level(2)
+        lo_before = tree.counter_state(tree.lookup(5))["low"]
+        hi_before = tree.counter_state(tree.lookup(5))["high"]
+        for _ in range(t0):
+            tree.access(5)
+        state = tree.counter_state(tree.lookup(5))
+        assert state["low"] == lo_before
+        assert state["high"] == (lo_before + hi_before) // 2
+
+    def test_growth_stops_at_max_level(self):
+        tree = make_tree(n_rows=1024, t=512, m=64, l=7)
+        for _ in range(20000):
+            cmd = tree.access(3)
+        hist = tree.depth_histogram()
+        assert max(hist) <= 6
+
+    def test_growth_stops_when_pool_exhausted(self):
+        tree = make_tree(n_rows=1024, t=512, m=8, l=10)
+        rng = np.random.default_rng(1)
+        for row in rng.integers(0, 1024, size=30000):
+            tree.access(int(row))
+        assert tree.active_counters <= 8
+        tree.check_invariants()
+
+
+class TestRefresh:
+    def test_refresh_at_threshold_resets_counter(self):
+        tree = make_tree(n_rows=1024, t=64, m=4, l=4)
+        cmds = [tree.access(700) for _ in range(200)]
+        fired = [c for c in cmds if c is not None]
+        assert fired, "expected at least one refresh"
+        assert tree.counter_state(tree.lookup(700))["count"] < 64
+
+    def test_refresh_range_includes_adjacent_rows(self):
+        tree = make_tree(n_rows=1024, t=64, m=4, l=4)
+        fired = None
+        for _ in range(200):
+            cmd = tree.access(700)
+            if cmd is not None:
+                fired = cmd
+                break
+        state = tree.counter_state(tree.lookup(700))
+        assert fired.low == state["low"] - 1
+        assert fired.high == state["high"] + 1
+
+    def test_refresh_command_totals_accumulate(self):
+        tree = make_tree(n_rows=1024, t=64, m=4, l=4)
+        for _ in range(300):
+            tree.access(10)
+        assert tree.total_refresh_commands >= 2
+        assert tree.total_rows_refreshed > 0
+
+    def test_row_zero_refresh_clamps(self):
+        tree = make_tree(n_rows=1024, t=64, m=4, l=4)
+        for _ in range(300):
+            cmd = tree.access(0)
+            if cmd is not None:
+                assert cmd.row_count(1024) == cmd.clamped(1024).high + 1
+
+
+class TestAdaptivity:
+    def test_uniform_access_builds_balanced_tree(self):
+        tree = make_tree(n_rows=4096, t=256, m=16, l=10)
+        rng = np.random.default_rng(42)
+        for row in rng.integers(0, 4096, size=60000):
+            tree.access(int(row))
+        assert tree.is_balanced()
+        assert tree.active_counters == 16
+
+    def test_biased_access_builds_unbalanced_tree(self):
+        tree = make_tree(n_rows=4096, t=256, m=16, l=10)
+        rng = np.random.default_rng(42)
+        for _ in range(60000):
+            if rng.random() < 0.8:
+                row = 17  # single aggressor
+            else:
+                row = int(rng.integers(0, 4096))
+            tree.access(row)
+        hist = tree.depth_histogram()
+        assert not tree.is_balanced()
+        # the aggressor's counter should be deep (small group)
+        agg_state = tree.counter_state(tree.lookup(17))
+        assert agg_state["level"] == max(hist)
+
+    def test_hot_rows_get_smaller_groups_than_cold(self):
+        tree = make_tree(n_rows=4096, t=256, m=16, l=10)
+        rng = np.random.default_rng(3)
+        for _ in range(60000):
+            row = 100 if rng.random() < 0.7 else int(rng.integers(2048, 4096))
+            tree.access(row)
+        hot = tree.counter_state(tree.lookup(100))
+        cold = tree.counter_state(tree.lookup(1500))
+        hot_size = hot["high"] - hot["low"] + 1
+        cold_size = cold["high"] - cold["low"] + 1
+        assert hot_size < cold_size
+
+
+class TestReset:
+    def test_reset_restores_presplit(self):
+        tree = make_tree(n_rows=1024, t=64, m=8, l=8)
+        rng = np.random.default_rng(9)
+        for row in rng.integers(0, 1024, size=5000):
+            tree.access(int(row))
+        tree.reset()
+        assert tree.active_counters == 4
+        assert all(tree.counter_state(i)["count"] == 0 for i in range(8))
+        tree.check_invariants()
+
+    def test_reset_clears_weights(self):
+        tree = make_tree(n_rows=1024, t=64, m=8, l=8, weights=True)
+        for _ in range(500):
+            tree.access(3)
+        tree.reset()
+        assert all(tree.counter_state(i)["weight"] == 0 for i in range(8))
+
+
+class TestSRAMAccounting:
+    def test_sram_reads_grow_with_depth(self):
+        tree = make_tree(n_rows=4096, t=256, m=16, l=10)
+        shallow_reads = tree.total_sram_reads
+        tree.lookup(0)
+        shallow_cost = tree.total_sram_reads - shallow_reads
+        rng = np.random.default_rng(5)
+        for _ in range(40000):
+            tree.access(7 if rng.random() < 0.8 else int(rng.integers(0, 4096)))
+        before = tree.total_sram_reads
+        tree.lookup(7)
+        deep_cost = tree.total_sram_reads - before
+        assert deep_cost > shallow_cost

@@ -1,0 +1,197 @@
+"""Tests for DRCAT weight tracking and merge/split reconfiguration."""
+
+import numpy as np
+import pytest
+
+from repro.core.counter_tree import (
+    HARVEST_BUDGET_PER_REFRESH,
+    WEIGHT_AFTER_SPLIT,
+    WEIGHT_MAX,
+    CounterTree,
+)
+from repro.core.thresholds import SplitThresholds
+
+
+def make_tree(n_rows=4096, t=256, m=16, l=10):
+    th = SplitThresholds.create(t, m, l)
+    return CounterTree(n_rows, th, track_weights=True)
+
+
+def hammer(tree, row, n):
+    cmds = []
+    for _ in range(n):
+        cmd = tree.access(row)
+        if cmd is not None:
+            cmds.append(cmd)
+    return cmds
+
+
+class TestWeights:
+    def test_weight_increments_on_refresh(self):
+        tree = make_tree()
+        cmds = hammer(tree, 9, 400)
+        assert cmds, "expected refreshes"
+        idx = tree.lookup(9)
+        assert tree.counter_state(idx)["weight"] >= 1
+
+    def test_weight_saturates_at_cap(self):
+        tree = make_tree()
+        hammer(tree, 9, 5000)
+        idx = tree.lookup(9)
+        assert tree.counter_state(idx)["weight"] <= WEIGHT_MAX
+
+    def test_other_weights_decay(self):
+        tree = make_tree(n_rows=4096, t=128, m=8, l=9)
+        hammer(tree, 9, 2000)       # heats region A
+        w_a = tree.counter_state(tree.lookup(9))["weight"]
+        assert w_a > 0
+        hammer(tree, 3000, 2000)    # heats region B; A should decay
+        w_a_after = tree.counter_state(tree.lookup(9))["weight"]
+        assert w_a_after < max(w_a, WEIGHT_MAX)
+
+    def test_weights_disabled_without_tracking(self):
+        th = SplitThresholds.create(256, 16, 10)
+        tree = CounterTree(4096, th, track_weights=False)
+        hammer(tree, 9, 2000)
+        assert all(tree.counter_state(i)["weight"] == 0 for i in range(16))
+
+
+class TestReconfigure:
+    def test_reconfigure_preserves_invariants(self):
+        tree = make_tree()
+        rng = np.random.default_rng(0)
+        for i in range(50000):
+            row = 11 if rng.random() < 0.6 else int(rng.integers(0, 4096))
+            tree.access(row)
+        assert tree.total_merges > 0
+        tree.check_invariants()
+
+    def test_reconfigure_returns_false_for_max_level_leaf(self):
+        tree = make_tree()
+        hammer(tree, 11, 30000)
+        idx = tree.lookup(11)
+        if tree.counter_state(idx)["level"] >= tree.max_levels - 1:
+            assert tree.reconfigure(idx) is False
+
+    def test_reconfigure_returns_false_for_inactive_counter(self):
+        tree = make_tree()
+        inactive = [
+            i
+            for i in range(tree.n_counters)
+            if not tree.counter_state(i)["active"]
+        ]
+        assert tree.reconfigure(inactive[0]) is False
+
+    def test_merge_promotes_and_frees(self):
+        tree = make_tree(n_rows=1024, t=64, m=8, l=9)
+        rng = np.random.default_rng(1)
+        # exhaust the pool with spread accesses, then hammer one row
+        for row in rng.integers(0, 1024, size=3000):
+            tree.access(int(row))
+        active_before = tree.active_counters
+        merges_before = tree.total_merges
+        hammer(tree, 77, 3000)
+        if tree.total_merges > merges_before:
+            # merge+split conserve the active count
+            assert tree.active_counters == active_before
+        tree.check_invariants()
+
+    def test_newly_split_counters_get_protection_weight(self):
+        tree = make_tree(n_rows=1024, t=64, m=8, l=9)
+        rng = np.random.default_rng(2)
+        for row in rng.integers(0, 1024, size=3000):
+            tree.access(int(row))
+        ok = tree.reconfigure(tree.lookup(500))
+        if ok:
+            assert tree.counter_state(tree.lookup(500))["weight"] >= WEIGHT_AFTER_SPLIT
+
+    def test_merged_count_is_max_of_children(self):
+        """Merging inherits the max count (soundness: DESIGN.md inv. 5)."""
+        tree = make_tree(n_rows=1024, t=512, m=8, l=9)
+        rng = np.random.default_rng(3)
+        for row in rng.integers(0, 1024, size=2000):
+            tree.access(int(row))
+        # Find a sibling pair and force a merge via reconfigure of another
+        parts = tree.partition()
+        counts_before = {idx: tree.counter_state(idx)["count"] for _, _, idx in parts}
+        merges_before = tree.total_merges
+        hot = parts[0][2]
+        if tree.reconfigure(hot):
+            assert tree.total_merges == merges_before + 1
+            # every surviving counter's count must be >= the max of any
+            # pair of old counts it could have absorbed -- verified
+            # indirectly by the safety property tests; here check bounds
+            for _, _, idx in tree.partition():
+                assert tree.counter_state(idx)["count"] <= tree.thresholds.refresh_threshold
+
+
+class TestHarvest:
+    def test_budget_replenishes_on_refresh(self):
+        tree = make_tree(n_rows=1024, t=64, m=8, l=9)
+        tree._harvest_budget = 0
+        hammer(tree, 10, 100)  # forces a refresh eventually
+        assert tree._harvest_budget == HARVEST_BUDGET_PER_REFRESH
+
+    def test_harvest_blocked_flags_clear_on_refresh(self):
+        tree = make_tree(n_rows=1024, t=64, m=8, l=9)
+        for _ in range(200):
+            for i in range(tree.n_counters):
+                tree._harvest_blocked[i] = True
+            if tree.access(10) is not None:
+                # a refresh event must unblock harvesting immediately
+                assert not any(tree._harvest_blocked)
+                break
+        else:
+            raise AssertionError("no refresh fired in 200 accesses")
+
+    def test_harvest_deepens_hot_region_after_exhaustion(self):
+        tree = make_tree(n_rows=4096, t=256, m=8, l=12)
+        rng = np.random.default_rng(4)
+        for row in rng.integers(0, 4096, size=6000):
+            tree.access(int(row))
+        assert tree.free_counters == 0
+        level_before = tree.counter_state(tree.lookup(123))["level"]
+        hammer(tree, 123, 4000)
+        level_after = tree.counter_state(tree.lookup(123))["level"]
+        assert level_after > level_before
+        tree.check_invariants()
+
+    def test_no_harvest_without_weight_tracking(self):
+        th = SplitThresholds.create(256, 8, 12)
+        tree = CounterTree(4096, th, track_weights=False)
+        rng = np.random.default_rng(4)
+        for row in rng.integers(0, 4096, size=6000):
+            tree.access(int(row))
+        assert tree.free_counters == 0
+        merges_before = tree.total_merges
+        hammer(tree, 123, 4000)
+        assert tree.total_merges == merges_before == 0
+
+
+class TestDriftAdaptation:
+    def test_tree_follows_moving_hot_spot(self):
+        tree = make_tree(n_rows=4096, t=128, m=16, l=12)
+        rng = np.random.default_rng(7)
+        for hot in (100, 2100, 3900):
+            for _ in range(20000):
+                row = hot if rng.random() < 0.7 else int(rng.integers(0, 4096))
+                tree.access(row)
+            state = tree.counter_state(tree.lookup(hot))
+            size = state["high"] - state["low"] + 1
+            assert size <= 4096 // 16, f"hot spot {hot} left coarse: {size} rows"
+        tree.check_invariants()
+
+    def test_multiple_simultaneous_hot_spots(self):
+        tree = make_tree(n_rows=4096, t=128, m=16, l=12)
+        rng = np.random.default_rng(8)
+        hots = (50, 1500, 3000)
+        for _ in range(60000):
+            r = rng.random()
+            if r < 0.6:
+                row = hots[int(rng.integers(0, 3))]
+            else:
+                row = int(rng.integers(0, 4096))
+            tree.access(row)
+        for hot in hots:
+            state = tree.counter_state(tree.lookup(hot))
+            assert state["high"] - state["low"] + 1 <= 4096 // 8

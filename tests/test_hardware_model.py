@@ -1,0 +1,132 @@
+"""Tests for the Table II hardware energy/area model."""
+
+import pytest
+
+from repro.energy.hardware_model import (
+    TABLE2,
+    TABLE2_L,
+    TABLE2_M,
+    TABLE2_T,
+    iso_area_counters,
+    pra_hardware,
+    scheme_hardware,
+)
+
+
+class TestAnchors:
+    @pytest.mark.parametrize("scheme", ["drcat", "prcat", "sca"])
+    @pytest.mark.parametrize("i,m", list(enumerate(TABLE2_M)))
+    def test_anchor_values_exact(self, scheme, i, m):
+        hw = scheme_hardware(scheme, m, TABLE2_T, TABLE2_L)
+        assert hw.dynamic_nj_per_access == pytest.approx(
+            TABLE2[scheme]["dynamic"][i], rel=1e-9
+        )
+        assert hw.static_nj_per_interval == pytest.approx(
+            TABLE2[scheme]["static"][i], rel=1e-9
+        )
+        assert hw.area_mm2 == pytest.approx(TABLE2[scheme]["area"][i], rel=1e-9)
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError):
+            scheme_hardware("pra", 64)
+
+
+class TestInterpolation:
+    def test_interpolated_m_between_anchors(self):
+        hw96 = scheme_hardware("sca", 96)
+        hw64 = scheme_hardware("sca", 64)
+        hw128 = scheme_hardware("sca", 128)
+        assert hw64.static_nj_per_interval < hw96.static_nj_per_interval
+        assert hw96.static_nj_per_interval < hw128.static_nj_per_interval
+
+    def test_extrapolation_beyond_512(self):
+        hw1024 = scheme_hardware("sca", 1024)
+        assert hw1024.static_nj_per_interval > scheme_hardware("sca", 512).static_nj_per_interval
+
+    def test_extrapolation_below_32(self):
+        hw16 = scheme_hardware("sca", 16)
+        assert hw16.static_nj_per_interval < scheme_hardware("sca", 32).static_nj_per_interval
+
+    def test_monotone_in_m(self):
+        for scheme in ("drcat", "prcat", "sca"):
+            values = [
+                scheme_hardware(scheme, m).area_mm2
+                for m in (16, 32, 64, 128, 256, 512, 1024)
+            ]
+            assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestThresholdScaling:
+    def test_smaller_t_means_smaller_counters(self):
+        hw16k = scheme_hardware("prcat", 64, 16384)
+        hw32k = scheme_hardware("prcat", 64, 32768)
+        assert hw16k.static_nj_per_interval < hw32k.static_nj_per_interval
+        assert hw16k.area_mm2 < hw32k.area_mm2
+
+    def test_width_ratio(self):
+        hw16k = scheme_hardware("sca", 64, 16384)
+        hw32k = scheme_hardware("sca", 64, 32768)
+        assert hw16k.static_nj_per_interval / hw32k.static_nj_per_interval == (
+            pytest.approx(14 / 15)
+        )
+
+    def test_counter_bits(self):
+        assert scheme_hardware("sca", 64, 32768).counter_bits == 15
+        assert scheme_hardware("drcat", 64, 32768).counter_bits == 17
+        assert scheme_hardware("prcat", 64, 16384).counter_bits == 14
+
+
+class TestDepthScaling:
+    def test_deeper_tree_costs_more_dynamic(self):
+        shallow = scheme_hardware("drcat", 64, max_levels=9)
+        deep = scheme_hardware("drcat", 64, max_levels=14)
+        assert deep.dynamic_nj_per_access > shallow.dynamic_nj_per_access
+
+    def test_sca_ignores_depth(self):
+        a = scheme_hardware("sca", 64, max_levels=9)
+        b = scheme_hardware("sca", 64, max_levels=14)
+        assert a.dynamic_nj_per_access == b.dynamic_nj_per_access
+
+
+class TestPaperRelations:
+    def test_prcat_and_sca_iso_area_at_double_counters(self):
+        """Section VII-A: PRCAT64 and SCA128 occupy roughly equal area."""
+        prcat64 = scheme_hardware("prcat", 64).area_mm2
+        sca128 = scheme_hardware("sca", 128).area_mm2
+        assert prcat64 == pytest.approx(sca128, rel=0.05)
+
+    def test_iso_area_helper_finds_sca128(self):
+        assert iso_area_counters("prcat", 64, "sca") == 128
+
+    def test_drcat_area_slightly_above_prcat(self):
+        """DRCAT adds ~4% for the weight registers (Section VII-A)."""
+        for m in TABLE2_M:
+            drcat = scheme_hardware("drcat", m).area_mm2
+            prcat = scheme_hardware("prcat", m).area_mm2
+            assert 1.0 < drcat / prcat < 1.10
+
+    def test_sca_dynamic_roughly_half_of_prcat(self):
+        """PRCAT's dynamic energy is about twice SCA's (multi-access)."""
+        for m in TABLE2_M:
+            ratio = (
+                scheme_hardware("prcat", m).dynamic_nj_per_access
+                / scheme_hardware("sca", m).dynamic_nj_per_access
+            )
+            assert 1.5 < ratio < 3.0
+
+
+class TestPRNG:
+    def test_energy_per_access(self):
+        prng = pra_hardware()
+        assert prng.energy_per_access_nj == pytest.approx(2.61e-2, rel=0.01)
+
+    def test_fifty_accesses_equal_one_row_refresh(self):
+        """The paper: every ~50 accesses PRA spends one row refresh (1 nJ)."""
+        prng = pra_hardware()
+        assert 50 * prng.energy_per_access_nj == pytest.approx(1.0, rel=0.35)
+
+    def test_spec_constants(self):
+        prng = pra_hardware()
+        assert prng.power_mw == 7.0
+        assert prng.throughput_gbps == 2.4
+        assert prng.area_mm2 == pytest.approx(4.004e-3)

@@ -1,0 +1,126 @@
+"""End-to-end integration tests: paper-shape assertions on small runs.
+
+These runs use aggressive scaling (fast), so they assert *orderings*
+and coarse magnitudes — the properties the benchmark harness then
+reproduces at higher fidelity.
+"""
+
+import pytest
+
+from repro import simulate_workload
+from repro.sim.runner import simulate_attack, sweep, suite_means
+
+FAST = dict(scale=32.0, n_banks=1, n_intervals=2)
+
+
+class TestSchemeOrderings:
+    def test_cat_beats_sca_on_skewed_workload(self):
+        """The paper's core claim: adaptive counters refresh far fewer
+        rows than a uniform static assignment at equal counter count."""
+        sca = simulate_workload("black", scheme="sca", counters=64, **FAST)
+        drcat = simulate_workload("black", scheme="drcat", counters=64, **FAST)
+        assert (
+            drcat.totals.rows_refreshed_per_bank_interval
+            < 0.7 * sca.totals.rows_refreshed_per_bank_interval
+        )
+        assert drcat.cmrpo < sca.cmrpo
+
+    def test_sca128_beats_sca64_rows(self):
+        r64 = simulate_workload("face", scheme="sca", counters=64, **FAST)
+        r128 = simulate_workload("face", scheme="sca", counters=128, **FAST)
+        assert (
+            r128.totals.rows_refreshed_per_bank_interval
+            < r64.totals.rows_refreshed_per_bank_interval
+        )
+
+    def test_pra_dominated_by_prng_energy(self):
+        result = simulate_workload("libq", scheme="pra", **FAST)
+        b = result.cmrpo_breakdown
+        assert b.dynamic_mw > b.refresh_mw
+
+    def test_pra_cmrpo_near_paper_level(self):
+        """PRA's CMRPO is access-rate bound: ~10% at paper intensities."""
+        result = simulate_workload("comm1", scheme="pra", **FAST)
+        assert 0.05 < result.cmrpo < 0.20
+
+    def test_cat_eto_below_sca(self):
+        sca = simulate_workload("black", scheme="sca", counters=64, **FAST)
+        prcat = simulate_workload("black", scheme="prcat", counters=64, **FAST)
+        assert prcat.eto < sca.eto
+
+    def test_all_etos_small(self):
+        """Figure 9: every scheme's ETO stays in the sub-percent range."""
+        for scheme in ("pra", "sca", "prcat", "drcat"):
+            r = simulate_workload("comm1", scheme=scheme, **FAST)
+            assert r.eto < 0.05
+
+
+class TestThresholdSensitivity:
+    def test_sca_suffers_more_at_lower_threshold(self):
+        """Figure 8/12: halving T inflates SCA's CMRPO far more than
+        CAT's."""
+        def run(scheme, t):
+            return simulate_workload(
+                "face", scheme=scheme, refresh_threshold=t, **FAST
+            ).cmrpo
+
+        sca_growth = run("sca", 16384) - run("sca", 32768)
+        drcat_growth = run("drcat", 16384) - run("drcat", 32768)
+        assert sca_growth > drcat_growth
+
+    def test_drcat_stays_under_ten_percent_at_8k(self):
+        """Figure 12: T=8K with doubled counters stays below 10%."""
+        r = simulate_workload(
+            "comm1",
+            scheme="drcat",
+            counters=128,
+            refresh_threshold=8192,
+            **FAST,
+        )
+        assert r.cmrpo < 0.10
+
+
+class TestAttackIntegration:
+    def test_heavier_attacks_cost_more_eto(self):
+        etos = [
+            simulate_attack(
+                "kernel01", mode, "sca", counters=128,
+                refresh_threshold=16384, **FAST
+            ).eto
+            for mode in ("light", "heavy")
+        ]
+        assert etos[1] > etos[0]
+
+    def test_cat_confines_attacks_better_than_sca(self):
+        """Section VIII-D: CAT refreshes far fewer rows under attack."""
+        sca = simulate_attack(
+            "kernel02", "heavy", "sca", counters=128,
+            refresh_threshold=16384, **FAST
+        )
+        drcat = simulate_attack(
+            "kernel02", "heavy", "drcat", counters=64,
+            refresh_threshold=16384, **FAST
+        )
+        assert (
+            drcat.totals.rows_refreshed_per_bank_interval
+            < 0.5 * sca.totals.rows_refreshed_per_bank_interval
+        )
+
+
+class TestSweepIntegration:
+    def test_mean_ordering_over_sample(self):
+        """Figure 8 headline: CAT mean CMRPO beats SCA and PRA means."""
+        results = sweep(
+            workloads=["black", "face", "comm1", "libq"],
+            schemes=("pra", "sca", "drcat"),
+            **FAST,
+        )
+        means = suite_means(results, "cmrpo")
+        assert means["drcat"] < means["sca"]
+        assert means["drcat"] < means["pra"]
+
+    def test_sweep_results_all_populated(self):
+        results = sweep(workloads=["mum"], schemes=("sca", "prcat"), **FAST)
+        for result in results.values():
+            assert result.totals.accesses > 0
+            assert result.cmrpo >= 0

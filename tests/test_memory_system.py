@@ -1,0 +1,103 @@
+"""Tests for the memory system (banks + per-bank mitigation engines)."""
+
+import pytest
+
+from repro.core.sca import SCAScheme
+from repro.dram.config import SystemConfig
+from repro.dram.memory_system import MemorySystem
+
+
+def small_config():
+    return SystemConfig(rows_per_bank=1024)
+
+
+class TestWiring:
+    def test_one_scheme_per_bank(self):
+        config = small_config()
+        system = MemorySystem(config, lambda n: SCAScheme(n, 100, 8))
+        assert len(system.schemes) == config.n_banks
+        ids = {id(s) for s in system.schemes}
+        assert len(ids) == config.n_banks
+
+    def test_unprotected_baseline(self):
+        system = MemorySystem(small_config(), None)
+        system.access(0.0, 0, 5)
+        assert system.total_refresh_commands == 0
+
+    def test_rejects_bad_epoch(self):
+        with pytest.raises(ValueError):
+            MemorySystem(small_config(), None, epoch_s=0)
+
+
+class TestRefreshFlow:
+    def test_scheme_refresh_reaches_bank(self):
+        system = MemorySystem(small_config(), lambda n: SCAScheme(n, 10, 8))
+        for i in range(10):
+            system.access(float(i * 100), 0, 5)
+        assert system.total_refresh_commands == 1
+        assert system.total_rows_refreshed == 129  # clamped group + 1
+        assert system.banks[0].refresh_backlog_rows > 0
+
+    def test_refresh_isolated_to_bank(self):
+        system = MemorySystem(small_config(), lambda n: SCAScheme(n, 10, 8))
+        for i in range(10):
+            system.access(float(i * 100), 3, 5)
+        assert system.banks[3].rows_refreshed > 0
+        assert system.banks[0].rows_refreshed == 0
+
+    def test_activations_counted_per_bank(self):
+        system = MemorySystem(small_config(), None)
+        system.access(0.0, 0, 1)
+        system.access(10.0, 1, 1)
+        system.access(20.0, 1, 2)
+        assert system.banks[0].activations == 1
+        assert system.banks[1].activations == 2
+        assert system.total_activations == 3
+
+
+class TestEpochs:
+    def test_epoch_boundary_invokes_scheme_hook(self):
+        system = MemorySystem(
+            small_config(), lambda n: SCAScheme(n, 100, 8), epoch_s=1e-6
+        )
+        system.access(0.0, 0, 5)
+        system.access(5000.0, 0, 5)  # 5 us later: several epochs passed
+        assert system.schemes[0].stats.resets >= 1
+
+    def test_epoch_counts_reset_counters(self):
+        system = MemorySystem(
+            small_config(), lambda n: SCAScheme(n, 100, 8), epoch_s=1e-6
+        )
+        for i in range(50):
+            system.access(float(i), 0, 5)
+        assert system.schemes[0].counter_value(0) == 50
+        system.access(2000.0, 0, 5)
+        assert system.schemes[0].counter_value(0) == 1
+
+    def test_multiple_epochs_advance(self):
+        system = MemorySystem(
+            small_config(), lambda n: SCAScheme(n, 100, 8), epoch_s=1e-6
+        )
+        system.access(0.0, 0, 5)
+        system.access(10_000.0, 0, 5)  # 10 epochs later
+        assert system.schemes[0].stats.resets == 10
+
+
+class TestAggregates:
+    def test_scheme_stats_merged(self):
+        system = MemorySystem(small_config(), lambda n: SCAScheme(n, 10, 8))
+        for bank in range(2):
+            for i in range(10):
+                system.access(float(i * 50), bank, 5)
+        merged = system.scheme_stats()
+        assert merged["activations"] == 20
+        assert merged["refresh_commands"] == 2
+
+    def test_stall_aggregation(self):
+        system = MemorySystem(small_config(), lambda n: SCAScheme(n, 5, 8))
+        t = 0.0
+        for i in range(200):
+            t += 200.0  # idle gaps so the refresh backlog can drain
+            system.access(t, 0, 5)
+        assert system.total_stall_ns >= 0.0
+        assert system.total_mitigation_busy_ns > 0.0

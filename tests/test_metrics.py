@@ -1,0 +1,88 @@
+"""Tests for result records and metric derivation."""
+
+import pytest
+
+from repro.energy.cmrpo import CMRPOBreakdown
+from repro.sim.metrics import RunTotals, SimulationResult, format_table, mean_over
+
+
+def totals(**kw):
+    defaults = dict(
+        scheme="sca",
+        workload="test",
+        scale=16.0,
+        n_banks_simulated=2,
+        n_intervals=4,
+        accesses=1000,
+        refresh_commands=10,
+        rows_refreshed=800,
+        stall_ns=1000.0,
+        elapsed_ns=1e6,
+        mitigation_busy_ns=5000.0,
+        full_scale_accesses_per_interval=500_000.0,
+    )
+    defaults.update(kw)
+    return RunTotals(**defaults)
+
+
+class TestRunTotals:
+    def test_rows_per_bank_interval(self):
+        t = totals(rows_refreshed=800, n_banks_simulated=2, n_intervals=4)
+        assert t.rows_refreshed_per_bank_interval == 100.0
+
+    def test_eto_corrects_for_scale(self):
+        t = totals(stall_ns=1600.0, elapsed_ns=1e6, scale=16.0)
+        assert t.eto == pytest.approx(1600.0 / 1e6 / 16.0)
+
+    def test_eto_zero_when_no_time(self):
+        assert totals(elapsed_ns=0.0).eto == 0.0
+
+
+class TestSimulationResult:
+    def make(self):
+        return SimulationResult(
+            totals=totals(),
+            cmrpo_breakdown=CMRPOBreakdown(0.01, 0.02, 0.03),
+            parameters={"n_counters": 64},
+        )
+
+    def test_properties(self):
+        r = self.make()
+        assert r.scheme == "sca"
+        assert r.workload == "test"
+        assert r.cmrpo == pytest.approx(0.06 / 2.5)
+
+    def test_summary_fields(self):
+        summary = self.make().summary()
+        assert summary["workload"] == "test"
+        assert summary["cmrpo_pct"] == pytest.approx(100 * 0.06 / 2.5)
+        assert "rows_per_interval" in summary
+
+
+class TestHelpers:
+    def test_mean_over(self):
+        results = [self.make_result(c) for c in (0.02, 0.04)]
+        assert mean_over(results, "cmrpo") == pytest.approx(
+            (results[0].cmrpo + results[1].cmrpo) / 2
+        )
+
+    def make_result(self, refresh_mw):
+        return SimulationResult(
+            totals=totals(),
+            cmrpo_breakdown=CMRPOBreakdown(0.0, 0.0, refresh_mw),
+        )
+
+    def test_mean_over_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_over([], "cmrpo")
+
+    def test_format_table(self):
+        rows = [
+            {"name": "a", "value": 1.5},
+            {"name": "bb", "value": 2.25},
+        ]
+        text = format_table(rows, ["name", "value"])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in text and "2.250" in text
+        assert len(lines) == 4

@@ -1,0 +1,96 @@
+"""Tests for the PRNG models (true-random vs LFSR)."""
+
+import pytest
+
+from repro.analysis.prng import LFSR_TAPS, CountingPRNG, LFSRPRNG, TrueRandomPRNG
+
+
+class TestTrueRandom:
+    def test_range(self):
+        prng = TrueRandomPRNG(seed=0)
+        draws = [prng.next_bits(9) for _ in range(2000)]
+        assert all(0 <= d < 512 for d in draws)
+
+    def test_rough_uniformity(self):
+        prng = TrueRandomPRNG(seed=0)
+        draws = [prng.next_bits(4) for _ in range(16000)]
+        counts = [draws.count(v) for v in range(16)]
+        assert min(counts) > 700 and max(counts) < 1300
+
+    def test_seeded_reproducibility(self):
+        a = TrueRandomPRNG(seed=42)
+        b = TrueRandomPRNG(seed=42)
+        assert [a.next_bits(8) for _ in range(50)] == [
+            b.next_bits(8) for _ in range(50)
+        ]
+
+
+class TestLFSR:
+    def test_rejects_unknown_width(self):
+        with pytest.raises(ValueError):
+            LFSRPRNG(width=7)
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ValueError):
+            LFSRPRNG(width=16, seed=0)
+
+    def test_state_never_zero(self):
+        lfsr = LFSRPRNG(width=8, seed=1)
+        for _ in range(300):
+            lfsr.step()
+            assert lfsr._state != 0
+
+    def test_maximal_period_width8(self):
+        """The width-8 taps are primitive: period 2^8 - 1."""
+        lfsr = LFSRPRNG(width=8, seed=1)
+        start = lfsr._state
+        period = 0
+        while True:
+            lfsr.step()
+            period += 1
+            if lfsr._state == start:
+                break
+            assert period <= 255, "period exceeds maximal length"
+        assert period == 255
+
+    def test_maximal_period_width9(self):
+        lfsr = LFSRPRNG(width=9, seed=3)
+        start = lfsr._state
+        period = 0
+        while True:
+            lfsr.step()
+            period += 1
+            if lfsr._state == start:
+                break
+            assert period <= 511
+        assert period == 511
+
+    def test_sequence_repeats_with_period(self):
+        lfsr = LFSRPRNG(width=8, seed=0x5A)
+        seq1 = [lfsr.step() for _ in range(255)]
+        seq2 = [lfsr.step() for _ in range(255)]
+        assert seq1 == seq2
+
+    def test_deterministic_draws(self):
+        a = LFSRPRNG(width=16, seed=0xACE1)
+        b = LFSRPRNG(width=16, seed=0xACE1)
+        assert [a.next_bits(9) for _ in range(100)] == [
+            b.next_bits(9) for _ in range(100)
+        ]
+
+    def test_period_bound(self):
+        assert LFSRPRNG(width=16).period_bound == 65535
+
+    def test_all_widths_have_valid_taps(self):
+        for width in LFSR_TAPS:
+            lfsr = LFSRPRNG(width=width, seed=1)
+            bits = [lfsr.step() for _ in range(64)]
+            assert set(bits) <= {0, 1}
+            assert any(bits), "degenerate all-zero output"
+
+
+class TestCountingPRNG:
+    def test_wraps_to_bit_width(self):
+        prng = CountingPRNG(510)
+        draws = [prng.next_bits(9) for _ in range(4)]
+        assert draws == [510, 511, 0, 1]

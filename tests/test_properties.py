@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These verify the DESIGN.md invariants over randomised access sequences:
+
+1. the CAT partition always tiles the bank exactly;
+2. rowhammer safety: with a deterministic scheme in the loop, no row's
+   unrefreshed activation count ever exceeds the refresh threshold;
+3. counter conservation across splits and merges;
+4. CAT under uniform access degenerates to SCA's uniform grouping.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import ActivationLedger
+from repro.core.counter_tree import CounterTree
+from repro.core.sca import SCAScheme
+from repro.core.cat import PRCATScheme
+from repro.core.drcat import DRCATScheme
+from repro.core.thresholds import SplitThresholds
+
+N_ROWS = 256
+
+
+def tree_strategy():
+    return st.tuples(
+        st.sampled_from([4, 8, 16]),          # counters
+        st.sampled_from([64, 128, 256]),      # refresh threshold
+        st.booleans(),                        # weights
+    )
+
+
+access_seq = st.lists(st.integers(0, N_ROWS - 1), min_size=1, max_size=400)
+
+
+class TestPartitionInvariant:
+    @settings(max_examples=60, deadline=None)
+    @given(params=tree_strategy(), rows=access_seq, data=st.data())
+    def test_partition_tiles_bank(self, params, rows, data):
+        m, t, weights = params
+        th = SplitThresholds.create(t, m, max_levels=int(np.log2(m)) + 3)
+        tree = CounterTree(N_ROWS, th, track_weights=weights)
+        for row in rows:
+            tree.access(row)
+        tree.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows=access_seq)
+    def test_partition_after_reset(self, rows):
+        th = SplitThresholds.create(64, 8, 6)
+        tree = CounterTree(N_ROWS, th, track_weights=True)
+        for i, row in enumerate(rows):
+            tree.access(row)
+            if i % 97 == 96:
+                tree.reset()
+        tree.reset()
+        tree.check_invariants()
+        assert tree.active_counters == 4  # presplit for M=8
+
+
+class TestRowhammerSafety:
+    """No row may accumulate more than T activations unrefreshed."""
+
+    def _run_safety(self, scheme, rows, threshold):
+        ledger = ActivationLedger(scheme.n_rows)
+        for row in rows:
+            ledger.activate(row)
+            for cmd in scheme.access(row):
+                c = cmd.clamped(scheme.n_rows)
+                ledger.refresh_range(c.low, c.high)
+            assert ledger.max_pressure() <= threshold, (
+                f"row pressure {ledger.max_pressure()} exceeds T={threshold}"
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.lists(st.integers(0, N_ROWS - 1), min_size=50, max_size=600),
+        m=st.sampled_from([4, 8, 16]),
+    )
+    def test_sca_is_safe(self, rows, m):
+        scheme = SCAScheme(N_ROWS, 32, m)
+        self._run_safety(scheme, rows, 32)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.lists(st.integers(0, N_ROWS - 1), min_size=50, max_size=600),
+    )
+    def test_prcat_is_safe(self, rows):
+        scheme = PRCATScheme(N_ROWS, 64, n_counters=8, max_levels=6)
+        self._run_safety(scheme, rows, 64)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.lists(st.integers(0, N_ROWS - 1), min_size=50, max_size=600),
+    )
+    def test_drcat_is_safe(self, rows):
+        scheme = DRCATScheme(N_ROWS, 64, n_counters=8, max_levels=6)
+        self._run_safety(scheme, rows, 64)
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_drcat_safe_under_adversarial_hammer(self, data):
+        """Focused hammering with drift — the hardest deterministic case."""
+        scheme = DRCATScheme(N_ROWS, 64, n_counters=8, max_levels=7)
+        targets = data.draw(
+            st.lists(st.integers(0, N_ROWS - 1), min_size=1, max_size=4)
+        )
+        rows = []
+        for t in targets:
+            rows.extend([t] * 200)
+        self._run_safety(scheme, rows, 64)
+
+
+class TestCounterConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(rows=access_seq)
+    def test_active_plus_free_constant(self, rows):
+        th = SplitThresholds.create(64, 8, 7)
+        tree = CounterTree(N_ROWS, th, track_weights=True)
+        for row in rows:
+            tree.access(row)
+            assert tree.active_counters + tree.free_counters == 8
+
+
+class TestSCAEquivalence:
+    def test_uniform_cat_refreshes_same_groups_as_sca(self):
+        """Invariant 4: under uniform access CAT converges to SCA_M.
+
+        After convergence both schemes partition the bank into M equal
+        groups, so their refresh ranges coincide.
+        """
+        m, t = 8, 64
+        th = SplitThresholds.create(t, m, 6)
+        tree = CounterTree(N_ROWS, th)
+        rng = np.random.default_rng(0)
+        for row in rng.integers(0, N_ROWS, size=3000):
+            tree.access(int(row))
+        assert tree.is_balanced()
+        group = N_ROWS // m
+        expected = {(i * group, (i + 1) * group - 1) for i in range(m)}
+        got = {(lo, hi) for lo, hi, _ in tree.partition()}
+        assert got == expected
+
+
+class TestScaleInvariance:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_refresh_counts_stable_under_scaling(self, seed):
+        """Invariant 6: dividing T and the access count by the same
+        factor leaves refreshes-per-interval roughly unchanged."""
+        rng = np.random.default_rng(seed)
+        hot = int(rng.integers(0, N_ROWS))
+        base_rows = [
+            hot if rng.random() < 0.5 else int(rng.integers(0, N_ROWS))
+            for _ in range(4000)
+        ]
+        results = []
+        for scale in (1, 2):
+            t = 256 // scale
+            th = SplitThresholds.create(t, 8, 6)
+            tree = CounterTree(N_ROWS, th)
+            for row in base_rows[: len(base_rows) // scale]:
+                tree.access(row)
+            results.append(tree.total_refresh_commands)
+        assert abs(results[0] - results[1]) <= max(3, results[0] // 2)

@@ -1,0 +1,94 @@
+"""Tests for refresh accounting and system configuration."""
+
+import pytest
+
+from repro.dram.config import (
+    DUAL_CORE_2CH,
+    DUAL_CORE_4CH,
+    NAMED_CONFIGS,
+    QUAD_CORE_2CH,
+    SystemConfig,
+)
+from repro.dram.refresh import RefreshAccountant, intervals_in
+
+
+class TestRefreshAccountant:
+    def test_victim_rows_accumulate(self):
+        acc = RefreshAccountant(65536)
+        acc.record_victim_refresh(100)
+        acc.record_victim_refresh(30)
+        assert acc.victim_rows == 130
+        assert acc.commands == 2
+        assert acc.victim_energy_nj() == pytest.approx(130.0)
+
+    def test_interval_sealing(self):
+        acc = RefreshAccountant(65536)
+        acc.record_victim_refresh(100)
+        acc.close_interval()
+        acc.record_victim_refresh(40)
+        acc.close_interval()
+        assert acc.per_interval == [100, 40]
+        assert acc.mean_rows_per_interval() == 70.0
+
+    def test_mean_empty(self):
+        assert RefreshAccountant(64).mean_rows_per_interval() == 0.0
+
+    def test_power_computation(self):
+        acc = RefreshAccountant(65536)
+        acc.record_victim_refresh(64_000)
+        # 64k nJ over 64 ms = 1 mW
+        assert acc.victim_power_mw(0.064) == pytest.approx(1.0)
+
+    def test_power_requires_positive_time(self):
+        with pytest.raises(ValueError):
+            RefreshAccountant(64).victim_power_mw(0.0)
+
+    def test_rejects_negative_rows(self):
+        with pytest.raises(ValueError):
+            RefreshAccountant(64).record_victim_refresh(-1)
+
+    def test_reference_constants(self):
+        assert RefreshAccountant.regular_refresh_power_mw() == 2.5
+        assert RefreshAccountant.regular_refresh_energy_per_interval_nj(
+            65536
+        ) == pytest.approx(65536.0)
+
+    def test_intervals_in(self):
+        assert intervals_in(0.64) == pytest.approx(10.0)
+
+
+class TestSystemConfig:
+    def test_default_matches_table1(self):
+        c = DUAL_CORE_2CH
+        assert c.n_cores == 2
+        assert c.n_channels == 2
+        assert c.banks_per_rank == 8
+        assert c.rows_per_bank == 65536
+        assert c.n_banks == 16
+        assert c.rob_entries == 128
+        assert c.address_mapping == "rw:rk:bk:ch:col:offset"
+
+    def test_four_channel_quadruples_banks(self):
+        assert DUAL_CORE_4CH.n_banks == 64
+        assert DUAL_CORE_2CH.with_channels(4).n_banks == 64
+
+    def test_quad_core_rows(self):
+        assert QUAD_CORE_2CH.rows_per_bank == 131072
+        assert DUAL_CORE_2CH.with_cores(4).rows_per_bank == 131072
+        assert QUAD_CORE_2CH.with_cores(2).rows_per_bank == 65536
+
+    def test_named_configs(self):
+        assert set(NAMED_CONFIGS) == {
+            "dual-core/2channels",
+            "dual-core/4channels",
+            "quad-core/2channels",
+            "quad-core/4channels",
+        }
+        assert NAMED_CONFIGS["quad-core/4channels"].n_banks == 64
+
+    def test_total_rows(self):
+        assert DUAL_CORE_2CH.total_rows == 16 * 65536
+
+    def test_timings_row_refresh_is_trc(self):
+        t = DUAL_CORE_2CH.timings
+        assert t.row_refresh_ns == t.t_rc

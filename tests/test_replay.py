@@ -1,0 +1,106 @@
+"""Tests for the end-to-end trace replay pipeline."""
+
+import io
+
+import pytest
+
+from repro.cpu.trace import read_trace, write_trace
+from repro.dram.config import SystemConfig
+from repro.sim.replay import ReplayResult, replay_trace, synthesize_trace
+from repro.workloads.suites import get_workload
+
+CONFIG = SystemConfig(rows_per_bank=4096)
+
+
+class TestSynthesize:
+    def test_record_count(self):
+        records = synthesize_trace(get_workload("black"), CONFIG, 1000)
+        assert len(records) == 1000
+
+    def test_addresses_decode_in_range(self):
+        from repro.dram.address import AddressMapper
+
+        mapper = AddressMapper(CONFIG)
+        records = synthesize_trace(get_workload("comm1"), CONFIG, 500)
+        for record in records:
+            decoded = mapper.decode(record.address)
+            assert 0 <= decoded.row < CONFIG.rows_per_bank
+            assert decoded.flat_bank(CONFIG) < CONFIG.n_banks
+
+    def test_deterministic(self):
+        a = synthesize_trace(get_workload("black"), CONFIG, 300)
+        b = synthesize_trace(get_workload("black"), CONFIG, 300)
+        assert a == b
+
+    def test_read_write_mix(self):
+        records = synthesize_trace(get_workload("comm1"), CONFIG, 2000)
+        reads = sum(1 for r in records if r.op == "R")
+        spec = get_workload("comm1")
+        assert reads / len(records) == pytest.approx(spec.read_fraction, abs=0.08)
+
+    def test_empty(self):
+        assert synthesize_trace(get_workload("black"), CONFIG, 0) == []
+
+    def test_roundtrips_through_trace_format(self):
+        records = synthesize_trace(get_workload("mum"), CONFIG, 100)
+        buf = io.StringIO()
+        write_trace(records, buf)
+        buf.seek(0)
+        assert list(read_trace(buf)) == records
+
+
+class TestReplay:
+    def _trace(self, workload="black", n=4000):
+        return synthesize_trace(get_workload(workload), CONFIG, n)
+
+    def test_replay_produces_result(self):
+        result = replay_trace(
+            self._trace(), CONFIG, scheme="drcat", refresh_threshold=256
+        )
+        assert isinstance(result, ReplayResult)
+        assert result.requests == 4000
+        assert result.activations > 0
+        assert result.execution_time_ns > 0
+
+    def test_coalescing_reduces_activations(self):
+        """Same-row bursts coalesce, so activations <= requests."""
+        result = replay_trace(
+            self._trace(), CONFIG, scheme="sca", refresh_threshold=256
+        )
+        assert result.activations <= result.requests
+
+    def test_skewed_trace_triggers_refreshes(self):
+        result = replay_trace(
+            self._trace("black"), CONFIG, scheme="sca", refresh_threshold=128
+        )
+        assert result.refresh_commands > 0
+        assert result.rows_refreshed > 0
+
+    def test_cat_refreshes_fewer_rows_than_sca(self):
+        trace = self._trace("black", 8000)
+        sca = replay_trace(trace, CONFIG, scheme="sca", refresh_threshold=128)
+        drcat = replay_trace(
+            trace, CONFIG, scheme="drcat", refresh_threshold=128, max_levels=11
+        )
+        assert drcat.rows_refreshed < sca.rows_refreshed
+
+    def test_eto_fraction(self):
+        result = replay_trace(
+            self._trace(), CONFIG, scheme="sca", refresh_threshold=128
+        )
+        assert 0.0 <= result.eto < 1.0
+
+    def test_pra_scheme_in_pipeline(self):
+        result = replay_trace(
+            self._trace(),
+            CONFIG,
+            scheme="pra",
+            refresh_threshold=256,
+            pra_probability=0.01,
+        )
+        assert result.rows_refreshed > 0
+
+    def test_empty_trace(self):
+        result = replay_trace([], CONFIG, scheme="drcat")
+        assert result.requests == 0
+        assert result.eto == 0.0

@@ -1,0 +1,64 @@
+"""Tests for the ROB-limited CPU front end."""
+
+import pytest
+
+from repro.cpu.rob import ROBFrontEnd
+from repro.cpu.trace import TraceRecord
+from repro.dram.config import DUAL_CORE_2CH
+
+
+def records(gaps, op="R"):
+    return [TraceRecord(g, op, i * 64) for i, g in enumerate(gaps)]
+
+
+class TestScheduling:
+    def test_times_monotone(self):
+        fe = ROBFrontEnd(DUAL_CORE_2CH)
+        timed = fe.schedule(records([10] * 200))
+        times = [t.time_ns for t in timed]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_gap_scaling_by_frequency(self):
+        fe = ROBFrontEnd(DUAL_CORE_2CH)
+        timed = fe.schedule(records([3200, 3200]))
+        # 3200 cycles at 3.2 GHz fetch-width 4 -> 250 ns per record
+        assert timed[1].time_ns - timed[0].time_ns == pytest.approx(250.0)
+
+    def test_write_flag_propagates(self):
+        fe = ROBFrontEnd(DUAL_CORE_2CH)
+        timed = fe.schedule(records([1, 1], op="W"))
+        assert all(t.is_write for t in timed)
+
+    def test_empty_trace(self):
+        fe = ROBFrontEnd(DUAL_CORE_2CH)
+        assert fe.schedule([]) == []
+        assert fe.estimated_execution_time_ns([]) == 0.0
+
+
+class TestROBPressure:
+    def test_zero_gap_burst_throttled_by_rob(self):
+        """With zero compute gaps, issue rate is bounded by ROB drain."""
+        fe = ROBFrontEnd(DUAL_CORE_2CH, memory_latency_ns=100.0)
+        n = 1000
+        timed = fe.schedule(records([0] * n))
+        span = timed[-1].time_ns - timed[0].time_ns
+        # ROB of 128 entries, each occupying 100 ns:
+        # steady state throughput is 128 per 100 ns -> ~780 ns for 1000
+        expected = (n - 128) / 128 * 100.0
+        assert span == pytest.approx(expected, rel=0.2)
+
+    def test_large_gaps_never_stall(self):
+        fe = ROBFrontEnd(DUAL_CORE_2CH, memory_latency_ns=100.0)
+        gaps = [10_000] * 50
+        timed = fe.schedule(records(gaps))
+        cycle_ns = 1.0 / DUAL_CORE_2CH.core_freq_ghz
+        per_record = 10_000 * cycle_ns / DUAL_CORE_2CH.fetch_width
+        span = timed[-1].time_ns - timed[0].time_ns
+        assert span == pytest.approx(per_record * 49, rel=0.01)
+
+    def test_execution_time_includes_last_latency(self):
+        fe = ROBFrontEnd(DUAL_CORE_2CH, memory_latency_ns=75.0)
+        records_ = records([100] * 10)
+        exec_time = fe.estimated_execution_time_ns(records_)
+        last_issue = fe.schedule(records_)[-1].time_ns
+        assert exec_time == pytest.approx(last_issue + 75.0)

@@ -1,0 +1,87 @@
+"""Tests for the experiment runner public API."""
+
+import pytest
+
+from repro.sim.runner import (
+    simulate_attack,
+    simulate_workload,
+    suite_means,
+    sweep,
+)
+from repro.workloads.suites import get_workload
+
+FAST = dict(scale=128.0, n_banks=1, n_intervals=1)
+
+
+class TestSimulateWorkload:
+    def test_basic_run(self):
+        result = simulate_workload("black", scheme="drcat", **FAST)
+        assert result.scheme == "drcat"
+        assert result.workload == "black"
+        assert 0.0 <= result.cmrpo < 1.0
+
+    def test_accepts_spec_object(self):
+        spec = get_workload("libq")
+        result = simulate_workload(spec, scheme="sca", **FAST)
+        assert result.workload == "libq"
+
+    def test_full_name_aliases(self):
+        result = simulate_workload("blackscholes", scheme="sca", **FAST)
+        assert result.workload == "black"
+        result = simulate_workload("facesim", scheme="sca", **FAST)
+        assert result.workload == "face"
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            simulate_workload("quake3", **FAST)
+
+    def test_counter_knob(self):
+        result = simulate_workload("libq", scheme="sca", counters=128, **FAST)
+        assert result.parameters["n_counters"] == 128
+
+
+class TestSweep:
+    def test_keys_are_workload_scheme_pairs(self):
+        results = sweep(
+            workloads=["black", "libq"], schemes=("sca", "drcat"), **FAST
+        )
+        assert set(results) == {
+            ("black", "sca"),
+            ("black", "drcat"),
+            ("libq", "sca"),
+            ("libq", "drcat"),
+        }
+
+    def test_scheme_overrides(self):
+        results = sweep(
+            workloads=["libq"],
+            schemes=("sca", "drcat"),
+            scheme_overrides={"sca": {"counters": 128}},
+            **FAST,
+        )
+        assert results[("libq", "sca")].parameters["n_counters"] == 128
+        assert results[("libq", "drcat")].parameters["n_counters"] == 64
+
+    def test_suite_means(self):
+        results = sweep(workloads=["black", "libq"], schemes=("sca",), **FAST)
+        means = suite_means(results, "cmrpo")
+        assert set(means) == {"sca"}
+        expected = (
+            results[("black", "sca")].cmrpo + results[("libq", "sca")].cmrpo
+        ) / 2
+        assert means["sca"] == pytest.approx(expected)
+
+
+class TestSimulateAttack:
+    def test_attack_by_name(self):
+        result = simulate_attack(
+            "kernel02", "medium", "sca", refresh_threshold=16384, **FAST
+        )
+        assert "kernel02" in result.workload
+        assert result.totals.rows_refreshed >= 0
+
+    def test_attack_benign_choice(self):
+        result = simulate_attack(
+            "kernel01", "light", "prcat", benign="comm1", **FAST
+        )
+        assert "comm1" in result.workload

@@ -1,0 +1,99 @@
+"""Tests for the Figure 2 SCA energy-breakdown model."""
+
+import pytest
+
+from repro.analysis.sca_energy import (
+    COUNTER_CACHE_SIZES,
+    FIGURE2_M_SWEEP,
+    counter_cache_energy_nj,
+    counter_energy_nj,
+    energy_crossover_m,
+    figure2_sweep,
+    optimal_m,
+    refresh_energy_nj,
+)
+
+
+class TestSweepShape:
+    def test_sweep_covers_16_to_65536(self):
+        assert FIGURE2_M_SWEEP[0] == 16
+        assert FIGURE2_M_SWEEP[-1] == 65536
+        points = figure2_sweep()
+        assert [p.n_counters for p in points] == list(FIGURE2_M_SWEEP)
+
+    def test_counter_energy_increases_with_m(self):
+        points = figure2_sweep()
+        energies = [p.counter_energy_nj for p in points]
+        assert all(b > a for a, b in zip(energies, energies[1:]))
+
+    def test_refresh_energy_decreases_with_m(self):
+        points = figure2_sweep()
+        energies = [p.refresh_energy_nj for p in points]
+        assert all(b < a for a, b in zip(energies, energies[1:]))
+
+    def test_refresh_dominates_at_small_m(self):
+        p16 = figure2_sweep()[0]
+        assert p16.refresh_energy_nj > p16.counter_energy_nj
+
+    def test_counters_dominate_at_large_m(self):
+        p64k = figure2_sweep()[-1]
+        assert p64k.counter_energy_nj > p64k.refresh_energy_nj
+
+    def test_crossover_exists(self):
+        points = figure2_sweep()
+        m = energy_crossover_m(points)
+        assert 16 < m < 65536
+
+
+class TestOptimum:
+    def test_minimum_near_128(self):
+        """Figure 2: the total is minimised at M = 128."""
+        best = optimal_m(figure2_sweep())
+        assert best in (64, 128, 256)
+
+    def test_sca128_beats_sca65536_by_orders_of_magnitude(self):
+        points = {p.n_counters: p for p in figure2_sweep()}
+        assert points[128].total_nj * 50 < points[65536].total_nj
+
+
+class TestCounterCaches:
+    def test_cache_lines_match_iso_storage_sca(self):
+        """The 2KB/8KB cache lines intersect SCA4096/SCA16384."""
+        accesses = 582_000.0
+        for label, equiv_m in COUNTER_CACHE_SIZES.items():
+            cache = counter_cache_energy_nj(label, accesses)
+            sca_equiv = counter_energy_nj(equiv_m, accesses)
+            assert cache == pytest.approx(sca_equiv, rel=1e-9)
+
+    def test_sca128_below_both_caches(self):
+        """SCA128's total energy is ~1.5 orders of magnitude below the
+        2KB counter cache (Section III-B)."""
+        accesses = 582_000.0
+        points = {p.n_counters: p for p in figure2_sweep()}
+        assert points[128].total_nj * 10 < counter_cache_energy_nj("2KB", accesses)
+
+    def test_unknown_cache_label(self):
+        with pytest.raises(KeyError):
+            counter_cache_energy_nj("64KB", 1000.0)
+
+
+class TestRefreshModel:
+    def test_rows_per_hit_shrinks_with_m(self):
+        # N/M + 2 rows per hit: doubling M should roughly halve energy
+        e64 = refresh_energy_nj(64, 65536, 582_000.0)
+        e128 = refresh_energy_nj(128, 65536, 582_000.0)
+        assert 1.6 < e64 / e128 < 2.4
+
+    def test_scales_with_intensity(self):
+        lo = refresh_energy_nj(128, 65536, 100_000.0)
+        hi = refresh_energy_nj(128, 65536, 200_000.0)
+        assert hi == pytest.approx(2 * lo, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            refresh_energy_nj(0, 65536, 1000.0)
+
+    def test_measured_override(self):
+        points = figure2_sweep(measured_refresh_nj={128: 1234.5})
+        by_m = {p.n_counters: p for p in points}
+        assert by_m[128].refresh_energy_nj == 1234.5

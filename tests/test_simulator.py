@@ -1,0 +1,136 @@
+"""Tests for the trace-driven simulator and its scaling machinery."""
+
+import numpy as np
+import pytest
+
+from repro.dram.config import DUAL_CORE_2CH, SystemConfig
+from repro.sim.simulator import (
+    TraceDrivenSimulator,
+    _merge_streams,
+    _phase_segments,
+    scaled_threshold,
+)
+from repro.workloads.suites import get_workload
+
+
+class TestScaledThreshold:
+    def test_divides(self):
+        assert scaled_threshold(32768, 16.0) == 2048
+
+    def test_floors_at_32(self):
+        assert scaled_threshold(32768, 10000.0) == 32
+
+    def test_identity(self):
+        assert scaled_threshold(32768, 1.0) == 32768
+
+
+class TestPhaseSegments:
+    def test_single_phase(self):
+        assert _phase_segments(0, 1) == [(1.0, 0)]
+        assert _phase_segments(5, 1) == [(1.0, 0)]
+
+    def test_fractions_sum_to_one(self):
+        for phases in (2, 3, 5):
+            for interval in range(3):
+                segments = _phase_segments(interval, phases)
+                assert sum(f for f, _ in segments) == pytest.approx(1.0)
+
+    def test_boundaries_not_epoch_aligned(self):
+        """The trailing segment of interval i shares its phase id with
+        the leading segment of interval i+1 (no change at the epoch)."""
+        tail_phase = _phase_segments(0, 2)[-1][1]
+        head_phase = _phase_segments(1, 2)[0][1]
+        assert tail_phase == head_phase
+
+    def test_phase_ids_advance(self):
+        segs = _phase_segments(0, 3)
+        ids = [p for _, p in segs]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+
+class TestMergeStreams:
+    def test_sorted_by_time(self):
+        a = (np.array([5.0, 10.0]), np.array([1, 2]))
+        b = (np.array([1.0, 7.0]), np.array([3, 4]))
+        merged = _merge_streams([a, b])
+        assert list(merged[:, 0]) == [1.0, 5.0, 7.0, 10.0]
+
+    def test_bank_tags(self):
+        a = (np.array([1.0]), np.array([42]))
+        b = (np.array([2.0]), np.array([43]))
+        merged = _merge_streams([a, b])
+        assert merged[0][1] == 0 and merged[1][1] == 1
+        assert merged[0][2] == 42 and merged[1][2] == 43
+
+    def test_empty(self):
+        assert _merge_streams([]).shape == (0, 3)
+
+
+class TestSimulatorRuns:
+    def make(self, scheme, **kw):
+        defaults = dict(scale=64.0, n_banks_simulated=1, n_intervals=1)
+        defaults.update(kw)
+        return TraceDrivenSimulator(DUAL_CORE_2CH, scheme, **defaults)
+
+    def test_totals_consistent(self):
+        sim = self.make("sca", n_counters=64)
+        result = sim.run(get_workload("black"))
+        totals = result.totals
+        assert totals.accesses > 0
+        assert totals.elapsed_ns == pytest.approx(64e6 / 64.0)
+        assert totals.rows_refreshed >= totals.refresh_commands
+
+    def test_deterministic(self):
+        r1 = self.make("drcat").run(get_workload("comm1"))
+        r2 = self.make("drcat").run(get_workload("comm1"))
+        assert r1.totals.rows_refreshed == r2.totals.rows_refreshed
+        assert r1.cmrpo == r2.cmrpo
+
+    def test_refresh_rows_scale_invariant(self):
+        """DESIGN.md invariant 6: rows/interval is stable across scales."""
+        rows = []
+        for scale in (32.0, 64.0):
+            sim = self.make("sca", scale=scale)
+            result = sim.run(get_workload("black"))
+            rows.append(result.totals.rows_refreshed_per_bank_interval)
+        assert rows[0] == pytest.approx(rows[1], rel=0.35)
+
+    def test_pra_probability_plumbs_through(self):
+        sim = self.make("pra", pra_probability=0.004)
+        result = sim.run(get_workload("libq"))
+        assert result.parameters["probability"] == 0.004
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            self.make("sca", scale=0.5)
+
+    def test_banks_capped_at_config(self):
+        sim = self.make("sca", n_banks_simulated=1000)
+        assert sim.n_banks_simulated == DUAL_CORE_2CH.n_banks
+
+    def test_cat_schedule_scaled(self):
+        sim = self.make("prcat", scale=16.0)
+        scheme = sim._scheme_factory()(DUAL_CORE_2CH.rows_per_bank)
+        assert scheme.schedule.refresh_threshold == 2048
+        assert scheme.tree.thresholds.refresh_threshold == 2048
+
+    def test_attack_run(self):
+        from repro.workloads.attacks import ATTACK_KERNELS
+
+        sim = self.make("sca", refresh_threshold=16384)
+        result = sim.run_attack(
+            ATTACK_KERNELS[0], "heavy", get_workload("libq")
+        )
+        assert result.totals.rows_refreshed > 0
+        assert "kernel01" in result.workload
+
+
+class TestQuadCoreConfig:
+    def test_quad_core_rows(self):
+        quad = SystemConfig(n_cores=4, rows_per_bank=131072)
+        sim = TraceDrivenSimulator(
+            quad, "sca", scale=128.0, n_banks_simulated=1, n_intervals=1
+        )
+        result = sim.run(get_workload("comm1"))
+        assert result.totals.accesses > 0

@@ -1,0 +1,62 @@
+"""Tests for the USIMM-style trace format."""
+
+import io
+
+import pytest
+
+from repro.cpu.trace import TraceRecord, load_trace, read_trace, save_trace, write_trace
+
+
+class TestRecord:
+    def test_roundtrip_with_pc(self):
+        rec = TraceRecord(12, "R", 0xDEADBEEF, pc=0x400100)
+        assert TraceRecord.from_line(rec.to_line()) == rec
+
+    def test_roundtrip_without_pc(self):
+        rec = TraceRecord(0, "W", 4096)
+        assert TraceRecord.from_line(rec.to_line()) == rec
+
+    def test_parses_decimal_and_hex(self):
+        rec = TraceRecord.from_line("5 R 4096")
+        assert rec.address == 4096
+        rec = TraceRecord.from_line("5 R 0x1000")
+        assert rec.address == 4096
+
+    def test_lowercase_op_accepted(self):
+        assert TraceRecord.from_line("1 r 0x10").op == "R"
+
+    def test_rejects_malformed_lines(self):
+        for line in ("", "1", "1 R", "1 R 0x10 0x20 extra", "x R 0x10"):
+            with pytest.raises(ValueError):
+                TraceRecord.from_line(line)
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            TraceRecord(-1, "R", 0)
+        with pytest.raises(ValueError):
+            TraceRecord(0, "X", 0)
+        with pytest.raises(ValueError):
+            TraceRecord(0, "R", -5)
+
+
+class TestStreams:
+    def test_write_read_roundtrip(self):
+        records = [
+            TraceRecord(i, "R" if i % 2 else "W", i * 64, pc=i * 4)
+            for i in range(100)
+        ]
+        buf = io.StringIO()
+        assert write_trace(records, buf) == 100
+        buf.seek(0)
+        assert list(read_trace(buf)) == records
+
+    def test_read_skips_comments_and_blanks(self):
+        buf = io.StringIO("# header\n\n1 R 0x40\n   \n2 W 0x80\n")
+        records = list(read_trace(buf))
+        assert len(records) == 2
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        records = [TraceRecord(3, "R", 128), TraceRecord(0, "W", 256)]
+        assert save_trace(records, path) == 2
+        assert load_trace(path) == records

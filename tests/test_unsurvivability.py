@@ -1,0 +1,130 @@
+"""Tests for the PRA reliability analysis (Eq. 1, Figure 1, LFSR MC)."""
+
+import math
+
+import pytest
+
+from repro.analysis.prng import LFSRPRNG, TrueRandomPRNG
+from repro.analysis.unsurvivability import (
+    CHIPKILL_UNSURVIVABILITY,
+    figure1_grid,
+    lfsr_effective_failure_rate,
+    minimum_probability_for_reliability,
+    monte_carlo_window_failures,
+    periods_in_years,
+    unsurvivability,
+)
+
+
+class TestEquation1:
+    def test_matches_closed_form(self):
+        p, t, q0, years = 0.002, 32768, 10.0, 5.0
+        expected = (1 - p) ** t * q0 * periods_in_years(years)
+        assert unsurvivability(p, t, years=years, q0=q0) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_periods_in_five_years(self):
+        # 5 years of 64 ms periods
+        assert periods_in_years(5) == pytest.approx(5 * 365 * 24 * 3600 / 0.064)
+
+    def test_decreasing_in_probability(self):
+        values = [unsurvivability(p, 16384) for p in (0.001, 0.003, 0.006)]
+        assert values[0] > values[1] > values[2]
+
+    def test_increasing_when_threshold_drops(self):
+        """Smaller T -> exponentially worse unsurvivability (paper's key
+        observation in Section III-A)."""
+        big_t = unsurvivability(0.002, 32768, q0=10)
+        small_t = unsurvivability(0.002, 8192, q0=40)
+        assert small_t > big_t * 1e6
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            unsurvivability(0.0, 32768)
+        with pytest.raises(ValueError):
+            unsurvivability(0.002, 0)
+
+
+class TestFigure1:
+    def test_grid_shape(self):
+        grid = figure1_grid()
+        assert set(grid) == {32768, 24576, 16384, 8192}
+        for series in grid.values():
+            assert set(series) == {0.001, 0.002, 0.003, 0.004, 0.005, 0.006}
+
+    def test_t32k_p2em3_beats_chipkill(self):
+        """Figure 1: for T=32K and p > 0.001, PRA beats Chipkill's 1E-4."""
+        grid = figure1_grid()
+        assert grid[32768][0.002] < CHIPKILL_UNSURVIVABILITY
+
+    def test_t16k_p002_misses_chipkill(self):
+        """The paper switches to p=0.003 at T=16K because p=0.002 fails."""
+        grid = figure1_grid()
+        assert grid[16384][0.002] > CHIPKILL_UNSURVIVABILITY
+        assert grid[16384][0.003] < CHIPKILL_UNSURVIVABILITY
+
+    def test_t8k_needs_p005(self):
+        grid = figure1_grid()
+        assert grid[8192][0.003] > CHIPKILL_UNSURVIVABILITY
+        assert grid[8192][0.005] < CHIPKILL_UNSURVIVABILITY
+
+
+class TestMinimumProbability:
+    def test_inverts_equation(self):
+        for t, q0 in ((32768, 10.0), (16384, 20.0), (8192, 40.0)):
+            p_min = minimum_probability_for_reliability(t, q0=q0)
+            at_min = unsurvivability(p_min, t, q0=q0)
+            assert at_min == pytest.approx(CHIPKILL_UNSURVIVABILITY, rel=1e-6)
+
+    def test_monotone_in_threshold(self):
+        ps = [
+            minimum_probability_for_reliability(t)
+            for t in (32768, 16384, 8192)
+        ]
+        assert ps[0] < ps[1] < ps[2]
+
+
+class TestMonteCarlo:
+    def test_trng_failure_rate_matches_closed_form(self):
+        # Use a small threshold so (1-p)^T is measurable
+        prng = TrueRandomPRNG(seed=3)
+        result = monte_carlo_window_failures(
+            prng, probability=0.004, refresh_threshold=512, n_windows=4000
+        )
+        # effective p is 2/512 = 0.00390625
+        expected = (1 - 2 / 512) ** 512
+        assert result.failure_rate == pytest.approx(expected, rel=0.35)
+
+    def test_intervals_to_reach_infinite_when_no_failures(self):
+        prng = TrueRandomPRNG(seed=3)
+        result = monte_carlo_window_failures(
+            prng, probability=0.05, refresh_threshold=2048, n_windows=200
+        )
+        assert result.failures == 0
+        assert result.intervals_to_reach(1e-4) == math.inf
+
+    def test_lfsr_worse_than_trng(self):
+        """Section III-A: LFSR-driven PRA fails much earlier.
+
+        A phase-aligned window either always hits or always misses; the
+        exact period analysis exposes alignments with zero refreshes.
+        """
+        width = 16
+        t = 512
+        p = 0.004
+        lfsr_rate = lfsr_effective_failure_rate(width, p, t)
+        trng_rate = (1 - 2 / 512) ** t
+        assert lfsr_rate > trng_rate
+
+    def test_lfsr_exact_rate_in_unit_range(self):
+        rate = lfsr_effective_failure_rate(16, 0.005, 2048)
+        assert 0.0 <= rate <= 1.0
+
+
+class TestLFSRExactAnalysis:
+    def test_no_hits_means_certain_failure(self):
+        # probability so small that the 9-bit cut only matches value 0;
+        # if the LFSR never emits 9 zero bits in a window, failure certain
+        rate = lfsr_effective_failure_rate(8, 0.0001, 10_000)
+        assert rate == pytest.approx(0.0, abs=1e-9) or rate == 1.0
