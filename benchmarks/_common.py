@@ -7,7 +7,10 @@ reports.  Simulation fidelity knobs are environment-tunable:
 * ``REPRO_BENCH_SCALE`` — threshold/intensity scale divisor (default 24;
   lower = closer to full scale but slower);
 * ``REPRO_BENCH_INTERVALS`` — refresh intervals per run (default 2);
-* ``REPRO_BENCH_BANKS`` — banks simulated per run (default 1).
+* ``REPRO_BENCH_BANKS`` — banks simulated per run (default 1);
+* ``REPRO_BENCH_ENGINE`` — ``batched`` (default) or ``scalar``;
+* ``REPRO_BENCH_WORKERS`` — process-pool width for sweeps (default 1;
+  0 = one worker per CPU).
 
 Sweeps shared by several figures (e.g. Figure 8 and Figure 9 use the
 same 18-workload runs) are cached per process.
@@ -28,6 +31,10 @@ RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "24"))
 BENCH_INTERVALS = int(os.environ.get("REPRO_BENCH_INTERVALS", "2"))
 BENCH_BANKS = int(os.environ.get("REPRO_BENCH_BANKS", "1"))
+BENCH_ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "batched")
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+if BENCH_WORKERS == 0:
+    BENCH_WORKERS = os.cpu_count() or 1
 
 #: The paper's per-threshold PRA probabilities (Figure 1 reliability).
 PRA_P_FOR_T = {65536: 0.001, 32768: 0.002, 16384: 0.003, 8192: 0.005}
@@ -48,6 +55,7 @@ def sim_kwargs(**overrides) -> dict:
         scale=BENCH_SCALE,
         n_banks=BENCH_BANKS,
         n_intervals=BENCH_INTERVALS,
+        engine=BENCH_ENGINE,
     )
     kw.update(overrides)
     return kw
@@ -55,19 +63,38 @@ def sim_kwargs(**overrides) -> dict:
 
 @functools.lru_cache(maxsize=None)
 def fig8_sweep(refresh_threshold: int):
-    """The 18-workload × 5-scheme sweep behind Figures 8 and 9."""
-    results = {}
+    """The 18-workload × 5-scheme sweep behind Figures 8 and 9.
+
+    Labelled scheme configurations are flattened into independent
+    (workload, label) cells so ``REPRO_BENCH_WORKERS`` can spread the
+    whole figure over a process pool; per-cell seeding keeps results
+    identical at any worker count.
+    """
     pra_p = PRA_P_FOR_T[refresh_threshold]
+    cells = []
     for label, scheme, extra in FIG8_SCHEMES:
         for workload in WORKLOAD_ORDER:
             kw = sim_kwargs(
                 refresh_threshold=refresh_threshold, pra_probability=pra_p
             )
             kw.update(extra)
-            results[(workload, label)] = simulate_workload(
-                workload, scheme=scheme, **kw
-            )
-    return results
+            cells.append((workload, label, scheme, kw))
+    if BENCH_WORKERS > 1:
+        import concurrent.futures
+
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(BENCH_WORKERS, len(cells))
+        ) as pool:
+            outputs = list(pool.map(_fig8_cell, cells))
+    else:
+        outputs = [_fig8_cell(cell) for cell in cells]
+    return dict(outputs)
+
+
+def _fig8_cell(cell):
+    """One (workload, labelled scheme) run; module-level for pickling."""
+    workload, label, scheme, kw = cell
+    return (workload, label), simulate_workload(workload, scheme=scheme, **kw)
 
 
 def emit(name: str, title: str, rows: list[dict], columns: list[str]) -> str:

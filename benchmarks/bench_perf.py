@@ -1,0 +1,187 @@
+"""Simulation-throughput benchmark: scalar vs. batched engine.
+
+Writes ``benchmarks/results/BENCH_perf.json`` with, per scheme, the
+accesses/second of the scalar and batched engines on the profile
+workload (``mum``, the hot-path workload from the ISSUE-1 cProfile) and
+the wall-clock of a Figure 8 mini-sweep, so the performance trajectory
+is tracked across PRs.  A third baseline, ``seed_path``, replays the
+seed repository's exact scalar hot loop (float64 merged matrix with
+per-event ``int()`` casts) for an apples-to-apples speedup figure
+against the pre-optimization code.
+
+Usage::
+
+    python benchmarks/bench_perf.py             # full run, writes JSON
+    python benchmarks/bench_perf.py --smoke     # drcat-only, fast
+    python benchmarks/bench_perf.py --check     # exit 1 unless the
+                                                # batched engine is >=5x
+                                                # the scalar engine on
+                                                # drcat (regression gate)
+
+The ``--check`` floor is half the 10x tentpole target, i.e. it fails on
+a >2x throughput regression of the batched engine relative to where the
+tentpole landed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import RESULTS_DIR  # noqa: E402
+
+from repro.sim.runner import (  # noqa: E402
+    DEFAULT_BANKS,
+    DEFAULT_INTERVALS,
+    DEFAULT_SCALE,
+    simulate_workload,
+    sweep,
+)
+
+PROFILE_WORKLOAD = "mum"
+SCHEMES = ("drcat", "prcat", "sca", "pra", "ccache")
+#: Minimum accepted batched/scalar speedup on drcat for ``--check``.
+CHECK_MIN_SPEEDUP = 5.0
+#: Mini-sweep used for the wall-clock trend (subset of Figure 8).
+MINI_SWEEP_WORKLOADS = ("mum", "libq", "black", "comm1")
+MINI_SWEEP_SCHEMES = ("pra", "sca", "prcat", "drcat")
+
+
+def _measure(engine: str, scheme: str, repeats: int) -> tuple[float, int]:
+    """Best wall-clock and access count of ``simulate_workload``."""
+    best = float("inf")
+    accesses = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = simulate_workload(PROFILE_WORKLOAD, scheme, engine=engine)
+        best = min(best, time.perf_counter() - start)
+        accesses = result.totals.accesses
+    return best, accesses
+
+
+def _measure_seed_path(scheme: str, repeats: int) -> float:
+    """Wall-clock of the seed repository's scalar hot loop.
+
+    Reproduces the pre-optimization ``_run_streams`` body: a float64
+    ``(time, bank, row)`` matrix merged with a stable argsort and walked
+    row by row with ``int()`` casts into ``MemorySystem.access``.
+    """
+    import numpy as np
+
+    from repro.dram.config import DUAL_CORE_2CH
+    from repro.dram.memory_system import MemorySystem
+    from repro.sim.simulator import TraceDrivenSimulator
+    from repro.workloads.suites import get_workload
+    from repro.workloads.synthetic import interarrival_times_ns
+
+    spec = get_workload(PROFILE_WORKLOAD)
+    best = float("inf")
+    for _ in range(repeats):
+        sim = TraceDrivenSimulator(DUAL_CORE_2CH, scheme, engine="scalar")
+        start = time.perf_counter()
+        memory = MemorySystem(
+            sim.config, sim._scheme_factory(), epoch_s=sim.epoch_s
+        )
+        epoch_ns = sim.epoch_s * 1e9
+        arrival_rng = np.random.Generator(np.random.PCG64(0xC0FFEE))
+        for interval in range(sim.n_intervals):
+            chunks = []
+            for bank in range(sim.n_banks_simulated):
+                rows = sim._interval_rows(spec, bank, interval)
+                times = interarrival_times_ns(arrival_rng, len(rows), epoch_ns)
+                chunk = np.empty((len(rows), 3))
+                chunk[:, 0] = times + interval * epoch_ns
+                chunk[:, 1] = bank
+                chunk[:, 2] = rows
+                chunks.append(chunk)
+            merged = np.concatenate(chunks)
+            merged = merged[np.argsort(merged[:, 0], kind="stable")]
+            access = memory.access
+            for time_ns, bank, row in merged:
+                access(time_ns, int(bank), int(row))
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bench(smoke: bool = False, repeats: int = 3) -> dict:
+    """Measure all engines; return the JSON-ready report."""
+    schemes = ("drcat",) if smoke else SCHEMES
+    report: dict = {
+        "workload": PROFILE_WORKLOAD,
+        "sim_kwargs": {
+            "scale": DEFAULT_SCALE,
+            "n_banks": DEFAULT_BANKS,
+            "n_intervals": DEFAULT_INTERVALS,
+        },
+        "schemes": {},
+    }
+    for scheme in schemes:
+        scalar_s, accesses = _measure("scalar", scheme, repeats)
+        batched_s, _ = _measure("batched", scheme, repeats)
+        seed_s = _measure_seed_path(scheme, 1 if smoke else 2)
+        report["schemes"][scheme] = {
+            "accesses": accesses,
+            "scalar_s": round(scalar_s, 4),
+            "batched_s": round(batched_s, 4),
+            "seed_path_s": round(seed_s, 4),
+            "scalar_accesses_per_s": round(accesses / scalar_s),
+            "batched_accesses_per_s": round(accesses / batched_s),
+            "speedup_vs_scalar": round(scalar_s / batched_s, 2),
+            "speedup_vs_seed_path": round(seed_s / batched_s, 2),
+        }
+    if not smoke:
+        start = time.perf_counter()
+        sweep(
+            workloads=MINI_SWEEP_WORKLOADS,
+            schemes=MINI_SWEEP_SCHEMES,
+            engine="batched",
+        )
+        report["fig8_mini_sweep_s"] = round(time.perf_counter() - start, 3)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="drcat only (fast CI mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless batched >= "
+                             f"{CHECK_MIN_SPEEDUP}x scalar on drcat")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    report = run_bench(smoke=args.smoke, repeats=args.repeats)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_perf.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    print(f"== engine throughput on {report['workload']} ==")
+    for scheme, row in report["schemes"].items():
+        print(
+            f"{scheme:7s} scalar {row['scalar_accesses_per_s']:>10,}/s   "
+            f"batched {row['batched_accesses_per_s']:>10,}/s   "
+            f"speedup {row['speedup_vs_scalar']:5.1f}x "
+            f"(vs seed path {row['speedup_vs_seed_path']:5.1f}x)"
+        )
+    if "fig8_mini_sweep_s" in report:
+        print(f"fig8 mini-sweep: {report['fig8_mini_sweep_s']} s")
+    print(f"wrote {out}")
+
+    if args.check:
+        speedup = report["schemes"]["drcat"]["speedup_vs_scalar"]
+        if speedup < CHECK_MIN_SPEEDUP:
+            print(
+                f"FAIL: drcat batched speedup {speedup}x is below the "
+                f"{CHECK_MIN_SPEEDUP}x regression floor"
+            )
+            return 1
+        print(f"check ok: drcat batched speedup {speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,11 +5,14 @@ Subcommands::
     python -m repro run --workload black --scheme drcat [--threshold 32768]
     python -m repro compare --workload face [--threshold 16384]
     python -m repro attack --kernel kernel03 --mode heavy --scheme sca
+    python -m repro sweep --workers 8 [--workloads mum libq]
     python -m repro workloads
     python -m repro hardware [--counters 64]
 
-All simulation knobs (scale, banks, intervals) are exposed as flags; the
-defaults match the benchmark harness.
+All simulation knobs (scale, banks, intervals, engine) are exposed as
+flags; the defaults match the benchmark harness.  ``--engine scalar``
+selects the per-event reference loop; the default batched engine is
+bit-identical and ~an order of magnitude faster.
 """
 
 from __future__ import annotations
@@ -17,8 +20,9 @@ from __future__ import annotations
 import argparse
 
 from repro.energy.hardware_model import TABLE2_M, pra_hardware, scheme_hardware
+from repro.sim.engine import ENGINES
 from repro.sim.metrics import format_table
-from repro.sim.runner import simulate_attack, simulate_workload
+from repro.sim.runner import simulate_attack, simulate_workload, sweep
 from repro.workloads.attacks import ATTACK_KERNELS, ATTACK_MODES
 from repro.workloads.suites import SUITES, WORKLOAD_ORDER, get_workload
 
@@ -38,6 +42,9 @@ def _add_sim_flags(parser: argparse.ArgumentParser) -> None:
                         help="banks simulated (default 1)")
     parser.add_argument("--intervals", type=int, default=2,
                         help="refresh intervals simulated (default 2)")
+    parser.add_argument("--engine", choices=list(ENGINES), default="batched",
+                        help="simulation engine (default batched; both are "
+                             "event-exact and bit-identical)")
 
 
 def _sim_kwargs(args: argparse.Namespace) -> dict:
@@ -49,6 +56,7 @@ def _sim_kwargs(args: argparse.Namespace) -> dict:
         scale=args.scale,
         n_banks=args.banks,
         n_intervals=args.intervals,
+        engine=args.engine,
     )
 
 
@@ -87,6 +95,23 @@ def cmd_attack(args: argparse.Namespace) -> int:
     )
     print(format_table([_result_row(f"{args.scheme} vs {args.kernel}", result)],
                        ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: (workload x scheme) grid, optionally parallel."""
+    workloads = args.workloads or list(WORKLOAD_ORDER)
+    results = sweep(
+        workloads=workloads,
+        schemes=tuple(args.schemes),
+        workers=args.workers,
+        **_sim_kwargs(args),
+    )
+    rows = [
+        _result_row(f"{workload}/{scheme}", result)
+        for (workload, scheme), result in results.items()
+    ]
+    print(format_table(rows, ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
     return 0
 
 
@@ -171,6 +196,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_atk.add_argument("--benign", default="libq", choices=list(WORKLOAD_ORDER))
     _add_sim_flags(p_atk)
     p_atk.set_defaults(func=cmd_attack)
+
+    p_sweep = sub.add_parser("sweep", help="workload x scheme sweep")
+    p_sweep.add_argument("--workloads", nargs="*", default=None,
+                         choices=list(WORKLOAD_ORDER),
+                         help="workloads to sweep (default: all 18)")
+    p_sweep.add_argument("--schemes", nargs="*",
+                         default=["pra", "sca", "prcat", "drcat"],
+                         choices=["pra", "sca", "prcat", "drcat", "ccache"])
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="process-pool width (default 1 = serial)")
+    _add_sim_flags(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_wl = sub.add_parser("workloads", help="list the 18 workload models")
     p_wl.set_defaults(func=cmd_workloads)

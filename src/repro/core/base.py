@@ -16,6 +16,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass(frozen=True, slots=True)
 class RefreshCommand:
@@ -120,6 +122,27 @@ class MitigationScheme(abc.ABC):
     @abc.abstractmethod
     def access(self, row: int) -> list[RefreshCommand]:
         """Record one activation of ``row``; return triggered refreshes."""
+
+    def access_batch(
+        self, rows: np.ndarray
+    ) -> list[tuple[int, list[RefreshCommand]]]:
+        """Record a chunk of activations; return positioned refreshes.
+
+        Exact batch equivalent of calling :meth:`access` once per
+        element of ``rows`` (an int64 array): the returned
+        ``(position, commands)`` pairs name every access that emitted
+        commands, in stream order, and the scheme ends in the identical
+        state.  The default replays scalar ``access`` — always correct —
+        and counting schemes override it with a vectorized fast path
+        (see :mod:`repro.core.batch`).
+        """
+        events: list[tuple[int, list[RefreshCommand]]] = []
+        access = self.access
+        for i, row in enumerate(rows.tolist()):
+            cmds = access(row)
+            if cmds:
+                events.append((i, cmds))
+        return events
 
     def on_interval_boundary(self) -> None:
         """Hook invoked by the substrate at each 64 ms auto-refresh epoch.

@@ -1,0 +1,155 @@
+"""Shared machinery for the exact batched (vectorized) scheme fast path.
+
+The batched simulation engine (:mod:`repro.sim.engine`) replaces the
+per-activation Python loop with numpy chunk processing while remaining
+*event-exact*: it must emit the identical refresh-command sequence — at
+the identical stream positions — as the scalar loop, and leave every
+counter, statistic, and tree structure in the identical state.
+
+The core idea is *headroom bisection*.  Counting schemes (SCA and the
+CAT family) only change externally observable state when some counter
+crosses a threshold: a refresh, a split, or a DRCAT harvest attempt.
+Between such events, processing a chunk of activations is a pure
+per-counter accumulation, which vectorizes as an ``np.bincount``.  Each
+active counter therefore exposes a *headroom*: the number of further
+hits it can absorb before its next event.  A chunk whose per-counter hit
+counts all stay below the headroom is applied wholesale; otherwise
+:func:`find_first_event` locates the exact first crossing position, the
+prefix is applied in bulk, and the single event access is replayed
+through the scheme's scalar ``access`` — which stays the oracle for all
+tree mutations (split, harvest/merge, weight updates, epoch resets).
+
+Headroom may be *conservative* (too small) without breaking exactness:
+a flagged position whose scalar replay turns out not to be an event
+simply costs one extra scalar call.  It must never be optimistic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import MitigationScheme, RefreshCommand
+
+#: Window size for chunked batch processing.  Bounds the re-scan cost
+#: after an event (one occurrence scan of at most this many ids) while
+#: keeping the per-window Python overhead negligible.
+BATCH_WINDOW = 2048
+
+
+def find_first_event(
+    ids: np.ndarray, headroom: np.ndarray, n_bins: int
+) -> tuple[np.ndarray, int | None]:
+    """Locate the first threshold-crossing position in one chunk.
+
+    Parameters
+    ----------
+    ids:
+        Per-access counter index (``int64``, values in ``[0, n_bins)``).
+    headroom:
+        Per-counter hits-until-next-event (``int64``, ``>= 1`` for every
+        counter that appears in ``ids``).
+    n_bins:
+        Number of counters.
+
+    Returns
+    -------
+    ``(counts, position)`` where ``counts`` is the per-counter hit count
+    of the whole chunk and ``position`` is the index of the first access
+    that reaches its counter's headroom — or ``None`` when the entire
+    chunk is event-free.
+    """
+    counts = np.bincount(ids, minlength=n_bins)
+    if len(counts) > n_bins:
+        raise ValueError("counter id out of range")
+    crossing = counts >= headroom
+    if not crossing.any():
+        return counts, None
+    # Exact first crossing: only counters whose chunk hit count reaches
+    # their headroom can trigger, and counter c triggers at its
+    # headroom[c]-th occurrence (1-based).  Usually exactly one counter
+    # crosses, so a direct occurrence scan beats an occurrence sort.
+    position: int | None = None
+    for c in crossing.nonzero()[0].tolist():
+        occurrences = (ids == c).nonzero()[0]
+        pos = int(occurrences[int(headroom[c]) - 1])
+        if position is None or pos < position:
+            position = pos
+    return counts, position
+
+
+def check_rows(rows: np.ndarray, n_rows: int) -> None:
+    """Vectorized equivalent of the scalar per-access row range check."""
+    if len(rows) and (int(rows.min()) < 0 or int(rows.max()) >= n_rows):
+        bad = rows[(rows < 0) | (rows >= n_rows)][0]
+        raise ValueError(f"row {int(bad)} out of range for bank with {n_rows} rows")
+
+
+def counter_scheme_access_batch(
+    scheme: "MitigationScheme", rows: np.ndarray
+) -> list[tuple[int, list["RefreshCommand"]]]:
+    """Exact batched access for tree-based schemes (PRCAT / DRCAT).
+
+    Processes windows of accesses against the tree's row-block index
+    map, maintaining the window's per-counter hit counts incrementally:
+    event-free remainders apply wholesale via
+    :meth:`CounterTree.apply_bulk_counts`, and each event access replays
+    through the scheme's scalar ``access`` (the oracle).  Returns
+    ``(position, commands)`` pairs for every access that emitted
+    commands, in stream order.
+    """
+    n = len(rows)
+    if n == 0:
+        return []
+    check_rows(rows, scheme.n_rows)
+    tree = scheme.tree
+    n_bins = tree.n_counters
+    events: list[tuple[int, list["RefreshCommand"]]] = []
+    scalar_calls = 0
+    base = 0
+    while base < n:
+        chunk = rows[base : base + BATCH_WINDOW]
+        # Gather once per window; re-gather (and re-count the remainder)
+        # only after a structural mutation bumps the map version.
+        ids = tree.map_rows_to_counters(chunk)
+        version = tree._map_version
+        counts = np.bincount(ids, minlength=n_bins)
+        start = 0
+        while True:
+            headroom = tree._headroom()
+            crossing = counts >= headroom
+            if not crossing.any():
+                # No event left in the window: apply the remainder.
+                tree.apply_bulk_counts(counts)
+                break
+            # Counter c triggers at its headroom[c]-th remaining
+            # occurrence; the earliest such position is the event.
+            position: int | None = None
+            for c in crossing.nonzero()[0].tolist():
+                occurrences = (ids[start:] == c).nonzero()[0]
+                pos = start + int(occurrences[int(headroom[c]) - 1])
+                if position is None or pos < position:
+                    position = pos
+            prefix_counts = np.bincount(ids[start:position], minlength=n_bins)
+            tree.apply_bulk_counts(prefix_counts)
+            event_counter = int(ids[position])
+            cmds = scheme.access(int(chunk[position]))
+            scalar_calls += 1
+            if cmds:
+                events.append((base + position, cmds))
+            start = position + 1
+            if start >= len(chunk):
+                break
+            if tree._map_version != version:
+                ids = tree.map_rows_to_counters(chunk)
+                version = tree._map_version
+                counts = np.bincount(ids[start:], minlength=n_bins)
+            else:
+                counts -= prefix_counts
+                counts[event_counter] -= 1
+        base += len(chunk)
+    # Scalar replays already counted their own activations.
+    scheme.stats.activations += n - scalar_calls
+    return events

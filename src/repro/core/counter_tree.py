@@ -22,6 +22,8 @@ intermediate node) and the released counter splits the hot leaf.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.base import RefreshCommand
 from repro.core.thresholds import SplitThresholds
 
@@ -177,6 +179,18 @@ class CounterTree:
         # newly hot one of its harvest attempt.
         self._harvest_blocked = [False] * m
         self._harvest_budget = HARVEST_BUDGET_PER_REFRESH
+        # Batched fast path: the row_block -> counter index map is built
+        # lazily, updated in place on splits/merges, and dropped here on
+        # reset.  ``_map_version`` lets batch callers detect that ids
+        # they gathered earlier are stale.
+        self._index_map: np.ndarray | None = None
+        self._map_version = getattr(self, "_map_version", 0) + 1
+        # Split-threshold table indexed by level, recomputed here because
+        # the simulator swaps in a scaled schedule before calling reset().
+        self._split_threshold_by_level = np.array(
+            [self.thresholds.threshold_for_level(lv) for lv in range(self.max_levels)],
+            dtype=np.int64,
+        )
 
     # ------------------------------------------------------------------
     # hot path
@@ -295,6 +309,14 @@ class CounterTree:
         self._leaf_r[inode] = True
         self._replace_slot(row, old_leaf=idx, new_node=inode)
         self.total_splits += 1
+        if self._index_map is not None:
+            # Incremental map maintenance: the new counter takes over the
+            # upper half of the split range (block-aligned, since splits
+            # stop one level above single-block groups).
+            shift = self._block_shift
+            self._index_map[((mid + 1) >> shift) : (high >> shift) + 1] = new
+            self._map_version += 1
+            self._refresh_structural_caches()
 
     def _replace_slot(self, row: int, old_leaf: int, new_node: int) -> None:
         """Repoint the parent slot that held leaf ``old_leaf`` to an inode."""
@@ -322,6 +344,106 @@ class CounterTree:
             if is_leaf:
                 raise RuntimeError("leaf mismatch during split repointing")
             node = nxt
+
+    # ------------------------------------------------------------------
+    # batched fast path (see DESIGN.md, "Batched engine")
+    # ------------------------------------------------------------------
+    #
+    # Every active counter owns a contiguous, power-of-two-aligned row
+    # range no smaller than ``n_rows >> (max_levels - 1)`` rows (one
+    # *block*).  The flat ``row_block -> counter`` index map therefore
+    # turns ``lookup`` into an O(1) array gather, and a whole chunk of
+    # activations into one ``np.bincount``.  Splits and merges update
+    # the map in place (their ranges are block-aligned) and bump
+    # ``_map_version`` so holders of gathered ids re-gather; ``reset``
+    # drops it for lazy rebuild from the partition.
+
+    def _build_index_map(self) -> None:
+        block_bits = self.max_levels - 1
+        shift = self._n_addr_bits - block_bits
+        index_map = np.empty(1 << block_bits, dtype=np.int64)
+        for low, high, i in self.partition():
+            index_map[low >> shift : (high >> shift) + 1] = i
+        self._block_shift = shift
+        self._index_map = index_map
+        self._map_version += 1
+        self._refresh_structural_caches()
+
+    def _refresh_structural_caches(self) -> None:
+        """Per-counter arrays that only change with the tree structure."""
+        level = np.asarray(self._level, dtype=np.int64)
+        # Path length per counter: the scalar lookup performs 1 + level
+        # SRAM reads (1 when the root itself is the leaf).
+        if self._root_is_leaf:
+            self._reads_per_counter = np.ones(self.n_counters, dtype=np.int64)
+        else:
+            self._reads_per_counter = 1 + level
+        self._split_threshold_per_counter = self._split_threshold_by_level[level]
+        self._below_max_level = level < self.max_levels - 1
+        self._child_l_np = np.asarray(self._child_l)
+        self._child_r_np = np.asarray(self._child_r)
+        self._pair_inodes = (
+            np.asarray(self._inode_active)
+            & np.asarray(self._leaf_l)
+            & np.asarray(self._leaf_r)
+        ).nonzero()[0]
+
+    def _headroom(self) -> np.ndarray:
+        """Hits each counter absorbs before its next event (never 0).
+
+        An *event* is anything the bulk path cannot apply: a refresh
+        (count reaches ``T``), a split (split threshold crossed with a
+        free counter available), or a DRCAT harvest attempt (split
+        threshold crossed, pool exhausted, requester unblocked and
+        budget remaining).  A counter sitting above its split threshold
+        with no way to act has refresh-only headroom — exactly like the
+        scalar loop, which re-checks and does nothing each access.
+
+        Entries for inactive counters are meaningless (they never appear
+        in a gathered id array, and their chunk hit count is always 0).
+        """
+        count = np.asarray(self._count, dtype=np.int64)
+        headroom = self.thresholds.refresh_threshold - count
+        if self._free_counters:
+            eligible = self._below_max_level
+        elif self.track_weights and self._harvest_budget > 0:
+            eligible = self._below_max_level & ~np.asarray(
+                self._harvest_blocked, dtype=bool
+            )
+        else:
+            # Pool exhausted and no harvesting: refresh-only headroom.
+            # (Inactive counters report T, which is harmless — they
+            # never appear in a gathered id array.)
+            return headroom
+        split_headroom = np.maximum(1, self._split_threshold_per_counter - count)
+        return np.where(
+            eligible, np.minimum(headroom, split_headroom), headroom
+        )
+
+    def map_rows_to_counters(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized lookup: the active counter index covering each row.
+
+        Pure query — unlike :meth:`lookup` it does not touch the SRAM
+        read statistics.  The result stays valid until the next
+        structural mutation (split / merge / reset).
+        """
+        if self._index_map is None:
+            self._build_index_map()
+        return self._index_map[rows >> self._block_shift]
+
+    def apply_bulk_counts(self, counts: np.ndarray) -> None:
+        """Apply an event-free batch of per-counter hit counts.
+
+        Exact bulk equivalent of the corresponding scalar accesses:
+        counter values advance by their hit counts and the SRAM read
+        statistic grows by one traversal per access.  The caller (see
+        :func:`repro.core.batch.counter_scheme_access_batch`) guarantees
+        no counter crosses a threshold within the batch.
+        """
+        count_list = self._count
+        for c in counts.nonzero()[0].tolist():
+            count_list[c] += int(counts[c])
+        self.total_sram_reads += int(counts @ self._reads_per_counter)
 
     # ------------------------------------------------------------------
     # DRCAT weight tracking and reconfiguration
@@ -379,6 +501,14 @@ class CounterTree:
 
         left = self._child_l[inode]
         right = self._child_r[inode]
+        if self._index_map is not None:
+            # Incremental map maintenance: the promoted left counter
+            # absorbs the right sibling's (block-aligned) range.
+            shift = self._block_shift
+            self._index_map[
+                (self._low[right] >> shift) : (self._high[right] >> shift) + 1
+            ] = left
+            self._map_version += 1
         # Promote the left counter to cover the merged range; release the
         # right counter and the inode.  max() keeps detection sound: the
         # merged region can only be refreshed earlier, never later.
@@ -403,7 +533,8 @@ class CounterTree:
         self._n_active -= 1
         self.total_merges += 1
 
-        # Split the hot counter with the freed resources.
+        # Split the hot counter with the freed resources.  (_split also
+        # refreshes the structural caches for the level change above.)
         self._split(hot_idx, self._low[hot_idx])
         sibling = self._find_sibling_of(hot_idx)
         self._weight[hot_idx] = WEIGHT_AFTER_SPLIT
@@ -426,12 +557,12 @@ class CounterTree:
 
         Returns ``(inode, parent_inode, parent_slot_is_right)`` with
         ``parent_inode == -1`` when the inode is the root.  ``exclude``
-        (the hot counter) may not be one of the merged leaves.
+        (the hot counter) may not be one of the merged leaves.  Ties on
+        the merged count break toward the lowest inode index, a total
+        order independent of traversal history.
         """
         if self._root_is_leaf:
             return None
-        best: tuple[int, int, bool] | None = None
-        best_count = None
         # Merging lifts the surviving counter one level up; never lift
         # above the pre-split skeleton (the balanced hardware baseline),
         # or a later refresh would cover a larger group than even SCA's.
@@ -443,29 +574,57 @@ class CounterTree:
         # cold keep their stale counts until the next blanket refresh.)
         ceiling = self.thresholds.refresh_threshold - 1
         count_gate = ceiling if count_gate is None else min(ceiling, count_gate)
-        stack: list[tuple[int, int, bool]] = [(self._root, _NO_NODE, False)]
-        while stack:
-            node, parent, slot_right = stack.pop()
-            l_leaf, r_leaf = self._leaf_l[node], self._leaf_r[node]
-            left, right = self._child_l[node], self._child_r[node]
-            if l_leaf and r_leaf:
-                merged_count = max(self._count[left], self._count[right])
-                if (
-                    left != exclude
-                    and right != exclude
-                    and self._weight[left] == 0
-                    and self._weight[right] == 0
-                    and self._level[left] >= min_child_level
-                    and merged_count <= count_gate
-                ):
-                    if best_count is None or merged_count < best_count:
-                        best = (node, parent, slot_right)
-                        best_count = merged_count
-            if not l_leaf:
-                stack.append((left, node, False))
-            if not r_leaf:
-                stack.append((right, node, True))
-        return best
+        if self._index_map is not None:
+            # Batch mode keeps these in the structural caches.
+            inodes = self._pair_inodes
+            child_l, child_r = self._child_l_np, self._child_r_np
+        else:
+            inodes = (
+                np.asarray(self._inode_active)
+                & np.asarray(self._leaf_l)
+                & np.asarray(self._leaf_r)
+            ).nonzero()[0]
+            child_l = np.asarray(self._child_l)
+            child_r = np.asarray(self._child_r)
+        if not len(inodes):
+            return None
+        left = child_l[inodes]
+        right = child_r[inodes]
+        count = np.asarray(self._count)
+        weight = np.asarray(self._weight)
+        merged_count = np.maximum(count[left], count[right])
+        eligible = (
+            (left != exclude)
+            & (right != exclude)
+            & (weight[left] == 0)
+            & (weight[right] == 0)
+            & (np.asarray(self._level)[left] >= min_child_level)
+            & (merged_count <= count_gate)
+        )
+        chosen = eligible.nonzero()[0]
+        if not len(chosen):
+            return None
+        # argmin returns the first minimum; inodes is ascending, so ties
+        # resolve to the lowest inode index.
+        inode = int(inodes[chosen[np.argmin(merged_count[chosen])]])
+        parent, slot_right = self._parent_of_inode(inode)
+        return (inode, parent, slot_right)
+
+    def _parent_of_inode(self, inode: int) -> tuple[int, bool]:
+        """Locate the parent slot pointing at ``inode`` (root: ``-1``)."""
+        if self._root == inode:
+            return _NO_NODE, False
+        # Follow the address bits of any row the inode covers.
+        row = self._low[self._child_l[inode]]
+        node = self._root
+        shift = self._n_addr_bits - 1
+        while True:
+            bit = (row >> shift) & 1
+            shift -= 1
+            nxt = self._child_r[node] if bit else self._child_l[node]
+            if nxt == inode:
+                return node, bool(bit)
+            node = nxt
 
     def _find_sibling_of(self, idx: int) -> int | None:
         """Return the leaf sibling of leaf ``idx`` if it has one."""

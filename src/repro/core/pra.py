@@ -14,8 +14,11 @@ study of LFSR weakness reuses this scheme unchanged.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.analysis.prng import PRNG, TrueRandomPRNG
 from repro.core.base import MitigationScheme, RefreshCommand
+from repro.core.batch import check_rows
 
 #: Number of random bits the PRNG emits per activation; 9 bits resolve
 #: probabilities down to ~1/512 which covers the paper's p ∈ [0.001, 0.006]
@@ -50,6 +53,15 @@ class PRAScheme(MitigationScheme):
         """The probability actually realised after bit quantisation."""
         return self._cut / (1 << self.random_bits)
 
+    def _neighbor_commands(self, row: int) -> list[RefreshCommand]:
+        """The in-range ``row±1`` refreshes a successful coin-flip emits."""
+        commands = []
+        if row - 1 >= 0:
+            commands.append(RefreshCommand(row - 1, row - 1, reason="probabilistic"))
+        if row + 1 < self.n_rows:
+            commands.append(RefreshCommand(row + 1, row + 1, reason="probabilistic"))
+        return commands
+
     def access(self, row: int) -> list[RefreshCommand]:
         """Flip the coin; on success refresh rows ``row±1``."""
         self._check_row(row)
@@ -57,14 +69,36 @@ class PRAScheme(MitigationScheme):
         draw = self._prng.next_bits(self.random_bits)
         if draw >= self._cut:
             return []
-        commands = []
-        if row - 1 >= 0:
-            commands.append(RefreshCommand(row - 1, row - 1, reason="probabilistic"))
-        if row + 1 < self.n_rows:
-            commands.append(RefreshCommand(row + 1, row + 1, reason="probabilistic"))
+        commands = self._neighbor_commands(row)
         self.stats.refresh_commands += len(commands)
         self.stats.rows_refreshed += len(commands)
         return commands
+
+    def access_batch(
+        self, rows: np.ndarray
+    ) -> list[tuple[int, list[RefreshCommand]]]:
+        """Vectorized exact batch: one bulk PRNG draw per chunk.
+
+        ``PRNG.next_bits_batch`` consumes the generator stream exactly
+        as per-access draws would, so the firing positions — and hence
+        every downstream metric — are bit-identical to the scalar loop.
+        """
+        n = len(rows)
+        if n == 0:
+            return []
+        check_rows(rows, self.n_rows)
+        draws = self._prng.next_bits_batch(self.random_bits, n)
+        events: list[tuple[int, list[RefreshCommand]]] = []
+        n_commands = 0
+        for i in np.flatnonzero(draws < self._cut).tolist():
+            commands = self._neighbor_commands(int(rows[i]))
+            n_commands += len(commands)
+            if commands:
+                events.append((i, commands))
+        self.stats.activations += n
+        self.stats.refresh_commands += n_commands
+        self.stats.rows_refreshed += n_commands
+        return events
 
     @property
     def counters_in_use(self) -> int:

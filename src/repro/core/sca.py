@@ -13,7 +13,10 @@ shows the coarse-group refresh cost that motivates CAT.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.base import MitigationScheme, RefreshCommand
+from repro.core.batch import BATCH_WINDOW, check_rows, find_first_event
 
 
 class SCAScheme(MitigationScheme):
@@ -49,6 +52,52 @@ class SCAScheme(MitigationScheme):
         self.stats.refresh_commands += 1
         self.stats.rows_refreshed += cmd.row_count(self.n_rows)
         return [cmd]
+
+    def access_batch(
+        self, rows: np.ndarray
+    ) -> list[tuple[int, list[RefreshCommand]]]:
+        """Vectorized exact batch: bincount between threshold events.
+
+        Group membership is static, so the chunk maps to counters with a
+        single integer division; only the rare threshold-crossing access
+        (which resets its counter and emits the group refresh) replays
+        through the scalar :meth:`access`.
+        """
+        n = len(rows)
+        if n == 0:
+            return []
+        check_rows(rows, self.n_rows)
+        groups = rows // self.group_size
+        events: list[tuple[int, list[RefreshCommand]]] = []
+        scalar_calls = 0
+        base = 0
+        while base < n:
+            ids = groups[base : base + BATCH_WINDOW]
+            i = 0
+            while i < len(ids):
+                headroom = self.refresh_threshold - np.asarray(
+                    self._counts, dtype=np.int64
+                )
+                counts, position = find_first_event(
+                    ids[i:], headroom, self.n_counters
+                )
+                if position is None:
+                    prefix = len(ids) - i
+                else:
+                    prefix = position
+                    counts = np.bincount(ids[i : i + prefix], minlength=self.n_counters)
+                for c in np.flatnonzero(counts).tolist():
+                    self._counts[c] += int(counts[c])
+                i += prefix
+                if i < len(ids):
+                    cmds = self.access(int(rows[base + i]))
+                    scalar_calls += 1
+                    if cmds:
+                        events.append((base + i, cmds))
+                    i += 1
+            base += len(ids)
+        self.stats.activations += n - scalar_calls
+        return events
 
     def counter_value(self, group: int) -> int:
         """Current count of group ``group`` (test/inspection hook)."""

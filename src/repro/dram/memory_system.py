@@ -32,6 +32,11 @@ class MemorySystem:
         Callable ``(n_rows) -> MitigationScheme`` constructing one
         mitigation engine per bank.  ``None`` runs an unprotected
         baseline (used to measure the ETO denominator).
+    active_banks:
+        When given, only the first ``active_banks`` banks get mitigation
+        engines; the rest stay unprotected.  The trace-driven simulator
+        uses this to avoid constructing schemes for banks that never
+        receive traffic.
     """
 
     def __init__(
@@ -39,12 +44,16 @@ class MemorySystem:
         config: SystemConfig,
         scheme_factory: Callable[[int], MitigationScheme] | None,
         epoch_s: float = REFRESH_INTERVAL_S,
+        active_banks: int | None = None,
     ) -> None:
         self.config = config
+        n_active = config.n_banks if active_banks is None else active_banks
         self.banks = [BankState(config.timings) for _ in range(config.n_banks)]
         self.schemes: list[MitigationScheme | None] = [
-            scheme_factory(config.rows_per_bank) if scheme_factory else None
-            for _ in range(config.n_banks)
+            scheme_factory(config.rows_per_bank)
+            if scheme_factory and bank < n_active
+            else None
+            for bank in range(config.n_banks)
         ]
         if epoch_s <= 0:
             raise ValueError("epoch_s must be positive")
@@ -65,6 +74,17 @@ class MemorySystem:
                 self._apply_refresh(bank_state, done, cmd)
         self.last_completion_ns = max(self.last_completion_ns, bank_state.free_at_ns)
         return done
+
+    def access_batch(self, times_ns, banks, rows) -> None:
+        """Serve a merged activation stream through the batched engine.
+
+        Bit-exact equivalent of calling :meth:`access` per event (see
+        :mod:`repro.sim.engine`); ``times_ns`` must be sorted and lie on
+        the quarter-nanosecond simulation grid.
+        """
+        from repro.sim.engine import run_batched
+
+        run_batched(self, times_ns, banks, rows)
 
     def _apply_refresh(
         self, bank_state: BankState, time_ns: float, cmd: RefreshCommand

@@ -1,5 +1,6 @@
 """Simulation harness: trace-driven simulator, metrics, sweep runner."""
 
+from repro.sim.engine import ENGINES, TIME_QUANTUM_NS, quantize_times_ns, run_batched
 from repro.sim.metrics import (
     RunTotals,
     SimulationResult,
@@ -16,6 +17,10 @@ from repro.sim.runner import (
 from repro.sim.simulator import TraceDrivenSimulator, scaled_threshold
 
 __all__ = [
+    "ENGINES",
+    "TIME_QUANTUM_NS",
+    "quantize_times_ns",
+    "run_batched",
     "RunTotals",
     "SimulationResult",
     "format_table",

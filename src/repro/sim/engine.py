@@ -1,0 +1,130 @@
+"""The batched (vectorized) simulation engine.
+
+:func:`run_batched` drives a :class:`~repro.dram.memory_system.MemorySystem`
+through a merged ``(time, bank, row)`` activation stream exactly as the
+scalar loop ``for t, b, r: memory.access(t, b, r)`` would — same refresh
+commands at the same stream positions, same bank stall accounting, same
+scheme statistics — but in numpy chunks instead of per-event Python.
+
+Exactness rests on three facts (argued in DESIGN.md, "Batched engine"):
+
+1. **Scheme events are rare and localized.**  Between threshold
+   crossings a counting scheme is a pure per-counter accumulator, so
+   event-free stretches vectorize (``MitigationScheme.access_batch``),
+   and each event replays through the scalar oracle.
+2. **Banks only couple through epoch boundaries.**  Within one epoch
+   segment each bank's (scheme, timing) evolution depends only on its
+   own sub-stream, so banks process independently; the only global
+   state, ``last_completion_ns``, is a running max and commutes.
+3. **Quantized time makes float arithmetic exact.**  All arrival times
+   are floored to the quarter-nanosecond grid (:data:`TIME_QUANTUM_NS`),
+   on which every timing expression is exactly representable in
+   float64; vectorized re-association therefore changes nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.memory_system import MemorySystem
+
+#: Simulation time quantum (ns).  1/4 ns is a negative power of two, so
+#: every multiple is exactly representable in float64 — as are all the
+#: DDR3 timing constants (multiples of 1.25 ns = 5 quanta).
+TIME_QUANTUM_NS = 0.25
+
+#: Engines selectable on the simulator / runner / CLI.
+ENGINES = ("scalar", "batched")
+
+
+def quantize_times_ns(times: np.ndarray) -> np.ndarray:
+    """Floor timestamps to the quarter-nanosecond simulation grid.
+
+    ``t * 4`` and ``x * 0.25`` are exact float64 operations (powers of
+    two only shift the exponent), so the result is the largest grid
+    point ``<= t`` with no rounding anywhere.
+    """
+    return np.floor(times * 4.0) * TIME_QUANTUM_NS
+
+
+def run_batched(
+    memory: MemorySystem,
+    times: np.ndarray,
+    banks: np.ndarray,
+    rows: np.ndarray,
+) -> None:
+    """Drive ``memory`` through a merged stream, bit-exactly, in chunks.
+
+    ``times`` must be sorted (quarter-ns grid), ``banks``/``rows`` int64.
+    Equivalent to ``for t, b, r in zip(...): memory.access(t, b, r)``.
+    """
+    n = len(times)
+    start = 0
+    while start < n:
+        # The scalar loop advances epochs *before* serving the first
+        # access at/after each boundary; segment the stream accordingly.
+        boundary = memory._next_epoch_ns
+        end = start + int(np.searchsorted(times[start:], boundary, side="left"))
+        if end == start:
+            memory._advance_epochs(float(times[start]))
+            continue
+        segment_banks = banks[start:end]
+        present = np.bincount(segment_banks, minlength=len(memory.banks))
+        for bank in present.nonzero()[0].tolist():
+            mask = segment_banks == bank
+            _run_bank_segment(
+                memory, bank, times[start:end][mask], rows[start:end][mask]
+            )
+        start = end
+
+
+def run_batched_streams(
+    memory: MemorySystem,
+    streams: list[tuple[np.ndarray, np.ndarray]],
+) -> None:
+    """Drive ``memory`` through per-bank (times, rows) streams.
+
+    Equivalent to merging the streams in global time order and calling
+    :func:`run_batched` — the merged order only ever mattered for epoch
+    advancement, and epochs advance here between segments exactly as
+    the first crossing access would trigger them — but skips the merge
+    sort and the per-bank re-extraction entirely.  ``streams[bank]``
+    holds that bank's sorted (quarter-ns grid) arrival times and rows.
+    """
+    cursors = [0] * len(streams)
+    while True:
+        boundary = memory._next_epoch_ns
+        next_time: float | None = None
+        for bank, (times, rows) in enumerate(streams):
+            i = cursors[bank]
+            if i >= len(times):
+                continue
+            j = i + int(np.searchsorted(times[i:], boundary, side="left"))
+            if j > i:
+                _run_bank_segment(memory, bank, times[i:j], rows[i:j])
+                cursors[bank] = j
+            if j < len(times) and (next_time is None or times[j] < next_time):
+                next_time = float(times[j])
+        if next_time is None:
+            return
+        memory._advance_epochs(next_time)
+
+
+def _run_bank_segment(
+    memory: MemorySystem, bank: int, times: np.ndarray, rows: np.ndarray
+) -> None:
+    """Process one bank's accesses of one epoch segment."""
+    bank_state = memory.banks[bank]
+    scheme = memory.schemes[bank]
+    events = scheme.access_batch(rows) if scheme is not None else []
+    prev = 0
+    for position, commands in events:
+        bank_state.serve_accesses_batch(times[prev:position])
+        done = bank_state.serve_access(float(times[position]))
+        for cmd in commands:
+            memory._apply_refresh(bank_state, done, cmd)
+        prev = position + 1
+    bank_state.serve_accesses_batch(times[prev:])
+    memory.last_completion_ns = max(
+        memory.last_completion_ns, bank_state.free_at_ns
+    )

@@ -3,11 +3,15 @@
 :func:`simulate_workload` runs one (workload, scheme) experiment with the
 paper's default configuration; :func:`sweep` runs a cartesian sweep and
 returns results keyed by parameters — the helper every figure bench is
-built on.
+built on.  ``sweep(..., workers=N)`` dispatches independent
+(workload, scheme) cells over a process pool; every cell seeds its own
+generators deterministically, so results are identical at any worker
+count.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 from collections.abc import Iterable
 
 from repro.dram.config import DUAL_CORE_2CH, SystemConfig
@@ -35,11 +39,14 @@ def simulate_workload(
     scale: float = DEFAULT_SCALE,
     n_banks: int = DEFAULT_BANKS,
     n_intervals: int = DEFAULT_INTERVALS,
+    engine: str = "batched",
 ) -> SimulationResult:
     """Run one experiment and return CMRPO/ETO metrics.
 
     ``workload`` may be a Figure 8 label (``"blackscholes"`` is accepted
-    as an alias for ``"black"``) or a :class:`WorkloadSpec`.
+    as an alias for ``"black"``) or a :class:`WorkloadSpec`.  ``engine``
+    selects the per-event ``"scalar"`` loop or the (event-exact,
+    bit-identical) ``"batched"`` fast path.
     """
     spec = _resolve_workload(workload)
     sim = TraceDrivenSimulator(
@@ -53,6 +60,7 @@ def simulate_workload(
         scale=scale,
         n_banks_simulated=n_banks,
         n_intervals=n_intervals,
+        engine=engine,
     )
     return sim.run(spec)
 
@@ -71,6 +79,7 @@ def simulate_attack(
     scale: float = DEFAULT_SCALE,
     n_banks: int = DEFAULT_BANKS,
     n_intervals: int = DEFAULT_INTERVALS,
+    engine: str = "batched",
 ) -> SimulationResult:
     """Run one Figure 13 attack experiment."""
     kernel_obj = get_kernel(kernel) if isinstance(kernel, str) else kernel
@@ -85,13 +94,23 @@ def simulate_attack(
         scale=scale,
         n_banks_simulated=n_banks,
         n_intervals=n_intervals,
+        engine=engine,
     )
     return sim.run_attack(kernel_obj, mode, benign_spec)
+
+
+def _sweep_cell(
+    cell: tuple[WorkloadSpec, str, dict],
+) -> tuple[tuple[str, str], SimulationResult]:
+    """Run one (workload, scheme) cell; module-level for pickling."""
+    spec, scheme, kwargs = cell
+    return (spec.name, scheme), simulate_workload(spec, scheme, **kwargs)
 
 
 def sweep(
     workloads: Iterable[str | WorkloadSpec] | None = None,
     schemes: Iterable[str] = ("pra", "sca", "prcat", "drcat"),
+    workers: int = 1,
     **kwargs,
 ) -> dict[tuple[str, str], SimulationResult]:
     """Cartesian (workload × scheme) sweep.
@@ -99,18 +118,32 @@ def sweep(
     Returns ``{(workload_name, scheme): SimulationResult}``.  Keyword
     arguments forward to :func:`simulate_workload`; per-scheme overrides
     can be given as ``scheme_overrides={"sca": {"counters": 128}}``.
+
+    ``workers > 1`` runs the independent cells on a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  All seeding is
+    per-cell and deterministic, so the result dict is identical at any
+    worker count (cells are reassembled in submission order).
     """
     scheme_overrides: dict[str, dict] = kwargs.pop("scheme_overrides", {})
     names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
-    results: dict[tuple[str, str], SimulationResult] = {}
+    cells: list[tuple[WorkloadSpec, str, dict]] = []
     for workload in names:
         spec = _resolve_workload(workload)
         for scheme in schemes:
             overrides = dict(kwargs)
             overrides.update(scheme_overrides.get(scheme, {}))
-            results[(spec.name, scheme)] = simulate_workload(
-                spec, scheme, **overrides
-            )
+            cells.append((spec, scheme, overrides))
+    results: dict[tuple[str, str], SimulationResult] = {}
+    if workers > 1 and len(cells) > 1:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(cells))
+        ) as pool:
+            for key, result in pool.map(_sweep_cell, cells):
+                results[key] = result
+    else:
+        for cell in cells:
+            key, result = _sweep_cell(cell)
+            results[key] = result
     return results
 
 

@@ -18,7 +18,6 @@ stall ratio overstates ETO by exactly ``s`` and is corrected in
 
 from __future__ import annotations
 
-import math
 from collections.abc import Callable
 
 import numpy as np
@@ -28,6 +27,7 @@ from repro.core import make_scheme
 from repro.dram.config import REFRESH_INTERVAL_S, SystemConfig
 from repro.dram.memory_system import MemorySystem
 from repro.energy.cmrpo import compute_cmrpo
+from repro.sim.engine import ENGINES, quantize_times_ns, run_batched_streams
 from repro.sim.metrics import RunTotals, SimulationResult
 from repro.workloads.attacks import AttackKernel, attack_stream
 from repro.workloads.suites import WorkloadSpec
@@ -55,13 +55,17 @@ class TraceDrivenSimulator:
         scale: float = 16.0,
         n_banks_simulated: int = 2,
         n_intervals: int = 2,
+        engine: str = "batched",
     ) -> None:
         if scale < 1.0:
             raise ValueError("scale must be >= 1")
         if n_banks_simulated < 1 or n_intervals < 1:
             raise ValueError("need at least one bank and one interval")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.config = config
         self.scheme_kind = scheme_kind.lower()
+        self.engine = engine
         self.n_counters = n_counters
         self.max_levels = max_levels
         self.refresh_threshold = refresh_threshold
@@ -186,7 +190,10 @@ class TraceDrivenSimulator:
         rows_fn: Callable[[int, int], np.ndarray],
     ) -> RunTotals:
         memory = MemorySystem(
-            self.config, self._scheme_factory(), epoch_s=self.epoch_s
+            self.config,
+            self._scheme_factory(),
+            epoch_s=self.epoch_s,
+            active_banks=self.n_banks_simulated,
         )
         self._last_memory = memory
         epoch_ns = self.epoch_s * 1e9
@@ -198,13 +205,28 @@ class TraceDrivenSimulator:
             for bank in range(self.n_banks_simulated):
                 rows = rows_fn(bank, interval)
                 times = interarrival_times_ns(arrival_rng, len(rows), epoch_ns)
-                per_bank.append((times + base_ns, rows))
-            # Merge bank streams in global time order so epoch boundaries
-            # advance consistently for every scheme instance.
-            merged = _merge_streams(per_bank)
-            access = memory.access
-            for time_ns, bank, row in merged:
-                access(time_ns, int(bank), int(row))
+                # Quantize to the simulation time grid so the scalar and
+                # batched engines perform bit-identical arithmetic (see
+                # DESIGN.md, "Time quantization").
+                per_bank.append((quantize_times_ns(times + base_ns), rows))
+            if self.engine == "batched":
+                # Banks only couple at epoch boundaries, so the batched
+                # engine consumes the per-bank streams directly; the
+                # global merge order is irrelevant to the outcome.
+                run_batched_streams(memory, per_bank)
+            else:
+                # Merge bank streams in global time order so epoch
+                # boundaries advance consistently for every scheme.
+                merged_times, merged_banks, merged_rows = _merge_streams(
+                    per_bank
+                )
+                access = memory.access
+                for time_ns, bank, row in zip(
+                    merged_times.tolist(),
+                    merged_banks.tolist(),
+                    merged_rows.tolist(),
+                ):
+                    access(time_ns, bank, row)
             accesses += sum(len(rows) for _, rows in per_bank)
         elapsed_ns = self.n_intervals * epoch_ns
         return RunTotals(
@@ -293,20 +315,29 @@ def _phase_segments(interval: int, phase_count: int) -> list[tuple[float, int]]:
 
 def _merge_streams(
     per_bank: list[tuple[np.ndarray, np.ndarray]]
-) -> np.ndarray:
-    """Merge per-bank (times, rows) into one (time, bank, row) array."""
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge per-bank (times, rows) into sorted (times, banks, rows) arrays.
+
+    Bank and row ids stay in integer dtypes throughout (no ``float64``
+    round-trip), and one stable argsort on the time column preserves the
+    per-bank ordering for tied timestamps.
+    """
     if not per_bank:
-        return np.empty((0, 3))
-    chunks = []
-    for bank, (times, rows) in enumerate(per_bank):
-        chunk = np.empty((len(rows), 3))
-        chunk[:, 0] = times
-        chunk[:, 1] = bank
-        chunk[:, 2] = rows
-        chunks.append(chunk)
-    merged = np.concatenate(chunks)
-    order = np.argsort(merged[:, 0], kind="stable")
-    return merged[order]
+        return (
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    times = np.concatenate([t for t, _ in per_bank])
+    banks = np.concatenate(
+        [np.full(len(rows), bank, dtype=np.int64)
+         for bank, (_, rows) in enumerate(per_bank)]
+    )
+    rows = np.concatenate(
+        [r.astype(np.int64, copy=False) for _, r in per_bank]
+    )
+    order = np.argsort(times, kind="stable")
+    return times[order], banks[order], rows[order]
 
 
 def baseline_execution_time_ns(
@@ -315,10 +346,11 @@ def baseline_execution_time_ns(
     """Unprotected execution time for an interval (ETO denominator).
 
     Under the busy-horizon bank model the demand stream itself completes
-    at ``duration_ns`` plus at most one row cycle, so the denominator is
-    the simulated duration — which is how :class:`RunTotals` computes
-    ETO.  Exposed for tests that validate this assumption.
+    at ``duration_ns`` plus at most the one row cycle still in flight at
+    the interval's end, so the denominator is the simulated duration —
+    which is how :class:`RunTotals` computes ETO.  Exposed for tests
+    that validate this assumption.
     """
-    return duration_ns + config.timings.t_rc * math.ceil(
-        n_accesses / max(1, n_accesses)
-    )
+    if n_accesses <= 0:
+        return duration_ns
+    return duration_ns + config.timings.t_rc

@@ -21,6 +21,7 @@ would.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -79,16 +80,18 @@ class StreamModel:
         n_bg_acc = n_accesses - n_hot_acc
         parts = []
         if n_hot_acc and len(layout.hot_rows):
-            probs = _zipf_probs(len(layout.hot_rows), max(self.zipf_alpha, 1.0))
             parts.append(
-                rng.choice(layout.hot_rows, size=n_hot_acc, p=probs)
+                _zipf_draw(
+                    rng, layout.hot_rows, max(self.zipf_alpha, 1.0), n_hot_acc
+                )
             )
         elif n_hot_acc:
             n_bg_acc += n_hot_acc
         if n_bg_acc:
-            probs = _zipf_probs(len(layout.background_rows), self.zipf_alpha)
             parts.append(
-                rng.choice(layout.background_rows, size=n_bg_acc, p=probs)
+                _zipf_draw(
+                    rng, layout.background_rows, self.zipf_alpha, n_bg_acc
+                )
             )
         rows = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
         rng.shuffle(rows)
@@ -103,17 +106,44 @@ class PhaseLayout:
     background_rows: np.ndarray
 
 
+@functools.lru_cache(maxsize=256)
 def _zipf_probs(n: int, alpha: float) -> np.ndarray:
     """Normalised Zipf-over-ranks probabilities for ``n`` items.
 
     ``alpha = 0`` degenerates to uniform; larger alpha concentrates mass
-    on the first ranks.
+    on the first ranks.  Cached per (n, alpha): the sweep recomputes the
+    same distribution for every interval of every bank, and callers only
+    read it.
     """
     if n <= 0:
         raise ValueError("n must be positive")
     ranks = np.arange(1, n + 1, dtype=np.float64)
     weights = ranks ** (-alpha) if alpha > 0 else np.ones(n)
-    return weights / weights.sum()
+    probs = weights / weights.sum()
+    probs.setflags(write=False)
+    return probs
+
+
+@functools.lru_cache(maxsize=256)
+def _zipf_cdf(n: int, alpha: float) -> np.ndarray:
+    """Cached, normalised Zipf CDF over ``n`` ranks (read-only array)."""
+    cdf = np.cumsum(_zipf_probs(n, alpha))
+    cdf /= cdf[-1]
+    cdf.setflags(write=False)
+    return cdf
+
+
+def _zipf_draw(
+    rng: np.random.Generator, pool: np.ndarray, alpha: float, size: int
+) -> np.ndarray:
+    """Draw ``size`` Zipf-ranked elements of ``pool`` (with replacement).
+
+    Inverse-transform sampling against the cached CDF; consumes the
+    generator stream exactly like ``rng.choice(pool, size, p=probs)``
+    (one ``random(size)`` draw) while skipping the per-call
+    re-normalisation and cumsum that ``choice`` performs.
+    """
+    return pool[np.searchsorted(_zipf_cdf(len(pool), alpha), rng.random(size), side="right")]
 
 
 def _draw_hot_rows(

@@ -1,0 +1,166 @@
+"""Batched-vs-scalar engine equivalence suite.
+
+The batched engine's contract is *bit-identical* results: for every
+scheme, workload, and attack mix, a batched run must produce exactly the
+same :class:`~repro.sim.metrics.RunTotals` (refresh commands, rows
+refreshed, stall and busy nanoseconds), the same merged scheme
+statistics (splits, merges, resets, activations), and the same SRAM
+read counts as the per-event scalar loop.  Anything short of exact
+equality is an engine bug, not noise — see DESIGN.md, "Batched engine".
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.prng import CountingPRNG, TrueRandomPRNG
+from repro.dram.config import DUAL_CORE_2CH
+from repro.sim.runner import simulate_attack, simulate_workload
+from repro.sim.simulator import TraceDrivenSimulator
+from repro.workloads.suites import get_workload
+
+SCHEMES = ("pra", "sca", "prcat", "drcat", "ccache")
+#: Skew spectrum: extreme (black), moderate (mum), near-uniform (libq).
+WORKLOADS = ("black", "mum", "libq")
+#: Multi-interval, multi-bank, and a scale whose threshold still splits.
+KNOBS = dict(scale=64.0, n_banks=2, n_intervals=3)
+
+
+def _run(engine: str, scheme: str, workload: str):
+    sim = TraceDrivenSimulator(
+        DUAL_CORE_2CH,
+        scheme,
+        engine=engine,
+        n_banks_simulated=KNOBS["n_banks"],
+        n_intervals=KNOBS["n_intervals"],
+        scale=KNOBS["scale"],
+    )
+    result = sim.run(get_workload(workload))
+    return result, sim._last_memory
+
+
+def _fingerprint(memory) -> dict:
+    """Every engine-observable total, including tree internals."""
+    out = dict(memory.scheme_stats())
+    out["total_refresh_commands"] = memory.total_refresh_commands
+    out["total_rows_refreshed"] = memory.total_rows_refreshed
+    out["total_stall_ns"] = memory.total_stall_ns
+    out["total_mitigation_busy_ns"] = memory.total_mitigation_busy_ns
+    out["total_activations"] = memory.total_activations
+    out["last_completion_ns"] = memory.last_completion_ns
+    for bank, state in enumerate(memory.banks):
+        out[f"bank{bank}_free_at"] = state.free_at_ns
+        out[f"bank{bank}_backlog"] = state.refresh_backlog_rows
+        out[f"bank{bank}_escalations"] = state.escalations
+    for bank, scheme in enumerate(memory.schemes):
+        tree = getattr(scheme, "tree", None)
+        if tree is not None:
+            out[f"bank{bank}_sram_reads"] = tree.total_sram_reads
+            out[f"bank{bank}_partition"] = tuple(tree.partition())
+            out[f"bank{bank}_counts"] = tuple(tree._count)
+            out[f"bank{bank}_weights"] = tuple(tree._weight)
+    return out
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_bit_identical_workload_runs(scheme, workload):
+    scalar, scalar_mem = _run("scalar", scheme, workload)
+    batched, batched_mem = _run("batched", scheme, workload)
+    assert scalar.totals == batched.totals
+    assert _fingerprint(scalar_mem) == _fingerprint(batched_mem)
+    assert scalar.cmrpo == batched.cmrpo
+    assert scalar.eto == batched.eto
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_bit_identical_attack_runs(scheme):
+    results = {}
+    for engine in ("scalar", "batched"):
+        results[engine] = simulate_attack(
+            "kernel01",
+            "heavy",
+            scheme,
+            benign="libq",
+            scale=64.0,
+            n_banks=2,
+            n_intervals=2,
+            engine=engine,
+        )
+    assert results["scalar"].totals == results["batched"].totals
+
+
+def test_epoch_boundary_state_identical():
+    """PRCAT's epoch reset happens at the same point in both engines."""
+    for engine in ("scalar", "batched"):
+        _, memory = _run(engine, "prcat", "mum")
+        resets = memory.scheme_stats()["resets"]
+        # 3 intervals -> 2 interior boundaries per active bank.
+        assert resets == 2 * KNOBS["n_banks"]
+
+
+def test_trng_batch_draws_match_scalar_draws():
+    """The PCG64 bulk draw is stream-equivalent to sequential draws."""
+    a, b = TrueRandomPRNG(seed=99), TrueRandomPRNG(seed=99)
+    batch = a.next_bits_batch(9, 257)
+    scalars = [b.next_bits(9) for _ in range(257)]
+    assert batch.tolist() == scalars
+
+
+def test_default_prng_batch_fallback_matches():
+    """The PRNG base-class batch fallback replays scalar draws."""
+    a, b = CountingPRNG(3), CountingPRNG(3)
+    batch = a.next_bits_batch(4, 40)
+    scalars = [b.next_bits(4) for _ in range(40)]
+    assert batch.tolist() == scalars
+
+
+def test_engine_flag_validation():
+    with pytest.raises(ValueError):
+        TraceDrivenSimulator(DUAL_CORE_2CH, "sca", engine="warp")
+
+
+def test_runner_plumbs_engine():
+    r1 = simulate_workload("mum", "drcat", engine="scalar", scale=128.0,
+                           n_banks=1, n_intervals=1)
+    r2 = simulate_workload("mum", "drcat", engine="batched", scale=128.0,
+                           n_banks=1, n_intervals=1)
+    assert r1.totals == r2.totals
+
+
+def test_memory_system_merged_batch_api():
+    """`MemorySystem.access_batch` equals the per-event access loop."""
+    from repro.core import make_scheme
+    from repro.dram.config import SystemConfig
+    from repro.dram.memory_system import MemorySystem
+    from repro.sim.engine import quantize_times_ns
+
+    config = SystemConfig(rows_per_bank=4096)
+    rng = np.random.default_rng(11)
+    n = 4000
+    times = quantize_times_ns(np.sort(rng.uniform(0, 5e6, size=n)))
+    banks = rng.integers(0, 4, size=n)
+    rows = rng.integers(0, 4096, size=n)
+
+    def build():
+        return MemorySystem(
+            config,
+            lambda n_rows: make_scheme("drcat", n_rows, 256),
+            epoch_s=1e-3,
+        )
+
+    scalar = build()
+    for t, b, r in zip(times.tolist(), banks.tolist(), rows.tolist()):
+        scalar.access(t, b, r)
+    batched = build()
+    batched.access_batch(times, banks, rows)
+    assert _fingerprint(scalar) == _fingerprint(batched)
+
+
+def test_batched_access_batch_rejects_bad_rows():
+    """The vectorized row check still rejects out-of-range rows."""
+    from repro.core import make_scheme
+
+    for kind in ("sca", "pra", "drcat"):
+        scheme = make_scheme(kind, 1024, 128)
+        with pytest.raises(ValueError):
+            scheme.access_batch(np.array([5, 2048], dtype=np.int64))

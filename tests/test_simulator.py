@@ -8,6 +8,7 @@ from repro.sim.simulator import (
     TraceDrivenSimulator,
     _merge_streams,
     _phase_segments,
+    baseline_execution_time_ns,
     scaled_threshold,
 )
 from repro.workloads.suites import get_workload
@@ -53,18 +54,46 @@ class TestMergeStreams:
     def test_sorted_by_time(self):
         a = (np.array([5.0, 10.0]), np.array([1, 2]))
         b = (np.array([1.0, 7.0]), np.array([3, 4]))
-        merged = _merge_streams([a, b])
-        assert list(merged[:, 0]) == [1.0, 5.0, 7.0, 10.0]
+        times, _banks, _rows = _merge_streams([a, b])
+        assert list(times) == [1.0, 5.0, 7.0, 10.0]
 
     def test_bank_tags(self):
         a = (np.array([1.0]), np.array([42]))
         b = (np.array([2.0]), np.array([43]))
-        merged = _merge_streams([a, b])
-        assert merged[0][1] == 0 and merged[1][1] == 1
-        assert merged[0][2] == 42 and merged[1][2] == 43
+        times, banks, rows = _merge_streams([a, b])
+        assert list(banks) == [0, 1]
+        assert list(rows) == [42, 43]
+
+    def test_integer_dtypes(self):
+        """Bank and row ids never round-trip through float64."""
+        a = (np.array([1.0]), np.array([42], dtype=np.int64))
+        _times, banks, rows = _merge_streams([a])
+        assert banks.dtype == np.int64
+        assert rows.dtype == np.int64
+
+    def test_stable_for_tied_times(self):
+        a = (np.array([5.0]), np.array([1]))
+        b = (np.array([5.0]), np.array([2]))
+        _times, banks, _rows = _merge_streams([a, b])
+        assert list(banks) == [0, 1]
 
     def test_empty(self):
-        assert _merge_streams([]).shape == (0, 3)
+        times, banks, rows = _merge_streams([])
+        assert len(times) == len(banks) == len(rows) == 0
+
+
+class TestBaselineExecutionTime:
+    def test_denominator_is_duration_plus_one_row_cycle(self):
+        config = DUAL_CORE_2CH
+        duration = 1e6
+        expected = duration + config.timings.t_rc
+        assert baseline_execution_time_ns(config, 1, duration) == expected
+        # Independent of the access count: the busy-horizon model only
+        # leaves at most one row cycle in flight at the interval's end.
+        assert baseline_execution_time_ns(config, 100_000, duration) == expected
+
+    def test_no_accesses_is_pure_duration(self):
+        assert baseline_execution_time_ns(DUAL_CORE_2CH, 0, 5e5) == 5e5
 
 
 class TestSimulatorRuns:
