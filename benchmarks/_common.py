@@ -1,8 +1,15 @@
 """Shared infrastructure for the per-figure benchmark modules.
 
-Every benchmark regenerates one table or figure of the paper and prints
-(and writes to ``benchmarks/results/``) the same rows/series the paper
-reports.  Simulation fidelity knobs are environment-tunable:
+Every benchmark regenerates one table or figure of the paper and emits
+it twice: the paper-style text table (printed and written to
+``benchmarks/results/<name>.txt``) and a machine-readable JSON artifact
+(``benchmarks/results/<name>.json``) following the versioned schema in
+:mod:`repro.report.schema` — the form ``repro verify`` diffs against
+the golden store.
+
+Simulation fidelity knobs are environment-tunable and validated by
+:class:`repro.report.config.BenchConfig` (a malformed value fails with
+a message naming the variable):
 
 * ``REPRO_BENCH_SCALE`` — threshold/intensity scale divisor (default 24;
   lower = closer to full scale but slower);
@@ -12,29 +19,24 @@ reports.  Simulation fidelity knobs are environment-tunable:
 * ``REPRO_BENCH_WORKERS`` — process-pool width for sweeps (default 1;
   0 = one worker per CPU).
 
-Sweeps shared by several figures (e.g. Figure 8 and Figure 9 use the
-same 18-workload runs) are cached per process.
+The environment is re-read lazily on every call, so one process can run
+several fidelities (``repro verify`` relies on this).  Sweeps shared by
+several figures (e.g. Figure 8 and Figure 9 use the same 18-workload
+runs) are cached per (threshold, configuration).
 """
 
 from __future__ import annotations
 
 import functools
-import os
 from pathlib import Path
 
+from repro.report.config import BenchConfig
+from repro.report.schema import Artifact, build_artifact, dump_artifact
 from repro.sim.metrics import format_table
-from repro.sim.runner import simulate_workload, sweep
+from repro.sim.runner import simulate_workload
 from repro.workloads.suites import WORKLOAD_ORDER
 
 RESULTS_DIR = Path(__file__).parent / "results"
-
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "24"))
-BENCH_INTERVALS = int(os.environ.get("REPRO_BENCH_INTERVALS", "2"))
-BENCH_BANKS = int(os.environ.get("REPRO_BENCH_BANKS", "1"))
-BENCH_ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "batched")
-BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
-if BENCH_WORKERS == 0:
-    BENCH_WORKERS = os.cpu_count() or 1
 
 #: The paper's per-threshold PRA probabilities (Figure 1 reliability).
 PRA_P_FOR_T = {65536: 0.001, 32768: 0.002, 16384: 0.003, 8192: 0.005}
@@ -49,41 +51,57 @@ FIG8_SCHEMES: list[tuple[str, str, dict]] = [
 ]
 
 
+def bench_config() -> BenchConfig:
+    """The validated ``REPRO_BENCH_*`` configuration, re-read per call."""
+    return BenchConfig.from_env()
+
+
 def sim_kwargs(**overrides) -> dict:
     """Default economy knobs for one simulation run."""
-    kw = dict(
-        scale=BENCH_SCALE,
-        n_banks=BENCH_BANKS,
-        n_intervals=BENCH_INTERVALS,
-        engine=BENCH_ENGINE,
-    )
+    kw = bench_config().sim_kwargs()
     kw.update(overrides)
     return kw
 
 
-@functools.lru_cache(maxsize=None)
 def fig8_sweep(refresh_threshold: int):
     """The 18-workload × 5-scheme sweep behind Figures 8 and 9.
 
     Labelled scheme configurations are flattened into independent
     (workload, label) cells so ``REPRO_BENCH_WORKERS`` can spread the
     whole figure over a process pool; per-cell seeding keeps results
-    identical at any worker count.
+    identical at any worker count.  Results are memoised per
+    (threshold, result-relevant knobs) — the worker count and fidelity
+    label do not affect results and are excluded from the key.
     """
+    config = bench_config()
+    return _fig8_sweep_cached(
+        refresh_threshold,
+        config.scale,
+        config.n_intervals,
+        config.n_banks,
+        config.engine,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _fig8_sweep_cached(refresh_threshold: int, scale: float,
+                       n_intervals: int, n_banks: int, engine: str):
     pra_p = PRA_P_FOR_T[refresh_threshold]
     cells = []
     for label, scheme, extra in FIG8_SCHEMES:
         for workload in WORKLOAD_ORDER:
-            kw = sim_kwargs(
-                refresh_threshold=refresh_threshold, pra_probability=pra_p
-            )
+            kw = dict(scale=scale, n_intervals=n_intervals,
+                      n_banks=n_banks, engine=engine,
+                      refresh_threshold=refresh_threshold,
+                      pra_probability=pra_p)
             kw.update(extra)
             cells.append((workload, label, scheme, kw))
-    if BENCH_WORKERS > 1:
+    workers = bench_config().workers
+    if workers > 1:
         import concurrent.futures
 
         with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(BENCH_WORKERS, len(cells))
+            max_workers=min(workers, len(cells))
         ) as pool:
             outputs = list(pool.map(_fig8_cell, cells))
     else:
@@ -97,14 +115,42 @@ def _fig8_cell(cell):
     return (workload, label), simulate_workload(workload, scheme=scheme, **kw)
 
 
-def emit(name: str, title: str, rows: list[dict], columns: list[str]) -> str:
-    """Render, print, and persist one paper-style table."""
+def emit(
+    name: str,
+    title: str,
+    rows: list[dict],
+    columns: list[str],
+    parameters: dict | None = None,
+) -> Artifact:
+    """Render, print, and persist one paper-style table.
+
+    Writes the text table to ``results/<name>.txt`` and the schema
+    artifact to ``results/<name>.json``; returns the artifact so bench
+    ``artifacts()`` entry points can hand it to ``repro verify``.
+    """
     table = format_table(rows, columns)
     text = f"== {title} ==\n{table}\n"
     print("\n" + text)
+    config = bench_config()
+    params = {
+        "n_banks": config.n_banks,
+        "n_intervals": config.n_intervals,
+        "fidelity": config.fidelity,
+    }
+    params.update(parameters or {})
+    artifact = build_artifact(
+        name,
+        title,
+        rows,
+        columns,
+        engine=config.engine,
+        scale=config.scale,
+        parameters=params,
+    )
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
-    return text
+    dump_artifact(artifact, RESULTS_DIR / f"{name}.json")
+    return artifact
 
 
 def mean(values) -> float:

@@ -7,7 +7,6 @@ front.  This ablation measures both effects: the mean SRAM reads per
 lookup and the refresh rows, as λ varies.
 """
 
-import numpy as np
 from _common import emit
 
 from repro.core.counter_tree import CounterTree
@@ -43,9 +42,8 @@ def build_rows():
     return [run_lambda(lam) for lam in (1, 2, 4, 6)]
 
 
-def test_ablation_presplit_depth(benchmark):
-    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
-    emit(
+def emit_rows(rows):
+    return emit(
         "ablation_presplit",
         "Ablation: pre-split depth λ (M=64, L=11, blackscholes-like)",
         rows,
@@ -56,7 +54,18 @@ def test_ablation_presplit_depth(benchmark):
             "rows_refreshed",
             "max_depth",
         ],
+        parameters={"M": M, "T": T, "L": L},
     )
+
+
+def artifacts():
+    """JSON artifacts for ``repro verify``."""
+    return [emit_rows(build_rows())]
+
+
+def test_ablation_presplit_depth(benchmark):
+    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
+    emit_rows(rows)
     by_lambda = {row["lambda"]: row for row in rows}
     # Deeper pre-split shortens traversals (the paper's L - λ + 1 bound).
     assert (

@@ -47,9 +47,8 @@ def build_rows():
     return rows
 
 
-def test_ablation_threshold_strategy(benchmark):
-    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
-    emit(
+def emit_rows(rows):
+    return emit(
         "ablation_thresholds",
         "Ablation: split-threshold schedule strategy (PRCAT_64, T=32K)",
         rows,
@@ -61,6 +60,16 @@ def test_ablation_threshold_strategy(benchmark):
             "uniform_rows_per_interval",
         ],
     )
+
+
+def artifacts():
+    """JSON artifacts for ``repro verify``."""
+    return [emit_rows(build_rows())]
+
+
+def test_ablation_threshold_strategy(benchmark):
+    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
+    emit_rows(rows)
     by_strategy = {row["strategy"]: row for row in rows}
     model = by_strategy["model"]
     geometric = by_strategy["geometric"]

@@ -71,9 +71,8 @@ def build_rows():
     return rows
 
 
-def test_counter_cache_comparison(benchmark):
-    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
-    emit(
+def emit_rows(rows):
+    return emit(
         "counter_cache",
         "Extension: counter cache [26] (2048 entries) vs SCA_128 / DRCAT_64",
         rows,
@@ -85,7 +84,18 @@ def test_counter_cache_comparison(benchmark):
             "sca128_rows",
             "drcat64_rows",
         ],
+        parameters={"refresh_threshold": T},
     )
+
+
+def artifacts():
+    """JSON artifacts for ``repro verify``."""
+    return [emit_rows(build_rows())]
+
+
+def test_counter_cache_comparison(benchmark):
+    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
+    emit_rows(rows)
     by_wl = {row["workload"]: row for row in rows}
     # Exact per-row counting refreshes the *fewest* victim rows — that
     # was never the counter cache's weakness...

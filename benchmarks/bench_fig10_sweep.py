@@ -72,16 +72,27 @@ def _min_drcat(row):
     return min(vals) if vals else float("inf")
 
 
+def emit_threshold(refresh_threshold, rows):
+    t = refresh_threshold // 1024
+    return emit(
+        f"fig10_sweep_t{t}k",
+        f"Figure 10 (T={t}K): mean CMRPO (%) vs M and max depth L",
+        rows,
+        ["M", "SCA"] + [f"DRCAT_L{l}" for l in L_VALUES],
+        parameters={"refresh_threshold": refresh_threshold},
+    )
+
+
+def artifacts():
+    """JSON artifacts for ``repro verify`` (both thresholds)."""
+    return [emit_threshold(t, build_rows(t)) for t in (32768, 16384)]
+
+
 def test_fig10_counter_depth_sweep_t32k(benchmark):
     rows = benchmark.pedantic(
         build_rows, args=(32768,), iterations=1, rounds=1
     )
-    emit(
-        "fig10_sweep_t32k",
-        "Figure 10 (T=32K): mean CMRPO (%) vs M and max depth L",
-        rows,
-        ["M", "SCA"] + [f"DRCAT_L{l}" for l in L_VALUES],
-    )
+    emit_threshold(32768, rows)
     by_m = {row["M"]: row for row in rows}
     # Paper shape (a): at M=512 static power dominates -> depth barely
     # matters and DRCAT loses its edge over SCA.
@@ -104,12 +115,7 @@ def test_fig10_counter_depth_sweep_t16k(benchmark):
     rows16 = benchmark.pedantic(
         build_rows, args=(16384,), iterations=1, rounds=1
     )
-    emit(
-        "fig10_sweep_t16k",
-        "Figure 10 (T=16K): mean CMRPO (%) vs M and max depth L",
-        rows16,
-        ["M", "SCA"] + [f"DRCAT_L{l}" for l in L_VALUES],
-    )
+    emit_threshold(16384, rows16)
     rows32 = build_rows(32768)
     by16 = {row["M"]: row for row in rows16}
     by32 = {row["M"]: row for row in rows32}

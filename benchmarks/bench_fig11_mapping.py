@@ -61,16 +61,27 @@ def build_rows(refresh_threshold):
     return rows
 
 
+def emit_threshold(refresh_threshold, rows):
+    t = refresh_threshold // 1024
+    return emit(
+        f"fig11_mapping_t{t}k",
+        f"Figure 11 (T={t}K): CMRPO (%) vs cores and mapping policy",
+        rows,
+        ["config", "PRA", "SCA", "PRCAT", "DRCAT"],
+        parameters={"refresh_threshold": refresh_threshold},
+    )
+
+
+def artifacts():
+    """JSON artifacts for ``repro verify`` (both thresholds)."""
+    return [emit_threshold(t, build_rows(t)) for t in (16384, 32768)]
+
+
 def test_fig11_mapping_and_cores_t16k(benchmark):
     rows = benchmark.pedantic(
         build_rows, args=(16384,), iterations=1, rounds=1
     )
-    emit(
-        "fig11_mapping_t16k",
-        "Figure 11 (T=16K): CMRPO (%) vs cores and mapping policy",
-        rows,
-        ["config", "PRA", "SCA", "PRCAT", "DRCAT"],
-    )
+    emit_threshold(16384, rows)
     by_config = {row["config"]: row for row in rows}
     quad2 = by_config["quad-core/2channels"]
     quad4 = by_config["quad-core/4channels"]
@@ -89,12 +100,7 @@ def test_fig11_mapping_and_cores_t32k(benchmark):
     rows = benchmark.pedantic(
         build_rows, args=(32768,), iterations=1, rounds=1
     )
-    emit(
-        "fig11_mapping_t32k",
-        "Figure 11 (T=32K): CMRPO (%) vs cores and mapping policy",
-        rows,
-        ["config", "PRA", "SCA", "PRCAT", "DRCAT"],
-    )
+    emit_threshold(32768, rows)
     by_config = {row["config"]: row for row in rows}
     quad2 = by_config["quad-core/2channels"]
     assert quad2["DRCAT"] < quad2["SCA"]

@@ -50,14 +50,24 @@ def build_rows():
     return rows
 
 
-def test_fig12_threshold_sensitivity(benchmark):
-    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
-    emit(
+def emit_rows(rows):
+    return emit(
         "fig12_thresholds",
         "Figure 12: mean CMRPO (%) vs refresh threshold (iso-area)",
         rows,
         ["T", "PRA", "SCA", "PRCAT", "DRCAT"],
+        parameters={"workloads": ",".join(WORKLOADS)},
     )
+
+
+def artifacts():
+    """JSON artifacts for ``repro verify``."""
+    return [emit_rows(build_rows())]
+
+
+def test_fig12_threshold_sensitivity(benchmark):
+    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
+    emit_rows(rows)
     by_t = {row["T"]: row for row in rows}
     # Paper shape: DRCAT < 5% down to 16K; < 10% at 8K (doubled M).  Our
     # drift model is harsher than the paper's traces (hot sets relocate

@@ -46,15 +46,25 @@ def build_rows():
     return rows
 
 
-def test_fig13_kernel_attacks(benchmark):
-    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
-    emit(
+def emit_rows(rows):
+    return emit(
         "fig13_attacks",
         "Figure 13: mean ETO (%) under kernel attacks "
         f"({len(KERNELS)} kernels per cell)",
         rows,
         ["T", "mode", "SCA", "PRCAT", "DRCAT"],
+        parameters={"n_kernels": len(KERNELS)},
     )
+
+
+def artifacts():
+    """JSON artifacts for ``repro verify``."""
+    return [emit_rows(build_rows())]
+
+
+def test_fig13_kernel_attacks(benchmark):
+    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
+    emit_rows(rows)
     cell = {(row["T"], row["mode"]): row for row in rows}
     # Heavier attacks cost more for SCA at every threshold.
     for t in ("32K", "16K", "8K"):

@@ -8,7 +8,7 @@ unacceptable failure rates.
 
 from _common import emit
 
-from repro.analysis.prng import LFSRPRNG, TrueRandomPRNG
+from repro.analysis.prng import TrueRandomPRNG
 from repro.analysis.unsurvivability import (
     CHIPKILL_UNSURVIVABILITY,
     figure1_grid,
@@ -34,14 +34,18 @@ def build_figure1_rows():
     return rows
 
 
-def test_fig1_unsurvivability_grid(benchmark):
-    rows = benchmark.pedantic(build_figure1_rows, iterations=1, rounds=1)
-    emit(
+def emit_grid(rows):
+    return emit(
         "fig1_unsurvivability",
         "Figure 1: PRA 5-year unsurvivability (Chipkill = 1E-4)",
         rows,
         ["T"] + [f"p={p}" for p in PROBABILITIES] + ["beats_chipkill"],
     )
+
+
+def test_fig1_unsurvivability_grid(benchmark):
+    rows = benchmark.pedantic(build_figure1_rows, iterations=1, rounds=1)
+    emit_grid(rows)
     grid = figure1_grid(probabilities=PROBABILITIES)
     # Paper shape: T=32K survives at p >= 0.002; smaller T needs larger p.
     assert grid[32768][0.002] < CHIPKILL_UNSURVIVABILITY
@@ -70,9 +74,8 @@ def run_lfsr_study():
     }
 
 
-def test_fig1_lfsr_monte_carlo(benchmark):
-    data = benchmark.pedantic(run_lfsr_study, iterations=1, rounds=1)
-    emit(
+def emit_lfsr(data):
+    return emit(
         "fig1_lfsr_study",
         "Section III-A: LFSR vs TRNG window failure rates "
         f"(T={data['refresh_threshold']}, p={data['p']})",
@@ -95,7 +98,21 @@ def test_fig1_lfsr_monte_carlo(benchmark):
             },
         ],
         ["source", "failure_rate"],
+        parameters={
+            "refresh_threshold": data["refresh_threshold"],
+            "p": data["p"],
+        },
     )
+
+
+def artifacts():
+    """JSON artifacts for ``repro verify``."""
+    return [emit_grid(build_figure1_rows()), emit_lfsr(run_lfsr_study())]
+
+
+def test_fig1_lfsr_monte_carlo(benchmark):
+    data = benchmark.pedantic(run_lfsr_study, iterations=1, rounds=1)
+    emit_lfsr(data)
     # Paper shape: the LFSR's correlated draws fail far more often.
     assert data["lfsr16_rate"] > data["closed_form"]
     assert data["lfsr9_rate"] == 1.0

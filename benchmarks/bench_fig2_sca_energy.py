@@ -24,8 +24,7 @@ def build_sweep():
     return figure2_sweep(accesses_per_interval=ACCESSES_PER_INTERVAL)
 
 
-def test_fig2_sca_energy_breakdown(benchmark):
-    points = benchmark.pedantic(build_sweep, iterations=1, rounds=1)
+def build_rows(points):
     cache2 = counter_cache_energy_nj("2KB", ACCESSES_PER_INTERVAL)
     cache8 = counter_cache_energy_nj("8KB", ACCESSES_PER_INTERVAL)
     rows = [
@@ -39,12 +38,29 @@ def test_fig2_sca_energy_breakdown(benchmark):
     ]
     rows.append({"M": "2KB cache", "total_nJ": f"{cache2:.3e}"})
     rows.append({"M": "8KB cache", "total_nJ": f"{cache8:.3e}"})
-    emit(
+    return rows
+
+
+def emit_rows(rows):
+    return emit(
         "fig2_sca_energy",
         "Figure 2: SCA energy overhead vs #counters (nJ per 64 ms interval)",
         rows,
         ["M", "counter_nJ", "refresh_nJ", "total_nJ"],
+        parameters={"accesses_per_interval": ACCESSES_PER_INTERVAL},
     )
+
+
+def artifacts():
+    """JSON artifacts for ``repro verify``."""
+    return [emit_rows(build_rows(build_sweep()))]
+
+
+def test_fig2_sca_energy_breakdown(benchmark):
+    points = benchmark.pedantic(build_sweep, iterations=1, rounds=1)
+    cache2 = counter_cache_energy_nj("2KB", ACCESSES_PER_INTERVAL)
+    cache8 = counter_cache_energy_nj("8KB", ACCESSES_PER_INTERVAL)
+    emit_rows(build_rows(points))
     by_m = {p.n_counters: p for p in points}
     # Paper shapes:
     assert optimal_m(points) in (64, 128, 256), "minimum should sit near 128"

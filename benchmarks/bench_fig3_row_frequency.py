@@ -28,8 +28,7 @@ def concentration(hist, k):
     return float(top[:k].sum()) / float(hist.sum())
 
 
-def test_fig3_row_frequency(benchmark):
-    hists = benchmark.pedantic(build_histograms, iterations=1, rounds=1)
+def build_rows(hists):
     rows = []
     for name, hist in hists.items():
         rows.append(
@@ -42,7 +41,11 @@ def test_fig3_row_frequency(benchmark):
                 "top1024_share": f"{concentration(hist, 1024):.2f}",
             }
         )
-    emit(
+    return rows
+
+
+def emit_rows(rows):
+    return emit(
         "fig3_row_frequency",
         "Figure 3: row access frequency in a 64K-row bank (one interval)",
         rows,
@@ -54,7 +57,18 @@ def test_fig3_row_frequency(benchmark):
             "top64_share",
             "top1024_share",
         ],
+        parameters={"n_rows": N_ROWS},
     )
+
+
+def artifacts():
+    """JSON artifacts for ``repro verify``."""
+    return [emit_rows(build_rows(build_histograms()))]
+
+
+def test_fig3_row_frequency(benchmark):
+    hists = benchmark.pedantic(build_histograms, iterations=1, rounds=1)
+    emit_rows(build_rows(hists))
     # Paper shape: blackscholes and facesim are dominated by a small
     # group of rows; libquantum is not.
     assert concentration(hists["black"], 64) > 0.5

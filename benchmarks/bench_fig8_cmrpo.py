@@ -28,16 +28,27 @@ def build_rows(refresh_threshold):
     return rows
 
 
+def emit_threshold(refresh_threshold, rows):
+    t = refresh_threshold // 1024
+    return emit(
+        f"fig8_cmrpo_t{t}k",
+        f"Figure 8 (T={t}K): CMRPO per workload (%)",
+        rows,
+        ["workload"] + LABELS,
+        parameters={"refresh_threshold": refresh_threshold},
+    )
+
+
+def artifacts():
+    """JSON artifacts for ``repro verify`` (both thresholds)."""
+    return [emit_threshold(t, build_rows(t)) for t in (32768, 16384)]
+
+
 def test_fig8_cmrpo_t32k(benchmark):
     rows = benchmark.pedantic(
         build_rows, args=(32768,), iterations=1, rounds=1
     )
-    emit(
-        "fig8_cmrpo_t32k",
-        "Figure 8 (T=32K): CMRPO per workload (%)",
-        rows,
-        ["workload"] + LABELS,
-    )
+    emit_threshold(32768, rows)
     means = rows[-1]
     # Paper shape: CAT schemes beat SCA_64 and PRA by a wide margin.
     assert means["DRCAT_64"] < 0.6 * means["SCA_64"]
@@ -52,12 +63,7 @@ def test_fig8_cmrpo_t16k(benchmark):
     rows = benchmark.pedantic(
         build_rows, args=(16384,), iterations=1, rounds=1
     )
-    emit(
-        "fig8_cmrpo_t16k",
-        "Figure 8 (T=16K): CMRPO per workload (%)",
-        rows,
-        ["workload"] + LABELS,
-    )
+    emit_threshold(16384, rows)
     means = rows[-1]
     means32 = build_rows(32768)[-1]
     # Paper shape: halving T hits SCA hard, CAT only slightly.

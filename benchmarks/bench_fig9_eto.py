@@ -28,16 +28,27 @@ def build_rows(refresh_threshold):
     return rows
 
 
+def emit_threshold(refresh_threshold, rows):
+    t = refresh_threshold // 1024
+    return emit(
+        f"fig9_eto_t{t}k",
+        f"Figure 9 (T={t}K): ETO per workload (%)",
+        rows,
+        ["workload"] + LABELS,
+        parameters={"refresh_threshold": refresh_threshold},
+    )
+
+
+def artifacts():
+    """JSON artifacts for ``repro verify`` (both thresholds)."""
+    return [emit_threshold(t, build_rows(t)) for t in (32768, 16384)]
+
+
 def test_fig9_eto_t32k(benchmark):
     rows = benchmark.pedantic(
         build_rows, args=(32768,), iterations=1, rounds=1
     )
-    emit(
-        "fig9_eto_t32k",
-        "Figure 9 (T=32K): ETO per workload (%)",
-        rows,
-        ["workload"] + LABELS,
-    )
+    emit_threshold(32768, rows)
     means = rows[-1]
     # Paper shape: SCA_64 is the worst; CAT at least ~2x better.
     assert means["SCA_64"] == max(means[l] for l in LABELS)
@@ -51,12 +62,7 @@ def test_fig9_eto_t16k(benchmark):
     rows = benchmark.pedantic(
         build_rows, args=(16384,), iterations=1, rounds=1
     )
-    emit(
-        "fig9_eto_t16k",
-        "Figure 9 (T=16K): ETO per workload (%)",
-        rows,
-        ["workload"] + LABELS,
-    )
+    emit_threshold(16384, rows)
     means16 = rows[-1]
     means32 = build_rows(32768)[-1]
     # Halving T increases every deterministic scheme's ETO.

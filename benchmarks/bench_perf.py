@@ -109,8 +109,16 @@ def _measure_seed_path(scheme: str, repeats: int) -> float:
 
 def run_bench(smoke: bool = False, repeats: int = 3) -> dict:
     """Measure all engines; return the JSON-ready report."""
+    from repro.report.schema import ARRIVAL_SEED, SCHEMA_VERSION
+
     schemes = ("drcat",) if smoke else SCHEMES
+    # Same schema envelope as the figure artifacts so tooling can
+    # version-gate this report too; wall-clock numbers are machine-
+    # dependent, which is why perf is not part of the golden store.
     report: dict = {
+        "kind": "repro-perf-report",
+        "schema_version": SCHEMA_VERSION,
+        "seed": ARRIVAL_SEED,
         "workload": PROFILE_WORKLOAD,
         "sim_kwargs": {
             "scale": DEFAULT_SCALE,

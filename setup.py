@@ -1,9 +1,34 @@
-"""Setup shim for environments whose setuptools lacks PEP 660 support.
+"""Packaging for the CAT rowhammer-mitigation reproduction (ISCA 2018).
 
-All real metadata lives in pyproject.toml; this file only enables
-``pip install -e .`` with older setuptools/wheel combinations.
+``pip install -e .`` installs the ``repro`` package from ``src/`` and
+the runtime dependency (numpy).  Test/lint tooling comes from the
+``test``/``dev`` extras; CI uses the fully-pinned
+``requirements-dev.txt`` for reproducible runs.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+TEST_REQUIRES = [
+    "pytest>=9,<10",
+    "pytest-benchmark>=5.2,<6",
+    "hypothesis>=6.130,<7",
+]
+
+setup(
+    name="repro-drcat",
+    version="0.2.0",
+    description=(
+        "Reproduction of the ISCA 2018 CAT/DRCAT rowhammer-mitigation "
+        "study: simulation engines, figure benches, golden-figure "
+        "regression gating"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=2.1,<3"],
+    extras_require={
+        "test": TEST_REQUIRES,
+        "dev": TEST_REQUIRES + ["ruff>=0.12,<1"],
+    },
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

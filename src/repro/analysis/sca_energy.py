@@ -21,8 +21,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.dram.config import REFRESH_INTERVAL_S, ROW_REFRESH_ENERGY_NJ
-from repro.energy.hardware_model import TABLE2_M, scheme_hardware
+from repro.dram.config import ROW_REFRESH_ENERGY_NJ
+from repro.energy.hardware_model import scheme_hardware
 
 #: Figure 2's x-axis: counters per bank.
 FIGURE2_M_SWEEP = tuple(16 << i for i in range(13))  # 16 .. 65536

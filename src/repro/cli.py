@@ -6,25 +6,33 @@ Subcommands::
     python -m repro compare --workload face [--threshold 16384]
     python -m repro attack --kernel kernel03 --mode heavy --scheme sca
     python -m repro sweep --workers 8 [--workloads mum libq]
+    python -m repro verify [--fidelity ci|smoke|full] [--update]
     python -m repro workloads
     python -m repro hardware [--counters 64]
 
 All simulation knobs (scale, banks, intervals, engine) are exposed as
 flags; the defaults match the benchmark harness.  ``--engine scalar``
 selects the per-event reference loop; the default batched engine is
-bit-identical and ~an order of magnitude faster.
+bit-identical and ~an order of magnitude faster.  ``run``, ``compare``
+and ``sweep`` accept ``--json`` to print full machine-readable results
+instead of the text table.  ``verify`` regenerates every figure/table
+artifact and gates it against the golden store (see
+:mod:`repro.report.verify`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 
 from repro.energy.hardware_model import TABLE2_M, pra_hardware, scheme_hardware
+from repro.report.config import FIDELITIES
+from repro.report.verify import run_verify
 from repro.sim.engine import ENGINES
 from repro.sim.metrics import format_table
 from repro.sim.runner import simulate_attack, simulate_workload, sweep
 from repro.workloads.attacks import ATTACK_KERNELS, ATTACK_MODES
-from repro.workloads.suites import SUITES, WORKLOAD_ORDER, get_workload
+from repro.workloads.suites import WORKLOAD_ORDER, get_workload
 
 
 def _add_sim_flags(parser: argparse.ArgumentParser) -> None:
@@ -45,6 +53,10 @@ def _add_sim_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", choices=list(ENGINES), default="batched",
                         help="simulation engine (default batched; both are "
                              "event-exact and bit-identical)")
+    parser.add_argument("--json", action="store_true",
+                        help="print full machine-readable results "
+                             "(SimulationResult serialization) instead of "
+                             "the text table")
 
 
 def _sim_kwargs(args: argparse.Namespace) -> dict:
@@ -72,6 +84,9 @@ def _result_row(label: str, result) -> dict:
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: one workload, one scheme."""
     result = simulate_workload(args.workload, scheme=args.scheme, **_sim_kwargs(args))
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
     print(format_table([_result_row(args.scheme, result)],
                        ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
     return 0
@@ -80,9 +95,15 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     """``repro compare``: all four schemes on one workload."""
     rows = []
+    results = {}
     for scheme in ("pra", "sca", "prcat", "drcat"):
         result = simulate_workload(args.workload, scheme=scheme, **_sim_kwargs(args))
+        results[scheme] = result
         rows.append(_result_row(scheme, result))
+    if args.json:
+        print(json.dumps({s: r.to_dict() for s, r in results.items()},
+                         indent=2))
+        return 0
     print(f"workload={args.workload}  T={args.threshold}  M={args.counters}")
     print(format_table(rows, ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
     return 0
@@ -93,6 +114,9 @@ def cmd_attack(args: argparse.Namespace) -> int:
     result = simulate_attack(
         args.kernel, args.mode, args.scheme, benign=args.benign, **_sim_kwargs(args)
     )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
     print(format_table([_result_row(f"{args.scheme} vs {args.kernel}", result)],
                        ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
     return 0
@@ -107,12 +131,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         **_sim_kwargs(args),
     )
+    if args.json:
+        print(json.dumps(
+            {f"{workload}/{scheme}": result.to_dict()
+             for (workload, scheme), result in results.items()},
+            indent=2,
+        ))
+        return 0
     rows = [
         _result_row(f"{workload}/{scheme}", result)
         for (workload, scheme), result in results.items()
     ]
     print(format_table(rows, ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
     return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """``repro verify``: golden-figure regression gate."""
+    return run_verify(
+        fidelity=args.fidelity,
+        engine=args.engine,
+        update=args.update,
+        figures=args.figures,
+        golden_dir=args.golden_dir,
+        benchmarks_dir=args.benchmarks_dir,
+        list_only=args.list,
+    )
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
@@ -208,6 +252,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process-pool width (default 1 = serial)")
     _add_sim_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_ver = sub.add_parser(
+        "verify",
+        help="regenerate every figure artifact and gate it on the "
+             "golden store (exit 1 on any difference)",
+    )
+    p_ver.add_argument("--fidelity", choices=list(FIDELITIES), default="ci",
+                       help="named (scale, intervals, banks) point; the "
+                            "golden store is per-fidelity (default ci)")
+    p_ver.add_argument("--engine", choices=list(ENGINES), default=None,
+                       help="override the engine (default batched; the "
+                            "golden store gates both engines because they "
+                            "are bit-identical)")
+    p_ver.add_argument("--update", action="store_true",
+                       help="rewrite the golden store from this run "
+                            "instead of comparing")
+    p_ver.add_argument("--figures", nargs="*", default=None,
+                       help="subset of bench modules (default: all)")
+    p_ver.add_argument("--golden-dir", default=None,
+                       help="golden store root (default benchmarks/golden)")
+    p_ver.add_argument("--benchmarks-dir", default=None,
+                       help="bench-suite directory (default: auto-locate)")
+    p_ver.add_argument("--list", action="store_true",
+                       help="list registered bench modules and exit")
+    p_ver.set_defaults(func=cmd_verify)
 
     p_wl = sub.add_parser("workloads", help="list the 18 workload models")
     p_wl.set_defaults(func=cmd_workloads)

@@ -30,7 +30,7 @@ the re-associated closed form equals the sequential recurrence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -68,6 +68,27 @@ class CMRPOBreakdown:
             "cmrpo": self.cmrpo,
         }
 
+    def to_dict(self) -> dict[str, float]:
+        """Lossless raw-field form (round-trips via :meth:`from_dict`;
+        unlike :meth:`as_dict` it carries no derived values)."""
+        return {
+            "dynamic_mw": self.dynamic_mw,
+            "static_mw": self.static_mw,
+            "refresh_mw": self.refresh_mw,
+            "reference_mw": self.reference_mw,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CMRPOBreakdown":
+        """Rebuild a breakdown serialized by :meth:`to_dict`."""
+        return cls(
+            dynamic_mw=float(doc["dynamic_mw"]),
+            static_mw=float(doc["static_mw"]),
+            refresh_mw=float(doc["refresh_mw"]),
+            reference_mw=float(doc.get("reference_mw",
+                                       REGULAR_REFRESH_POWER_MW)),
+        )
+
 
 def compute_cmrpo(
     scheme: str,

@@ -1,0 +1,48 @@
+"""Golden-figure regression subsystem.
+
+Every figure/table bench emits a versioned JSON artifact alongside its
+text output; this package defines the artifact schema
+(:mod:`repro.report.schema`), the tolerance-aware comparator
+(:mod:`repro.report.compare`), the validated fidelity/engine bench
+configuration (:mod:`repro.report.config`) and the ``repro verify``
+runner with its golden store (:mod:`repro.report.verify`).
+"""
+
+from repro.report.compare import (
+    ArtifactDiff,
+    Difference,
+    Tolerance,
+    compare_artifacts,
+    render_diff,
+    tolerance_for,
+)
+from repro.report.config import FIDELITIES, BenchConfig, EnvConfigError
+from repro.report.schema import (
+    SCHEMA_VERSION,
+    Artifact,
+    SchemaError,
+    build_artifact,
+    load_artifact,
+    dump_artifact,
+)
+from repro.report.verify import BENCH_MODULES, run_verify
+
+__all__ = [
+    "Artifact",
+    "ArtifactDiff",
+    "BENCH_MODULES",
+    "BenchConfig",
+    "Difference",
+    "EnvConfigError",
+    "FIDELITIES",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "Tolerance",
+    "build_artifact",
+    "compare_artifacts",
+    "dump_artifact",
+    "load_artifact",
+    "render_diff",
+    "run_verify",
+    "tolerance_for",
+]

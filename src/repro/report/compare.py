@@ -1,0 +1,218 @@
+"""Tolerance-aware comparison of figure artifacts against goldens.
+
+The default policy is *exact*: every run of the simulator is
+deterministic given its parameters (per-cell seeding, quantized time
+grid, pairwise float reductions), so strings and integers must match
+bit-for-bit and floats get only an epsilon guarding JSON round-trips.
+Metrics that are legitimately sensitive to sampling or environment get
+*declared* tolerances in :data:`TOLERANCE_POLICY`, keyed by
+(artifact-name pattern, column pattern) — the policy table is the
+single audit point for "how much may this figure drift before CI
+fails" (see DESIGN.md, "Golden comparison tolerance policy").
+
+Parameters (scale/banks/intervals) must match exactly; the *engine* is
+deliberately excluded from the comparison because the batched and
+scalar engines are contractually bit-identical — one golden store
+gates both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+from repro.report.schema import Artifact
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Per-metric absolute/relative bound (a value passes either one)."""
+
+    abs_tol: float = 0.0
+    rel_tol: float = 0.0
+
+    def accepts(self, expected: float, actual: float) -> bool:
+        if math.isnan(expected) or math.isnan(actual):
+            return math.isnan(expected) and math.isnan(actual)
+        return math.isclose(
+            expected, actual, rel_tol=self.rel_tol, abs_tol=self.abs_tol
+        )
+
+    def describe(self) -> str:
+        return f"abs<={self.abs_tol:g} or rel<={self.rel_tol:g}"
+
+
+#: Default bound for float cells with no declared tolerance: wide
+#: enough for JSON round-trips, far below any real regression.
+EXACT_FLOAT = Tolerance(abs_tol=1e-12, rel_tol=1e-9)
+
+#: Declared per-metric tolerances: (artifact pattern, column pattern,
+#: tolerance), first match wins.  Keep this list short — every entry is
+#: a metric CI will not hold exactly, and needs a reason.
+TOLERANCE_POLICY: list[tuple[str, str, Tolerance]] = [
+    # Monte-Carlo failure-rate estimate (500 sampled windows): seeded,
+    # but the acceptable drift if the sampler is ever re-derived is the
+    # statistical error of the estimate, not bit-exactness.
+    ("fig1_lfsr_study", "failure_rate", Tolerance(rel_tol=0.05)),
+    # Concentration shares are ratios of large sampled histograms;
+    # declared at half a percentage point.
+    ("fig3_row_frequency", "top*_share", Tolerance(abs_tol=0.005)),
+    # Cache hit rate over a sampled stream.
+    ("counter_cache", "ccache_hit_rate", Tolerance(abs_tol=0.005)),
+    # Mean SRAM reads per lookup over a sampled stream.
+    ("ablation_presplit", "mean_sram_reads", Tolerance(rel_tol=0.02)),
+]
+
+
+def tolerance_for(
+    artifact_name: str,
+    column: str,
+    policy: list[tuple[str, str, Tolerance]] | None = None,
+) -> Tolerance | None:
+    """The declared tolerance for one metric, or None (exact)."""
+    for name_pat, col_pat, tol in (TOLERANCE_POLICY if policy is None
+                                   else policy):
+        if fnmatchcase(artifact_name, name_pat) and fnmatchcase(column,
+                                                                col_pat):
+            return tol
+    return None
+
+
+@dataclass(frozen=True)
+class Difference:
+    """One comparison failure inside an artifact."""
+
+    kind: str  # "parameter" | "structure" | "value"
+    where: str  # human-readable location, e.g. "row 4 (face) col DRCAT_64"
+    expected: object
+    actual: object
+    detail: str = ""
+
+    def render(self) -> str:
+        line = (f"{self.where}: golden {self.expected!r} "
+                f"vs actual {self.actual!r}")
+        return f"{line}  [{self.detail}]" if self.detail else line
+
+
+@dataclass(frozen=True)
+class ArtifactDiff:
+    """Comparison outcome for one figure/table artifact."""
+
+    name: str
+    differences: tuple[Difference, ...] = ()
+    rows: int = 0
+    columns: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.differences
+
+
+def _row_label(artifact: Artifact, index: int) -> str:
+    """Identify a row by its first-column value when possible."""
+    if artifact.columns and index < len(artifact.rows):
+        first = artifact.columns[0]
+        value = artifact.rows[index].get(first)
+        if isinstance(value, (str, int)):
+            return f"row {index} ({first}={value})"
+    return f"row {index}"
+
+
+def _coerce_float(value) -> float | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return None
+    return None
+
+
+def _compare_cell(
+    name: str, column: str, expected, actual,
+    policy: list[tuple[str, str, Tolerance]] | None,
+) -> tuple[bool, str]:
+    """(matches, detail) for one cell under the policy."""
+    declared = tolerance_for(name, column, policy)
+    if declared is not None:
+        exp_f, act_f = _coerce_float(expected), _coerce_float(actual)
+        if exp_f is not None and act_f is not None:
+            if declared.accepts(exp_f, act_f):
+                return True, ""
+            return False, f"outside declared tolerance ({declared.describe()})"
+        # fall through to exact comparison when either side is non-numeric
+    if isinstance(expected, float) or isinstance(actual, float):
+        exp_f, act_f = _coerce_float(expected), _coerce_float(actual)
+        if exp_f is not None and act_f is not None:
+            if EXACT_FLOAT.accepts(exp_f, act_f):
+                return True, ""
+            return False, f"float mismatch ({EXACT_FLOAT.describe()})"
+    if expected == actual:
+        return True, ""
+    return False, "exact-match metric"
+
+
+def compare_artifacts(
+    golden: Artifact,
+    actual: Artifact,
+    policy: list[tuple[str, str, Tolerance]] | None = None,
+    max_differences: int = 20,
+) -> ArtifactDiff:
+    """Diff one regenerated artifact against its golden.
+
+    Structure (columns, row count, scale/banks/intervals parameters) is
+    compared exactly; cells follow the tolerance policy.  At most
+    ``max_differences`` differences are collected per artifact so a
+    wholesale change still renders readably.
+    """
+    diffs: list[Difference] = []
+
+    def add(kind, where, expected, actual_value, detail=""):
+        if len(diffs) < max_differences:
+            diffs.append(Difference(kind, where, expected, actual_value,
+                                    detail))
+
+    if golden.name != actual.name:
+        add("structure", "artifact name", golden.name, actual.name)
+    if golden.scale != actual.scale:
+        add("parameter", "scale", golden.scale, actual.scale,
+            "fidelity mismatch — compare against the matching golden dir")
+    for key in sorted(set(golden.parameters) | set(actual.parameters)):
+        g, a = golden.parameters.get(key), actual.parameters.get(key)
+        if g != a:
+            add("parameter", f"parameters[{key!r}]", g, a)
+    if tuple(golden.columns) != tuple(actual.columns):
+        add("structure", "columns", list(golden.columns),
+            list(actual.columns))
+    elif len(golden.rows) != len(actual.rows):
+        add("structure", "row count", len(golden.rows), len(actual.rows))
+    else:
+        for i, (g_row, a_row) in enumerate(zip(golden.rows, actual.rows)):
+            for column in golden.columns:
+                matches, detail = _compare_cell(
+                    golden.name, column, g_row.get(column),
+                    a_row.get(column), policy,
+                )
+                if not matches:
+                    add("value",
+                        f"{_row_label(golden, i)} col {column}",
+                        g_row.get(column), a_row.get(column), detail)
+    return ArtifactDiff(
+        name=golden.name,
+        differences=tuple(diffs),
+        rows=len(actual.rows),
+        columns=len(actual.columns),
+    )
+
+
+def render_diff(diff: ArtifactDiff) -> str:
+    """Readable per-figure report block."""
+    if diff.ok:
+        return (f"PASS {diff.name}  "
+                f"({diff.rows} rows x {diff.columns} cols)")
+    lines = [f"FAIL {diff.name} — {len(diff.differences)} difference(s)"]
+    lines += [f"  {d.render()}" for d in diff.differences]
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Versioned JSON artifact schema for figure/table benches.
+
+An :class:`Artifact` is the machine-readable twin of one paper figure or
+table: an ordered series of rows projected onto declared columns, plus
+the provenance needed to reproduce it (engine, scale, seed, parameters,
+schema version).  Artifacts are what benches emit to
+``benchmarks/results/*.json``, what the golden store under
+``benchmarks/golden/`` checks in, and what
+:func:`repro.report.compare.compare_artifacts` diffs.
+
+Schema evolution: ``SCHEMA_VERSION`` bumps on any incompatible change;
+:func:`from_json_dict` rejects other versions with a message telling the
+caller to regenerate goldens via ``repro verify --update``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Bump on incompatible artifact layout changes.
+SCHEMA_VERSION = 1
+
+#: Discriminator so stray JSON files are rejected early.
+ARTIFACT_KIND = "repro-figure-artifact"
+
+#: Base seed of the simulator's arrival-time stream; workload streams
+#: derive per-cell seeds from workload names (see workloads/suites.py),
+#: so this single value pins the whole run's randomness.
+ARRIVAL_SEED = 0xC0FFEE
+
+#: JSON-representable scalar cell types.
+_SCALARS = (str, int, float, bool, type(None))
+
+
+class SchemaError(ValueError):
+    """An artifact JSON document does not match the schema."""
+
+
+def _normalize_cell(value, *, where: str):
+    """Coerce one cell to a JSON-safe scalar (NaN/inf become None)."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        return None if not math.isfinite(value) else value
+    if isinstance(value, int):
+        return value
+    if hasattr(value, "item"):  # numpy scalar -> python scalar
+        return _normalize_cell(value.item(), where=where)
+    raise SchemaError(
+        f"{where}: cell value {value!r} of type {type(value).__name__} "
+        "is not JSON-representable"
+    )
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One figure/table series with its provenance."""
+
+    name: str
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[dict, ...]
+    engine: str
+    scale: float
+    seed: int = ARRIVAL_SEED
+    parameters: dict = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_json_dict(self) -> dict:
+        """Plain-dict form, stable key order, ready for ``json.dump``."""
+        return {
+            "kind": ARTIFACT_KIND,
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "title": self.title,
+            "engine": self.engine,
+            "scale": self.scale,
+            "seed": self.seed,
+            "parameters": dict(self.parameters),
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2, allow_nan=False) + "\n"
+
+
+def build_artifact(
+    name: str,
+    title: str,
+    rows: list[dict],
+    columns: list[str],
+    *,
+    engine: str,
+    scale: float,
+    seed: int = ARRIVAL_SEED,
+    parameters: dict | None = None,
+) -> Artifact:
+    """Project bench rows onto ``columns`` and wrap them in the schema.
+
+    Cells are normalized to JSON scalars; non-finite floats (the NaN
+    placeholders some sweeps use for invalid grid points) become
+    ``None`` so documents stay strictly-valid JSON.  Keys a bench keeps
+    in its row dicts but does not declare as columns (e.g. normalized
+    assertion aliases) are dropped from the artifact.
+    """
+    if not name or not name.replace("_", "").replace("-", "").isalnum():
+        raise SchemaError(f"artifact name {name!r} must be a [-_a-zA-Z0-9]+ slug")
+    norm_rows = []
+    for i, row in enumerate(rows):
+        norm_rows.append({
+            c: _normalize_cell(row.get(c), where=f"{name} row {i} column {c!r}")
+            for c in columns
+        })
+    return Artifact(
+        name=name,
+        title=title,
+        columns=tuple(columns),
+        rows=tuple(norm_rows),
+        engine=engine,
+        scale=float(scale),
+        seed=int(seed),
+        parameters=dict(parameters or {}),
+    )
+
+
+def _require(doc: dict, key: str, kinds, where: str):
+    if key not in doc:
+        raise SchemaError(f"{where}: missing required key {key!r}")
+    value = doc[key]
+    if not isinstance(value, kinds):
+        expected = "/".join(
+            k.__name__ for k in (kinds if isinstance(kinds, tuple) else (kinds,))
+        )
+        raise SchemaError(
+            f"{where}: key {key!r} has type {type(value).__name__}, "
+            f"expected {expected}"
+        )
+    return value
+
+
+def from_json_dict(doc: dict, *, where: str = "artifact") -> Artifact:
+    """Validate a parsed JSON document and rebuild the :class:`Artifact`."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{where}: top level must be an object")
+    kind = doc.get("kind")
+    if kind != ARTIFACT_KIND:
+        raise SchemaError(
+            f"{where}: kind={kind!r} is not a {ARTIFACT_KIND!r} document"
+        )
+    version = _require(doc, "schema_version", int, where)
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"{where}: schema_version {version} is not supported (this "
+            f"build reads version {SCHEMA_VERSION}); regenerate goldens "
+            "with `repro verify --update`"
+        )
+    name = _require(doc, "name", str, where)
+    title = _require(doc, "title", str, where)
+    engine = _require(doc, "engine", str, where)
+    scale = _require(doc, "scale", (int, float), where)
+    seed = _require(doc, "seed", int, where)
+    parameters = _require(doc, "parameters", dict, where)
+    columns = _require(doc, "columns", list, where)
+    if not all(isinstance(c, str) for c in columns):
+        raise SchemaError(f"{where}: columns must all be strings")
+    rows = _require(doc, "rows", list, where)
+    checked_rows = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            raise SchemaError(f"{where}: row {i} is not an object")
+        for key, value in row.items():
+            if key not in columns:
+                raise SchemaError(
+                    f"{where}: row {i} has undeclared column {key!r}"
+                )
+            if not isinstance(value, _SCALARS):
+                raise SchemaError(
+                    f"{where}: row {i} column {key!r} holds non-scalar "
+                    f"{type(value).__name__}"
+                )
+        checked_rows.append(dict(row))
+    return Artifact(
+        name=name,
+        title=title,
+        columns=tuple(columns),
+        rows=tuple(checked_rows),
+        engine=engine,
+        scale=float(scale),
+        seed=seed,
+        parameters=parameters,
+        schema_version=version,
+    )
+
+
+def load_artifact(path: str | Path) -> Artifact:
+    """Read and validate one artifact JSON file."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: not valid JSON ({exc})") from None
+    return from_json_dict(doc, where=str(path))
+
+
+def dump_artifact(artifact: Artifact, path: str | Path) -> Path:
+    """Write one artifact JSON file (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(artifact.to_json(), encoding="utf-8")
+    return path

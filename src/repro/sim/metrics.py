@@ -12,9 +12,27 @@ turns them into the paper's two headline metrics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
+from repro.dram.config import DRAMTimings, SystemConfig
 from repro.energy.cmrpo import CMRPOBreakdown
+
+
+def _encode_param(value):
+    """JSON-safe form of one run parameter (system configs are tagged)."""
+    if isinstance(value, SystemConfig):
+        return {"__type__": "SystemConfig", **asdict(value)}
+    return value
+
+
+def _decode_param(value):
+    """Inverse of :func:`_encode_param`."""
+    if isinstance(value, dict) and value.get("__type__") == "SystemConfig":
+        doc = {k: v for k, v in value.items() if k != "__type__"}
+        if isinstance(doc.get("timings"), dict):
+            doc["timings"] = DRAMTimings(**doc["timings"])
+        return SystemConfig(**doc)
+    return value
 
 
 @dataclass(frozen=True)
@@ -53,6 +71,15 @@ class RunTotals:
             return 0.0
         return (self.stall_ns / self.elapsed_ns) / self.scale
 
+    def to_dict(self) -> dict:
+        """JSON-ready raw-field form (see :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunTotals":
+        """Rebuild totals serialized by :meth:`to_dict`."""
+        return cls(**doc)
+
 
 @dataclass(frozen=True)
 class SimulationResult:
@@ -81,6 +108,31 @@ class SimulationResult:
     def workload(self) -> str:
         """Workload label this result was measured on."""
         return self.totals.workload
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested form: raw totals, the CMRPO breakdown, and
+        the run parameters — everything :meth:`from_dict` needs to
+        rebuild the result (derived metrics recompute from the raw
+        fields, so nothing lossy is stored)."""
+        return {
+            "totals": self.totals.to_dict(),
+            "cmrpo_breakdown": self.cmrpo_breakdown.to_dict(),
+            "parameters": {
+                k: _encode_param(v) for k, v in self.parameters.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SimulationResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        return cls(
+            totals=RunTotals.from_dict(doc["totals"]),
+            cmrpo_breakdown=CMRPOBreakdown.from_dict(doc["cmrpo_breakdown"]),
+            parameters={
+                k: _decode_param(v)
+                for k, v in doc.get("parameters", {}).items()
+            },
+        )
 
     def summary(self) -> dict[str, float | str]:
         """Flat record suitable for table printing."""

@@ -1,8 +1,6 @@
 """Tests for DRCAT weight tracking and merge/split reconfiguration."""
 
 import numpy as np
-import pytest
-
 from repro.core.counter_tree import (
     HARVEST_BUDGET_PER_REFRESH,
     WEIGHT_AFTER_SPLIT,

@@ -5,8 +5,6 @@ and coarse magnitudes — the properties the benchmark harness then
 reproduces at higher fidelity.
 """
 
-import pytest
-
 from repro import simulate_workload
 from repro.sim.runner import simulate_attack, sweep, suite_means
 

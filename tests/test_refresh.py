@@ -7,7 +7,6 @@ from repro.dram.config import (
     DUAL_CORE_4CH,
     NAMED_CONFIGS,
     QUAD_CORE_2CH,
-    SystemConfig,
 )
 from repro.dram.refresh import RefreshAccountant, intervals_in
 

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.analysis.prng import LFSRPRNG, TrueRandomPRNG
+from repro.analysis.prng import TrueRandomPRNG
 from repro.analysis.unsurvivability import (
     CHIPKILL_UNSURVIVABILITY,
     figure1_grid,
