@@ -55,6 +55,8 @@ def emit_rows(rows):
             "max_depth",
         ],
         parameters={"M": M, "T": T, "L": L},
+        spec={"analytic": "ablation_presplit",
+              "grid": {"lambda": [1, 2, 4, 6], "M": M, "T": T, "L": L}},
     )
 
 

@@ -10,39 +10,48 @@ geometric one, and on uniform workloads both degenerate to SCA-like
 behaviour.
 """
 
-from _common import emit, mean, sim_kwargs
+from _common import base_spec, emit, mean, plan_memo, run_bench_plan
 
-from repro.sim.runner import simulate_workload
+from repro.experiments import Plan, SchemeSpec
 
 SKEWED = ("black", "face", "mum")
 UNIFORM = ("libq", "str")
 
 
+@plan_memo
+def build_plan() -> Plan:
+    """The strategy x workload grid (PRCAT_64, default T)."""
+    return Plan.grid(
+        base_spec(),
+        scheme=[
+            SchemeSpec.create(
+                "prcat", strategy, threshold_strategy=strategy
+            )
+            for strategy in ("model", "geometric")
+        ],
+        workload=list(SKEWED + UNIFORM),
+    )
+
+
 def build_rows():
+    plan = build_plan()
+    cells = list(zip(plan.keys(), run_bench_plan(plan)))
     rows = []
     for strategy in ("model", "geometric"):
         row = {"strategy": strategy}
         for group, names in (("skewed", SKEWED), ("uniform", UNIFORM)):
-            cmrpo = mean(
-                simulate_workload(
-                    w,
-                    scheme="prcat",
-                    threshold_strategy=strategy,
-                    **sim_kwargs(),
-                ).cmrpo
-                for w in names
+            group_results = [
+                result
+                for (workload, label), result in cells
+                if label == strategy and workload in names
+            ]
+            row[f"{group}_cmrpo_pct"] = 100.0 * mean(
+                r.cmrpo for r in group_results
             )
-            rows_refreshed = mean(
-                simulate_workload(
-                    w,
-                    scheme="prcat",
-                    threshold_strategy=strategy,
-                    **sim_kwargs(),
-                ).totals.rows_refreshed_per_bank_interval
-                for w in names
+            row[f"{group}_rows_per_interval"] = mean(
+                r.totals.rows_refreshed_per_bank_interval
+                for r in group_results
             )
-            row[f"{group}_cmrpo_pct"] = 100.0 * cmrpo
-            row[f"{group}_rows_per_interval"] = rows_refreshed
         rows.append(row)
     return rows
 
@@ -59,6 +68,7 @@ def emit_rows(rows):
             "uniform_cmrpo_pct",
             "uniform_rows_per_interval",
         ],
+        plan=build_plan(),
     )
 
 

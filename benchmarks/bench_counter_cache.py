@@ -9,10 +9,10 @@ DRCAT on skewed and streaming workloads and reports refresh rows, hit
 rates, and the counter-fetch energy CAT avoids by construction.
 """
 
-from _common import emit, sim_kwargs
+from _common import base_spec, emit, plan_memo, run_bench_plan, sim_kwargs
 
 from repro.core.counter_cache import CounterCacheScheme
-from repro.sim.runner import simulate_workload
+from repro.experiments import Plan, SchemeSpec
 from repro.sim.simulator import scaled_threshold
 from repro.workloads.suites import get_workload
 
@@ -44,18 +44,27 @@ def run_counter_cache(workload: str) -> dict:
     }
 
 
+@plan_memo
+def build_plan() -> Plan:
+    """The simulated reference points (the cache itself runs bare)."""
+    return Plan.grid(
+        base_spec(refresh_threshold=T),
+        workload=list(WORKLOADS),
+        scheme=[
+            SchemeSpec.create("sca", "SCA_128", n_counters=128),
+            SchemeSpec.create("drcat", "DRCAT_64", n_counters=64),
+        ],
+    )
+
+
 def build_rows():
+    plan = build_plan()
+    results = dict(zip(plan.keys(), run_bench_plan(plan)))
     rows = []
     for workload in WORKLOADS:
         cache = run_counter_cache(workload)
-        sca = simulate_workload(
-            workload, scheme="sca", counters=128,
-            refresh_threshold=T, **sim_kwargs(),
-        )
-        drcat = simulate_workload(
-            workload, scheme="drcat", counters=64,
-            refresh_threshold=T, **sim_kwargs(),
-        )
+        sca = results[(workload, "SCA_128")]
+        drcat = results[(workload, "DRCAT_64")]
         rows.append(
             {
                 "workload": workload,
@@ -85,6 +94,7 @@ def emit_rows(rows):
             "drcat64_rows",
         ],
         parameters={"refresh_threshold": T},
+        plan=build_plan(),
     )
 
 

@@ -12,9 +12,9 @@ L grid (7/9/11/13) to keep runtime sane; REPRO_BENCH_* env knobs raise
 fidelity.
 """
 
-from _common import emit, mean, sim_kwargs
+from _common import base_spec, emit, mean, plan_memo, run_bench_plan
 
-from repro.sim.runner import simulate_workload
+from repro.experiments import Plan, SchemeSpec
 
 WORKLOADS = ("black", "face", "comm1")
 M_VALUES = (32, 64, 128, 256, 512)
@@ -26,37 +26,42 @@ def valid_levels(m: int, l: int) -> bool:
     return l > m.bit_length() - 1
 
 
+@plan_memo
+def build_plan(refresh_threshold) -> Plan:
+    """The declarative M x L x workload grid (invalid L cells omitted)."""
+    schemes = [
+        SchemeSpec.create("sca", f"SCA_{m}", n_counters=m) for m in M_VALUES
+    ] + [
+        SchemeSpec.create(
+            "drcat", f"DRCAT_{m}_L{l}", n_counters=m, max_levels=l
+        )
+        for m in M_VALUES
+        for l in L_VALUES
+        if valid_levels(m, l)
+    ]
+    return Plan.grid(
+        base_spec(refresh_threshold=refresh_threshold),
+        scheme=schemes,
+        workload=list(WORKLOADS),
+    )
+
+
 def build_rows(refresh_threshold):
+    plan = build_plan(refresh_threshold)
+    by_label: dict[str, list[float]] = {}
+    for (workload, label), result in zip(
+        plan.keys(), run_bench_plan(plan)
+    ):
+        by_label.setdefault(label, []).append(result.cmrpo)
     rows = []
     for m in M_VALUES:
         row = {"M": m}
-        sca = mean(
-            simulate_workload(
-                w,
-                scheme="sca",
-                counters=m,
-                refresh_threshold=refresh_threshold,
-                **sim_kwargs(),
-            ).cmrpo
-            for w in WORKLOADS
-        )
-        row["SCA"] = 100.0 * sca
+        row["SCA"] = 100.0 * mean(by_label[f"SCA_{m}"])
         for l in L_VALUES:
             if not valid_levels(m, l):
                 row[f"DRCAT_L{l}"] = float("nan")
                 continue
-            drcat = mean(
-                simulate_workload(
-                    w,
-                    scheme="drcat",
-                    counters=m,
-                    max_levels=l,
-                    refresh_threshold=refresh_threshold,
-                    **sim_kwargs(),
-                ).cmrpo
-                for w in WORKLOADS
-            )
-            row[f"DRCAT_L{l}"] = 100.0 * drcat
+            row[f"DRCAT_L{l}"] = 100.0 * mean(by_label[f"DRCAT_{m}_L{l}"])
         rows.append(row)
     return rows
 
@@ -80,6 +85,7 @@ def emit_threshold(refresh_threshold, rows):
         rows,
         ["M", "SCA"] + [f"DRCAT_L{l}" for l in L_VALUES],
         parameters={"refresh_threshold": refresh_threshold},
+        plan=build_plan(refresh_threshold),
     )
 
 

@@ -7,10 +7,9 @@ relieves pressure for every scheme.  Quad-core systems use 128K-row
 banks and double the counters (SCA_256 / CAT_128) per the paper.
 """
 
-from _common import PRA_P_FOR_T, emit, mean, sim_kwargs
+from _common import PRA_P_FOR_T, base_spec, emit, mean, plan_memo, run_bench_plan
 
-from repro.dram.config import NAMED_CONFIGS
-from repro.sim.runner import simulate_workload
+from repro.experiments import Plan, SchemeSpec
 
 WORKLOADS = ("comm1", "black", "MTC", "face")
 
@@ -24,39 +23,51 @@ CONFIG_ROWS = [
 ]
 
 
-def build_rows(refresh_threshold):
-    from dataclasses import replace
+def _config_schemes(pra_p, sca_m, cat_m):
+    return [
+        SchemeSpec.create("pra", "PRA", probability=pra_p),
+        SchemeSpec.create("sca", "SCA", n_counters=sca_m),
+        SchemeSpec.create("prcat", "PRCAT", n_counters=cat_m),
+        SchemeSpec.create("drcat", "DRCAT", n_counters=cat_m),
+    ]
 
-    rows = []
+
+@plan_memo
+def build_plan(refresh_threshold) -> Plan:
+    """One grid per iso-area configuration row, concatenated."""
     pra_p = PRA_P_FOR_T[refresh_threshold]
+    plan = None
     for name, traffic_mult, sca_m, cat_m in CONFIG_ROWS:
-        config = NAMED_CONFIGS[name]
-        row = {"config": name}
-        for label, scheme, counters in (
-            (f"PRA_{pra_p}", "pra", 0),
-            (f"SCA_{sca_m}", "sca", sca_m),
-            (f"PRCAT_{cat_m}", "prcat", cat_m),
-            (f"DRCAT_{cat_m}", "drcat", cat_m),
-        ):
-            values = []
-            for wname in WORKLOADS:
-                from repro.workloads.suites import get_workload
+        grid = Plan.grid(
+            base_spec(
+                system=name,
+                intensity_scale=traffic_mult,
+                refresh_threshold=refresh_threshold,
+            ),
+            scheme=_config_schemes(pra_p, sca_m, cat_m),
+            workload=list(WORKLOADS),
+        )
+        plan = grid if plan is None else plan + grid
+    return plan
 
-                spec = get_workload(wname)
-                spec = replace(
-                    spec, intensity=spec.intensity * traffic_mult
-                )
-                kw = sim_kwargs(
-                    config=config,
-                    refresh_threshold=refresh_threshold,
-                    pra_probability=pra_p,
-                )
-                if counters:
-                    kw["counters"] = counters
-                values.append(
-                    simulate_workload(spec, scheme=scheme, **kw).cmrpo
-                )
-            row[label.split("_")[0]] = 100.0 * mean(values)
+
+def build_rows(refresh_threshold):
+    plan = build_plan(refresh_threshold)
+    results = run_bench_plan(plan)
+    rows = []
+    cells_per_config = 4 * len(WORKLOADS)
+    for i, (name, _mult, _sca_m, _cat_m) in enumerate(CONFIG_ROWS):
+        row = {"config": name}
+        block = list(zip(
+            plan.keys()[i * cells_per_config:(i + 1) * cells_per_config],
+            results[i * cells_per_config:(i + 1) * cells_per_config],
+        ))
+        for label in ("PRA", "SCA", "PRCAT", "DRCAT"):
+            row[label] = 100.0 * mean(
+                result.cmrpo
+                for (_w, cell_label), result in block
+                if cell_label == label
+            )
         rows.append(row)
     return rows
 
@@ -69,6 +80,7 @@ def emit_threshold(refresh_threshold, rows):
         rows,
         ["config", "PRA", "SCA", "PRCAT", "DRCAT"],
         parameters={"refresh_threshold": refresh_threshold},
+        plan=build_plan(refresh_threshold),
     )
 
 

@@ -7,9 +7,9 @@ for 64K-16K and below 10% at 8K with doubled counters; SCA grows
 steeply as T shrinks; DRCAT <= PRCAT throughout.
 """
 
-from _common import PRA_P_FOR_T, emit, mean, sim_kwargs
+from _common import PRA_P_FOR_T, base_spec, emit, mean, plan_memo, run_bench_plan
 
-from repro.sim.runner import simulate_workload
+from repro.experiments import Plan, SchemeSpec
 
 WORKLOADS = ("comm1", "black", "face", "mum", "libq")
 
@@ -22,30 +22,47 @@ THRESHOLD_CONFIGS = [
 ]
 
 
+@plan_memo
+def build_plan() -> Plan:
+    """One iso-area grid per threshold row, concatenated."""
+    plan = None
+    for t, sca_m, cat_m in THRESHOLD_CONFIGS:
+        pra_p = PRA_P_FOR_T[t]
+        grid = Plan.grid(
+            base_spec(refresh_threshold=t),
+            scheme=[
+                SchemeSpec.create("pra", "PRA", probability=pra_p),
+                SchemeSpec.create("sca", "SCA", n_counters=sca_m),
+                SchemeSpec.create("prcat", "PRCAT", n_counters=cat_m),
+                SchemeSpec.create("drcat", "DRCAT", n_counters=cat_m),
+            ],
+            workload=list(WORKLOADS),
+        )
+        plan = grid if plan is None else plan + grid
+    return plan
+
+
 def build_rows():
+    plan = build_plan()
+    results = run_bench_plan(plan)
+    cells = list(zip(plan.specs, plan.keys(), results))
     rows = []
     for t, sca_m, cat_m in THRESHOLD_CONFIGS:
         pra_p = PRA_P_FOR_T[t]
         row = {"T": f"{t // 1024}K"}
-
-        def run(scheme, counters):
-            kw = sim_kwargs(refresh_threshold=t, pra_probability=pra_p)
-            if counters:
-                kw["counters"] = counters
-            return 100.0 * mean(
-                simulate_workload(w, scheme=scheme, **kw).cmrpo
-                for w in WORKLOADS
+        means = {}
+        for label in ("PRA", "SCA", "PRCAT", "DRCAT"):
+            means[label] = 100.0 * mean(
+                result.cmrpo
+                for spec, (_w, cell_label), result in cells
+                if spec.refresh_threshold == t and cell_label == label
             )
-
-        row[f"PRA_{pra_p}"] = run("pra", 0)
-        row[f"SCA_{sca_m}"] = run("sca", sca_m)
-        row[f"PRCAT_{cat_m}"] = run("prcat", cat_m)
-        row[f"DRCAT_{cat_m}"] = run("drcat", cat_m)
+        row[f"PRA_{pra_p}"] = means["PRA"]
+        row[f"SCA_{sca_m}"] = means["SCA"]
+        row[f"PRCAT_{cat_m}"] = means["PRCAT"]
+        row[f"DRCAT_{cat_m}"] = means["DRCAT"]
         # normalise keys for assertions
-        row["PRA"] = row[f"PRA_{pra_p}"]
-        row["SCA"] = row[f"SCA_{sca_m}"]
-        row["PRCAT"] = row[f"PRCAT_{cat_m}"]
-        row["DRCAT"] = row[f"DRCAT_{cat_m}"]
+        row.update(means)
         rows.append(row)
     return rows
 
@@ -57,6 +74,7 @@ def emit_rows(rows):
         rows,
         ["T", "PRA", "SCA", "PRCAT", "DRCAT"],
         parameters={"workloads": ",".join(WORKLOADS)},
+        plan=build_plan(),
     )
 
 

@@ -8,9 +8,9 @@ schemes stay below ~1%; T=8K is *lower* than 16K because the counter
 budget doubles.
 """
 
-from _common import emit, mean, sim_kwargs
+from _common import base_spec, emit, mean, plan_memo, run_bench_plan
 
-from repro.sim.runner import simulate_attack
+from repro.experiments import Plan, SchemeSpec
 from repro.workloads.attacks import ATTACK_KERNELS
 
 #: (T, SCA M, CAT M) per the paper's Figure 13 groups.
@@ -20,28 +20,51 @@ MODES = ("heavy", "medium", "light")
 KERNELS = ATTACK_KERNELS[:4]
 
 
-def build_rows():
-    rows = []
+@plan_memo
+def build_plan() -> Plan:
+    """Attack grids: (scheme x mode x kernel) per iso-area threshold row.
+
+    Attack cells are ordinary ExperimentSpecs with ``kind="attack"``;
+    the kernel and mix mode are plan axes like any other spec field.
+    """
+    plan = None
     for t, sca_m, cat_m in THRESHOLD_CONFIGS:
+        grid = Plan.grid(
+            base_spec(
+                kind="attack",
+                attack_kernel=KERNELS[0].name,
+                attack_mode=MODES[0],
+                workload="libq",
+                refresh_threshold=t,
+            ),
+            scheme=[
+                SchemeSpec.create("sca", "SCA", n_counters=sca_m),
+                SchemeSpec.create("prcat", "PRCAT", n_counters=cat_m),
+                SchemeSpec.create("drcat", "DRCAT", n_counters=cat_m),
+            ],
+            attack_mode=list(MODES),
+            attack_kernel=[k.name for k in KERNELS],
+        )
+        plan = grid if plan is None else plan + grid
+    return plan
+
+
+def build_rows():
+    plan = build_plan()
+    results = run_bench_plan(plan)
+    cells = list(zip(plan.specs, results))
+    rows = []
+    for t, _sca_m, _cat_m in THRESHOLD_CONFIGS:
         for mode in MODES:
             row = {"T": f"{t // 1024}K", "mode": mode}
-            for label, scheme, m in (
-                (f"SCA_{sca_m}", "sca", sca_m),
-                (f"PRCAT_{cat_m}", "prcat", cat_m),
-                (f"DRCAT_{cat_m}", "drcat", cat_m),
-            ):
-                eto = mean(
-                    simulate_attack(
-                        kernel,
-                        mode,
-                        scheme,
-                        counters=m,
-                        refresh_threshold=t,
-                        **sim_kwargs(),
-                    ).eto
-                    for kernel in KERNELS
+            for label in ("SCA", "PRCAT", "DRCAT"):
+                row[label] = 100.0 * mean(
+                    result.eto
+                    for spec, result in cells
+                    if spec.refresh_threshold == t
+                    and spec.attack_mode == mode
+                    and spec.scheme.display_label == label
                 )
-                row[label.split("_")[0]] = 100.0 * eto
             rows.append(row)
     return rows
 
@@ -54,6 +77,7 @@ def emit_rows(rows):
         rows,
         ["T", "mode", "SCA", "PRCAT", "DRCAT"],
         parameters={"n_kernels": len(KERNELS)},
+        plan=build_plan(),
     )
 
 

@@ -40,6 +40,9 @@ def emit_grid(rows):
         "Figure 1: PRA 5-year unsurvivability (Chipkill = 1E-4)",
         rows,
         ["T"] + [f"p={p}" for p in PROBABILITIES] + ["beats_chipkill"],
+        spec={"analytic": "fig1",
+              "grid": {"T": [32768, 24576, 16384, 8192],
+                       "p": list(PROBABILITIES)}},
     )
 
 
@@ -102,6 +105,9 @@ def emit_lfsr(data):
             "refresh_threshold": data["refresh_threshold"],
             "p": data["p"],
         },
+        spec={"analytic": "fig1_lfsr",
+              "grid": {"source": ["trng", "closed_form", "lfsr16",
+                                  "lfsr9"]}},
     )
 
 

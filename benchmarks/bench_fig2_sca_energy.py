@@ -48,6 +48,9 @@ def emit_rows(rows):
         rows,
         ["M", "counter_nJ", "refresh_nJ", "total_nJ"],
         parameters={"accesses_per_interval": ACCESSES_PER_INTERVAL},
+        spec={"analytic": "fig2",
+              "grid": {"M": "16..65536 (x2)",
+                       "caches": ["2KB", "8KB"]}},
     )
 
 

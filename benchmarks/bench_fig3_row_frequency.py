@@ -58,6 +58,9 @@ def emit_rows(rows):
             "top1024_share",
         ],
         parameters={"n_rows": N_ROWS},
+        spec={"analytic": "fig3",
+              "grid": {"workload": ["black", "face", "libq"],
+                       "n_rows": N_ROWS}},
     )
 
 

@@ -1,16 +1,18 @@
 """Figure 8: CMRPO per workload for T=32K and T=16K (dual-core).
 
 Regenerates the paper's headline comparison: PRA, SCA_64, SCA_128,
-PRCAT_64 and DRCAT_64 over the 18 MSC workloads.  Paper shape at T=32K:
-the CAT schemes' mean sits far below SCA's and PRA's; at T=16K SCA_64
-degrades sharply (paper: 22%) while DRCAT barely moves (4 -> 4.5%).
+PRCAT_64 and DRCAT_64 over the 18 MSC workloads.  The grid is declared
+as a :class:`repro.experiments.Plan` (see ``_common.fig8_plan``), shared
+with Figure 9.  Paper shape at T=32K: the CAT schemes' mean sits far
+below SCA's and PRA's; at T=16K SCA_64 degrades sharply (paper: 22%)
+while DRCAT barely moves (4 -> 4.5%).
 """
 
-from _common import FIG8_SCHEMES, emit, fig8_sweep, mean
+from _common import FIG8_LABELS, emit, fig8_plan, fig8_sweep, mean
 
 from repro.workloads.suites import WORKLOAD_ORDER
 
-LABELS = [label for label, _, _ in FIG8_SCHEMES]
+LABELS = FIG8_LABELS
 
 
 def build_rows(refresh_threshold):
@@ -36,6 +38,7 @@ def emit_threshold(refresh_threshold, rows):
         rows,
         ["workload"] + LABELS,
         parameters={"refresh_threshold": refresh_threshold},
+        plan=fig8_plan(refresh_threshold),
     )
 
 

@@ -1,16 +1,20 @@
 """Figure 9: execution-time overhead (ETO) per workload, T=32K and 16K.
 
+The grid is the shared Figure 8/9 :class:`repro.experiments.Plan`
+(``_common.fig8_plan``); this bench reads the ETO metric of the same
+cached cells.
+
 Paper means at T=32K: PRA 0.26%, SCA_64 1.32%, SCA_128 0.43%,
 PRCAT_64 0.23%, DRCAT_64 0.16%; at T=16K: 0.39 / 3.42 / 1.38 / 0.49 /
 0.35%.  The reproduced shape: all ETOs sub-percent-ish, SCA_64 worst,
 the CAT schemes best, and T=16K uniformly worse than T=32K.
 """
 
-from _common import FIG8_SCHEMES, emit, fig8_sweep, mean
+from _common import FIG8_LABELS, emit, fig8_plan, fig8_sweep, mean
 
 from repro.workloads.suites import WORKLOAD_ORDER
 
-LABELS = [label for label, _, _ in FIG8_SCHEMES]
+LABELS = FIG8_LABELS
 
 
 def build_rows(refresh_threshold):
@@ -36,6 +40,7 @@ def emit_threshold(refresh_threshold, rows):
         rows,
         ["workload"] + LABELS,
         parameters={"refresh_threshold": refresh_threshold},
+        plan=fig8_plan(refresh_threshold),
     )
 
 

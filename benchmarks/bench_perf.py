@@ -49,6 +49,9 @@ CHECK_MIN_SPEEDUP = 5.0
 #: Mini-sweep used for the wall-clock trend (subset of Figure 8).
 MINI_SWEEP_WORKLOADS = ("mum", "libq", "black", "comm1")
 MINI_SWEEP_SCHEMES = ("pra", "sca", "prcat", "drcat")
+#: Minimum accepted warm/cold speedup of the sweep-cell result cache
+#: for ``--check`` (ISSUE-3 acceptance: >= 2x on a bench rerun).
+CHECK_MIN_CACHE_SPEEDUP = 2.0
 
 
 def _measure(engine: str, scheme: str, repeats: int) -> tuple[float, int]:
@@ -149,7 +152,49 @@ def run_bench(smoke: bool = False, repeats: int = 3) -> dict:
             engine="batched",
         )
         report["fig8_mini_sweep_s"] = round(time.perf_counter() - start, 3)
+    report["sweep_cache"] = _measure_cache_speedup()
     return report
+
+
+def _measure_cache_speedup() -> dict:
+    """Cold vs warm wall-clock of a plan rerun through the result cache.
+
+    Measures exactly what ``repro verify`` gains on a rerun after an
+    unrelated edit: the cold pass simulates and populates the cache,
+    the warm pass replays every cell from disk.
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments import Plan, ResultCache, SchemeSpec, run_plan
+
+    plan = Plan.grid(
+        base=None,
+        workload=list(MINI_SWEEP_WORKLOADS),
+        scheme=[SchemeSpec(kind) for kind in MINI_SWEEP_SCHEMES],
+    )
+    root = tempfile.mkdtemp(prefix="repro-cache-bench-")
+    try:
+        cache = ResultCache(root)
+        start = time.perf_counter()
+        cold_results = run_plan(plan, cache=cache)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_results = run_plan(plan, cache=ResultCache(root))
+        warm_s = time.perf_counter() - start
+        identical = all(
+            a.to_dict() == b.to_dict()
+            for a, b in zip(cold_results, warm_results)
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "n_cells": len(plan),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 2) if warm_s else float("inf"),
+        "warm_results_identical": identical,
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -177,6 +222,13 @@ def main(argv: list[str] | None = None) -> int:
         )
     if "fig8_mini_sweep_s" in report:
         print(f"fig8 mini-sweep: {report['fig8_mini_sweep_s']} s")
+    cache_row = report["sweep_cache"]
+    print(
+        f"sweep cache: cold {cache_row['cold_s']} s -> warm "
+        f"{cache_row['warm_s']} s ({cache_row['speedup']}x, "
+        f"{cache_row['n_cells']} cells, identical="
+        f"{cache_row['warm_results_identical']})"
+    )
     print(f"wrote {out}")
 
     if args.check:
@@ -188,6 +240,16 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
         print(f"check ok: drcat batched speedup {speedup}x")
+        if not cache_row["warm_results_identical"]:
+            print("FAIL: warm cache results differ from cold run")
+            return 1
+        if cache_row["speedup"] < CHECK_MIN_CACHE_SPEEDUP:
+            print(
+                f"FAIL: sweep-cache warm speedup {cache_row['speedup']}x "
+                f"is below the {CHECK_MIN_CACHE_SPEEDUP}x floor"
+            )
+            return 1
+        print(f"check ok: sweep-cache warm speedup {cache_row['speedup']}x")
     return 0
 
 

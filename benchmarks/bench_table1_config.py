@@ -42,6 +42,7 @@ def emit_rows(rows):
             "mapping",
             "policy",
         ],
+        spec={"analytic": "table1", "grid": {"config": list(NAMED_CONFIGS)}},
     )
 
 

@@ -42,7 +42,10 @@ def emit_hardware(rows):
             f"{scheme}_area_mm2",
         ]
     return emit(
-        "table2_hardware", "Table II: per-bank energy and area", rows, columns
+        "table2_hardware", "Table II: per-bank energy and area", rows, columns,
+        spec={"analytic": "table2",
+              "grid": {"M": list(TABLE2_M),
+                       "scheme": ["drcat", "prcat", "sca"]}},
     )
 
 
@@ -67,6 +70,7 @@ def emit_prng():
             "eff_nJ_per_bit",
             "eng_PRNG_9b_nJ",
         ],
+        spec={"analytic": "table2_prng"},
     )
 
 

@@ -16,30 +16,30 @@ ferret, face, freq, MTC, MTF, libq, leslie, mum, tigr); default black.
 
 import sys
 
-from repro import simulate_workload
+from repro import ExperimentSpec, Plan, SchemeSpec, run_plan
 from repro.sim.metrics import format_table
 
 
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "black"
-    configs = [
-        ("PRA (p=0.002)", "pra", {}),
-        ("SCA, 64 counters", "sca", {"counters": 64}),
-        ("SCA, 128 counters", "sca", {"counters": 128}),
-        ("PRCAT, 64 counters", "prcat", {"counters": 64}),
-        ("DRCAT, 64 counters", "drcat", {"counters": 64}),
-    ]
+    base = ExperimentSpec(
+        scheme=SchemeSpec("drcat"),
+        workload=workload,
+        refresh_threshold=32768,
+        scale=24,
+        n_banks=1,
+        n_intervals=2,
+    )
+    plan = Plan.grid(base, scheme=[
+        SchemeSpec.create("pra", "PRA (p=0.002)"),
+        SchemeSpec.create("sca", "SCA, 64 counters", n_counters=64),
+        SchemeSpec.create("sca", "SCA, 128 counters", n_counters=128),
+        SchemeSpec.create("prcat", "PRCAT, 64 counters", n_counters=64),
+        SchemeSpec.create("drcat", "DRCAT, 64 counters", n_counters=64),
+    ])
     rows = []
-    for label, scheme, extra in configs:
-        result = simulate_workload(
-            workload,
-            scheme=scheme,
-            refresh_threshold=32768,
-            scale=24,
-            n_banks=1,
-            n_intervals=2,
-            **extra,
-        )
+    for spec, result in zip(plan.specs, run_plan(plan)):
+        label = spec.scheme.display_label
         breakdown = result.cmrpo_breakdown
         rows.append(
             {

@@ -16,6 +16,7 @@ and lower is closer to full scale).
 
 import sys
 
+from repro.experiments import ExperimentSpec, Plan, SchemeSpec
 from repro.sim.metrics import format_table
 from repro.sim.runner import sweep, suite_means
 from repro.workloads.suites import SUITES
@@ -26,16 +27,25 @@ SAMPLE = ("comm1", "black", "face", "libq", "mum")
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 32.0
     for threshold, pra_p in ((32768, 0.002), (16384, 0.003)):
-        results = sweep(
-            workloads=SAMPLE,
-            schemes=("pra", "sca", "prcat", "drcat"),
+        base = ExperimentSpec(
+            scheme=SchemeSpec("drcat"),
+            workload=SAMPLE[0],
             refresh_threshold=threshold,
-            pra_probability=pra_p,
             scale=scale,
             n_banks=1,
             n_intervals=2,
-            scheme_overrides={"sca": {"counters": 128}},
         )
+        plan = Plan.grid(
+            base,
+            workload=list(SAMPLE),
+            scheme=[
+                SchemeSpec.create("pra", "pra", probability=pra_p),
+                SchemeSpec.create("sca", "sca", n_counters=128),
+                SchemeSpec("prcat"),
+                SchemeSpec("drcat"),
+            ],
+        )
+        results = sweep(plan)
         rows = []
         for workload in SAMPLE:
             suite = next(s for s, names in SUITES.items() if workload in names)

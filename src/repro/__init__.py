@@ -19,9 +19,18 @@ schemes — together with every substrate the evaluation depends on:
 
 Quickstart::
 
-    from repro import simulate_workload
-    result = simulate_workload("blackscholes", scheme="drcat", counters=64)
+    from repro import ExperimentSpec, SchemeSpec, run_spec
+    spec = ExperimentSpec(
+        scheme=SchemeSpec.create("drcat", n_counters=64),
+        workload="blackscholes",
+    )
+    result = run_spec(spec)
     print(result.cmrpo, result.eto)
+
+or, for one-off convenience runs::
+
+    from repro import simulate_workload
+    result = simulate_workload("blackscholes", scheme="drcat")
 """
 
 from repro.core import (
@@ -37,6 +46,14 @@ from repro.core import (
 )
 from repro.dram.config import DRAMTimings, SystemConfig
 from repro.energy.cmrpo import CMRPOBreakdown, compute_cmrpo
+from repro.experiments import (
+    ExperimentSpec,
+    Plan,
+    ResultCache,
+    SchemeSpec,
+    run_plan,
+    run_spec,
+)
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import simulate_workload, sweep
 
@@ -57,6 +74,12 @@ __all__ = [
     "CMRPOBreakdown",
     "compute_cmrpo",
     "SimulationResult",
+    "ExperimentSpec",
+    "SchemeSpec",
+    "Plan",
+    "ResultCache",
+    "run_spec",
+    "run_plan",
     "simulate_workload",
     "sweep",
     "__version__",

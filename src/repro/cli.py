@@ -3,20 +3,27 @@
 Subcommands::
 
     python -m repro run --workload black --scheme drcat [--threshold 32768]
+    python -m repro run --spec experiment.json
     python -m repro compare --workload face [--threshold 16384]
     python -m repro attack --kernel kernel03 --mode heavy --scheme sca
     python -m repro sweep --workers 8 [--workloads mum libq]
+    python -m repro plan --spec plan.json [--run] [--workers 8]
+    python -m repro plan --example
+    python -m repro list {workloads,schemes,attacks}
     python -m repro verify [--fidelity ci|smoke|full] [--update]
     python -m repro workloads
     python -m repro hardware [--counters 64]
 
-All simulation knobs (scale, banks, intervals, engine) are exposed as
-flags; the defaults match the benchmark harness.  ``--engine scalar``
-selects the per-event reference loop; the default batched engine is
-bit-identical and ~an order of magnitude faster.  ``run``, ``compare``
-and ``sweep`` accept ``--json`` to print full machine-readable results
-instead of the text table.  ``verify`` regenerates every figure/table
-artifact and gates it against the golden store (see
+Every flag-driven subcommand builds a declarative
+:class:`~repro.experiments.ExperimentSpec` internally; ``run --spec``
+and ``plan --spec`` consume the same JSON forms directly (``plan
+--example`` prints a starter document).  All simulation knobs (scale,
+banks, intervals, engine) are exposed as flags; the defaults match the
+benchmark harness.  ``--engine scalar`` selects the per-event reference
+loop; the default batched engine is bit-identical and ~an order of
+magnitude faster.  ``run``, ``compare``, ``sweep`` and ``plan`` accept
+``--json`` for machine-readable results.  ``verify`` regenerates every
+figure/table artifact and gates it against the golden store (see
 :mod:`repro.report.verify`).
 """
 
@@ -25,14 +32,31 @@ from __future__ import annotations
 import argparse
 import json
 
+from repro.core.registry import get_scheme_info, params_to_dict, scheme_names
 from repro.energy.hardware_model import TABLE2_M, pra_hardware, scheme_hardware
+from repro.experiments import (
+    ExperimentSpec,
+    Plan,
+    SchemeSpec,
+    load_plan,
+    load_spec,
+    run_plan,
+    run_spec,
+)
 from repro.report.config import FIDELITIES
 from repro.report.verify import run_verify
 from repro.sim.engine import ENGINES
 from repro.sim.metrics import format_table
-from repro.sim.runner import simulate_attack, simulate_workload, sweep
 from repro.workloads.attacks import ATTACK_KERNELS, ATTACK_MODES
-from repro.workloads.suites import WORKLOAD_ORDER, get_workload
+from repro.workloads.suites import (
+    WORKLOAD_ALIASES,
+    WORKLOAD_ORDER,
+    get_workload,
+)
+
+#: Scheme choices the flag-driven subcommands accept — driven by the
+#: registry, so a newly registered scheme is accepted automatically.
+SCHEME_CHOICES = sorted(scheme_names())
 
 
 def _add_sim_flags(parser: argparse.ArgumentParser) -> None:
@@ -59,16 +83,29 @@ def _add_sim_flags(parser: argparse.ArgumentParser) -> None:
                              "the text table")
 
 
-def _sim_kwargs(args: argparse.Namespace) -> dict:
-    return dict(
-        refresh_threshold=args.threshold,
+def _scheme_spec(scheme: str, args: argparse.Namespace,
+                 label: str | None = None) -> SchemeSpec:
+    """The typed SchemeSpec the flags describe for ``scheme``."""
+    return SchemeSpec.from_legacy(
+        scheme,
         counters=args.counters,
         max_levels=args.levels,
         pra_probability=args.pra_p,
+        label=label,
+    )
+
+
+def _spec_from_args(args: argparse.Namespace, scheme: str,
+                    workload: str, **extra) -> ExperimentSpec:
+    return ExperimentSpec(
+        scheme=_scheme_spec(scheme, args),
+        workload=workload,
+        refresh_threshold=args.threshold,
         scale=args.scale,
         n_banks=args.banks,
         n_intervals=args.intervals,
         engine=args.engine,
+        **extra,
     )
 
 
@@ -82,12 +119,20 @@ def _result_row(label: str, result) -> dict:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    """``repro run``: one workload, one scheme."""
-    result = simulate_workload(args.workload, scheme=args.scheme, **_sim_kwargs(args))
+    """``repro run``: one experiment — from flags or a spec file."""
+    if args.spec:
+        spec = load_spec(args.spec)
+        label = f"{spec.scheme.display_label}"
+    else:
+        spec = _spec_from_args(args, args.scheme, args.workload)
+        label = args.scheme
+    result = run_spec(spec)
     if args.json:
-        print(json.dumps(result.to_dict(), indent=2))
+        doc = result.to_dict()
+        doc["spec"] = spec.to_dict()
+        print(json.dumps(doc, indent=2))
         return 0
-    print(format_table([_result_row(args.scheme, result)],
+    print(format_table([_result_row(label, result)],
                        ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
     return 0
 
@@ -97,7 +142,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     results = {}
     for scheme in ("pra", "sca", "prcat", "drcat"):
-        result = simulate_workload(args.workload, scheme=scheme, **_sim_kwargs(args))
+        result = run_spec(_spec_from_args(args, scheme, args.workload))
         results[scheme] = result
         rows.append(_result_row(scheme, result))
     if args.json:
@@ -111,9 +156,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_attack(args: argparse.Namespace) -> int:
     """``repro attack``: one kernel-attack experiment."""
-    result = simulate_attack(
-        args.kernel, args.mode, args.scheme, benign=args.benign, **_sim_kwargs(args)
+    spec = _spec_from_args(
+        args, args.scheme, args.benign,
+        kind="attack", attack_kernel=args.kernel, attack_mode=args.mode,
     )
+    result = run_spec(spec)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return 0
@@ -125,12 +172,22 @@ def cmd_attack(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     """``repro sweep``: (workload x scheme) grid, optionally parallel."""
     workloads = args.workloads or list(WORKLOAD_ORDER)
-    results = sweep(
-        workloads=workloads,
-        schemes=tuple(args.schemes),
-        workers=args.workers,
-        **_sim_kwargs(args),
+    if not args.schemes:
+        # nargs="*" permits an empty list; an empty grid is an empty
+        # table, matching the historical behaviour.
+        print(format_table([], ["scheme", "CMRPO %", "ETO %",
+                                "rows/interval"]))
+        return 0
+    base = _spec_from_args(args, args.schemes[0], workloads[0])
+    plan = Plan.grid(
+        base,
+        workload=workloads,
+        scheme=[_scheme_spec(s, args) for s in args.schemes],
     )
+    results = dict(zip(
+        plan.keys(),
+        run_plan(plan, workers=args.workers, cache=args.cache_dir or None),
+    ))
     if args.json:
         print(json.dumps(
             {f"{workload}/{scheme}": result.to_dict()
@@ -143,6 +200,114 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for (workload, scheme), result in results.items()
     ]
     print(format_table(rows, ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
+    return 0
+
+
+EXAMPLE_PLAN = {
+    "kind": "repro-experiment-plan",
+    "plan_version": 1,
+    "base": {
+        "scheme": {"kind": "drcat",
+                   "params": {"n_counters": 64, "max_levels": 11},
+                   "label": None},
+        "workload": "black",
+        "refresh_threshold": 32768,
+        "scale": 96.0,
+        "n_banks": 1,
+        "n_intervals": 1,
+        "engine": "batched",
+    },
+    "axes": [
+        ["workload", ["black", "libq"]],
+        ["scheme", [
+            {"kind": "sca", "params": {"n_counters": 128},
+             "label": "SCA_128"},
+            {"kind": "drcat", "params": {"n_counters": 64},
+             "label": "DRCAT_64"},
+        ]],
+    ],
+}
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """``repro plan``: expand (and optionally run) a plan document."""
+    if args.example:
+        print(json.dumps(EXAMPLE_PLAN, indent=2))
+        return 0
+    if not args.spec:
+        print("error: pass --spec plan.json (or --example for a template)")
+        return 2
+    plan = load_plan(args.spec)
+    if args.run:
+        results = run_plan(plan, workers=args.workers,
+                           cache=args.cache_dir or None)
+        if args.json:
+            print(json.dumps(
+                [{"spec": spec.to_dict(), "result": result.to_dict()}
+                 for spec, result in zip(plan.specs, results)],
+                indent=2,
+            ))
+            return 0
+        rows = [
+            _result_row(f"{w}/{s}", result)
+            for (w, s), result in zip(plan.keys(), results)
+        ]
+        print(format_table(rows, ["scheme", "CMRPO %", "ETO %",
+                                  "rows/interval"]))
+        return 0
+    if args.json:
+        print(json.dumps([spec.to_dict() for spec in plan.specs], indent=2))
+        return 0
+    rows = []
+    for i, spec in enumerate(plan.specs):
+        rows.append({
+            "cell": i,
+            "kind": spec.kind,
+            "workload": spec.workload_label,
+            "scheme": spec.scheme.display_label,
+            "T": spec.refresh_threshold,
+            "scale": spec.scale,
+            "engine": spec.engine,
+            "hash": spec.content_hash(),
+        })
+    print(f"plan: {len(plan)} cell(s), hash {plan.content_hash()}")
+    print(format_table(rows, ["cell", "kind", "workload", "scheme", "T",
+                              "scale", "engine", "hash"]))
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """``repro list``: registry-driven inventories."""
+    if args.what == "workloads":
+        rows = [
+            {"name": name, "suite": get_workload(name).suite,
+             "aliases": ",".join(
+                 a for a, c in sorted(WORKLOAD_ALIASES.items()) if c == name
+             )}
+            for name in WORKLOAD_ORDER
+        ]
+        print(format_table(rows, ["name", "suite", "aliases"]))
+        return 0
+    if args.what == "schemes":
+        rows = []
+        for name in scheme_names():
+            info = get_scheme_info(name)
+            defaults = params_to_dict(info.default_params())
+            rows.append({
+                "scheme": name,
+                "params": ", ".join(
+                    f"{k}={v}" for k, v in defaults.items()) or "(none)",
+                "description": info.description,
+            })
+        print(format_table(rows, ["scheme", "params", "description"]))
+        return 0
+    rows = [
+        {"kernel": k.name, "targets/bank": k.targets_per_bank,
+         "center": k.center_fraction, "spread": k.spread_fraction}
+        for k in ATTACK_KERNELS
+    ]
+    print(format_table(rows, ["kernel", "targets/bank", "center", "spread"]))
+    print(f"modes: {', '.join(ATTACK_MODES)}")
     return 0
 
 
@@ -221,8 +386,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one workload with one scheme")
     p_run.add_argument("--workload", default="black", choices=list(WORKLOAD_ORDER))
-    p_run.add_argument("--scheme", default="drcat",
-                       choices=["pra", "sca", "prcat", "drcat", "ccache"])
+    p_run.add_argument("--scheme", default="drcat", choices=SCHEME_CHOICES)
+    p_run.add_argument("--spec", default=None, metavar="FILE",
+                       help="run an ExperimentSpec JSON document instead of "
+                            "building one from the flags")
     _add_sim_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -235,8 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_atk.add_argument("--kernel", default="kernel01",
                        choices=[k.name for k in ATTACK_KERNELS])
     p_atk.add_argument("--mode", default="heavy", choices=list(ATTACK_MODES))
-    p_atk.add_argument("--scheme", default="drcat",
-                       choices=["pra", "sca", "prcat", "drcat", "ccache"])
+    p_atk.add_argument("--scheme", default="drcat", choices=SCHEME_CHOICES)
     p_atk.add_argument("--benign", default="libq", choices=list(WORKLOAD_ORDER))
     _add_sim_flags(p_atk)
     p_atk.set_defaults(func=cmd_attack)
@@ -247,11 +413,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="workloads to sweep (default: all 18)")
     p_sweep.add_argument("--schemes", nargs="*",
                          default=["pra", "sca", "prcat", "drcat"],
-                         choices=["pra", "sca", "prcat", "drcat", "ccache"])
+                         choices=SCHEME_CHOICES)
     p_sweep.add_argument("--workers", type=int, default=1,
                          help="process-pool width (default 1 = serial)")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="sweep-cell result cache directory "
+                              "(default: off for the CLI)")
     _add_sim_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="expand a declarative experiment plan (grid) and "
+             "optionally run it",
+    )
+    p_plan.add_argument("--spec", default=None, metavar="FILE",
+                        help="plan JSON document (grid or spec list)")
+    p_plan.add_argument("--run", action="store_true",
+                        help="execute the plan instead of only listing it")
+    p_plan.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for --run")
+    p_plan.add_argument("--cache-dir", default=None,
+                        help="sweep-cell result cache directory for --run")
+    p_plan.add_argument("--example", action="store_true",
+                        help="print an example plan document and exit")
+    p_plan.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_list = sub.add_parser(
+        "list", help="list registered workloads / schemes / attacks"
+    )
+    p_list.add_argument("what",
+                        choices=["workloads", "schemes", "attacks"])
+    p_list.set_defaults(func=cmd_list)
 
     p_ver = sub.add_parser(
         "verify",

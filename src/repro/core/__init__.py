@@ -1,4 +1,11 @@
-"""Core mitigation schemes: the CAT family and the SCA / PRA baselines."""
+"""Core mitigation schemes: the CAT family and the SCA / PRA baselines.
+
+Schemes are constructed through the registry in
+:mod:`repro.core.registry`: each registers a name, a typed params
+dataclass and a factory, and :func:`make_scheme` validates per-scheme
+parameters against it.  See :class:`repro.experiments.SchemeSpec` for
+the declarative form experiment specs carry.
+"""
 
 from __future__ import annotations
 
@@ -13,53 +20,24 @@ from repro.core.counter_cache import CounterCacheScheme
 from repro.core.counter_tree import CounterTree
 from repro.core.drcat import DRCATScheme
 from repro.core.pra import PRAScheme
+from repro.core.registry import (
+    CatParams,
+    CCacheParams,
+    DrcatParams,
+    PraParams,
+    PrcatParams,
+    ScaParams,
+    SchemeInfo,
+    build_params,
+    get_scheme_info,
+    make_scheme,
+    params_from_dict,
+    params_to_dict,
+    register_scheme,
+    scheme_names,
+)
 from repro.core.sca import SCAScheme
 from repro.core.thresholds import PAPER_THRESHOLDS, SplitThresholds
-
-
-def make_scheme(
-    kind: str,
-    n_rows: int,
-    refresh_threshold: int,
-    *,
-    n_counters: int = 64,
-    max_levels: int = 11,
-    probability: float = 0.002,
-    threshold_strategy: str = "auto",
-    prng=None,
-) -> MitigationScheme:
-    """Factory used by the simulator and benchmarks.
-
-    Parameters mirror the paper's configurations: ``kind`` is one of
-    ``"sca"``, ``"pra"``, ``"prcat"``, ``"drcat"``.  CAT variants take
-    ``n_counters`` (M) and ``max_levels`` (L); PRA takes ``probability``
-    and an optional PRNG instance.
-    """
-    kind = kind.lower()
-    if kind == "sca":
-        return SCAScheme(n_rows, refresh_threshold, n_counters)
-    if kind == "ccache":
-        return CounterCacheScheme(n_rows, refresh_threshold)
-    if kind == "pra":
-        return PRAScheme(n_rows, refresh_threshold, probability, prng=prng)
-    if kind == "prcat":
-        return PRCATScheme(
-            n_rows,
-            refresh_threshold,
-            n_counters,
-            max_levels,
-            threshold_strategy=threshold_strategy,
-        )
-    if kind == "drcat":
-        return DRCATScheme(
-            n_rows,
-            refresh_threshold,
-            n_counters,
-            max_levels,
-            threshold_strategy=threshold_strategy,
-        )
-    raise ValueError(f"unknown scheme kind {kind!r}")
-
 
 __all__ = [
     "ActivationLedger",
@@ -75,4 +53,18 @@ __all__ = [
     "PRCATScheme",
     "DRCATScheme",
     "make_scheme",
+    # registry surface
+    "SchemeInfo",
+    "register_scheme",
+    "scheme_names",
+    "get_scheme_info",
+    "build_params",
+    "params_to_dict",
+    "params_from_dict",
+    "ScaParams",
+    "PraParams",
+    "CatParams",
+    "PrcatParams",
+    "DrcatParams",
+    "CCacheParams",
 ]

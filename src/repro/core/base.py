@@ -14,6 +14,7 @@ guards a *single bank*; the memory system owns one instance per bank.
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,9 +51,25 @@ class RefreshCommand:
         return RefreshCommand(low, high, self.reason)
 
     @property
-    def n_rows(self) -> int:
+    def span(self) -> int:
         """Number of rows named by this command (before clamping)."""
         return self.high - self.low + 1
+
+    @property
+    def n_rows(self) -> int:
+        """Deprecated alias for :attr:`span`.
+
+        The name collided with the ubiquitous *bank size* ``n_rows``
+        attribute carried by every scheme and the substrate, a recurring
+        source of confusion; use :attr:`span` instead.
+        """
+        warnings.warn(
+            "RefreshCommand.n_rows is deprecated (it shadows the bank-size "
+            "n_rows name); use RefreshCommand.span",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.span
 
     def row_count(self, n_rows: int) -> int:
         """Number of physical rows refreshed once clamped to the bank."""
@@ -207,6 +224,31 @@ class ActivationLedger:
             lo_ok = row - 1 >= low or row == 0
             hi_ok = row + 1 <= high or row == self.n_rows - 1
             if low <= row <= high and lo_ok and hi_ok:
+                del self.counts[row]
+
+    def apply_refreshes(self, commands: "list[RefreshCommand]") -> None:
+        """Credit one access's full refresh-command batch at once.
+
+        :meth:`refresh_range` handles a single contiguous range, which
+        is how the counter-based schemes emit refreshes.  PRA instead
+        emits *two* single-row commands (``row±1``) per successful
+        coin-flip; processed one at a time neither clears the aggressor,
+        although together they restore both of its victims.  This method
+        takes the union of all rows refreshed by one access and clears
+        any row whose in-bank neighbours are both inside that union —
+        the physically faithful rule for command batches of any shape.
+        """
+        refreshed: set[int] = set()
+        for cmd in commands:
+            c = cmd.clamped(self.n_rows)
+            if c.high >= c.low:
+                refreshed.update(range(c.low, c.high + 1))
+        if not refreshed:
+            return
+        for row in list(self.counts):
+            lo_ok = row - 1 in refreshed or row == 0
+            hi_ok = row + 1 in refreshed or row == self.n_rows - 1
+            if lo_ok and hi_ok:
                 del self.counts[row]
 
     def max_pressure(self) -> int:

@@ -1,0 +1,118 @@
+"""On-disk sweep-cell result cache keyed by spec content hash.
+
+Each cache entry is one (spec, result) pair stored as JSON under
+``<root>/<salt>/<spec-hash>.json``.  The salt partition combines a
+manually bumped :data:`CACHE_VERSION` with a fingerprint of the
+installed ``repro`` source tree, so *any* code change automatically
+invalidates cached results — a stale cache can therefore never mask a
+numerics regression in ``repro verify``.  Re-running a bench after an
+unrelated edit outside ``src/repro`` (or with no edit at all) hits the
+warm cache and skips the simulation entirely.
+
+Entries store the producing spec alongside the result; a hash collision
+or hand-edited file is detected and treated as a miss.  Corrupt entries
+are likewise misses, never errors.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.experiments.spec import ExperimentSpec
+
+#: Manual salt: bump when cached-result semantics change in a way the
+#: code fingerprint cannot see (e.g. an external data file).
+CACHE_VERSION = "v1"
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file (content + relative path).
+
+    Computed once per process (~1 ms for the ~40-file tree).  Any edit
+    under ``src/repro`` changes the fingerprint and thereby the cache
+    partition, guaranteeing cached results always came from the exact
+    code that is running.
+    """
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+class ResultCache:
+    """Filesystem-backed (spec → SimulationResult) store."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root) / f"{CACHE_VERSION}-{code_fingerprint()}"
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def coerce(cls, cache) -> "ResultCache | None":
+        """None passes through; paths become caches; caches are caches."""
+        if cache is None or isinstance(cache, ResultCache):
+            return cache
+        return cls(cache)
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        return self.root / f"{spec.content_hash()}.json"
+
+    def get(self, spec: ExperimentSpec):
+        """The cached result for ``spec``, or None (miss)."""
+        from repro.sim.metrics import SimulationResult
+
+        path = self.path_for(spec)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            stored = doc.get("spec")
+            # Compare label-stripped forms: the display label is not
+            # part of the hash, so differently labelled writers of the
+            # same experiment must hit each other's entries.
+            if not isinstance(stored, dict) or ExperimentSpec.from_dict(
+                stored
+            ).canonical_dict() != spec.canonical_dict():
+                raise ValueError("cache entry spec mismatch")
+            result = SimulationResult.from_dict(doc["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Corrupt or colliding entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: ExperimentSpec, result) -> Path:
+        """Persist one result (atomic rename; concurrent writers safe)."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"spec": spec.to_dict(), "result": result.to_dict()}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=1)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path

@@ -1,0 +1,213 @@
+"""Plans: declarative grids of experiment specs.
+
+A :class:`Plan` is an ordered list of :class:`ExperimentSpec` cells.
+:meth:`Plan.grid` expands a cartesian product of axes over a base spec::
+
+    plan = Plan.grid(
+        base_spec,
+        scheme=[SchemeSpec.create("sca", "SCA_64", n_counters=64),
+                SchemeSpec.create("drcat", "DRCAT_64")],
+        workload=["black", "face"],
+        refresh_threshold=[32768, 16384],
+    )
+
+Axis names are ExperimentSpec field names; two get coercion sugar:
+``scheme`` accepts SchemeSpec instances, bare kind strings, or
+serialized dicts, and ``workload`` accepts names, aliases, or
+WorkloadSpec objects (inline models land in ``workload_model``).
+Expansion order is the axes' declaration order with the rightmost axis
+fastest — the same nesting a hand-written loop would produce.
+
+Plans built by ``grid`` remember their compact {base, axes} description
+so ``to_dict`` emits the grid rather than the expansion; coupled
+(non-cartesian) figures concatenate grids with ``+``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, fields, replace
+
+from repro.experiments.spec import (
+    ExperimentSpec,
+    SchemeSpec,
+    SpecError,
+    _decode_tagged,
+    _encode_tagged,
+    coerce_scheme,
+)
+from repro.workloads.suites import WorkloadSpec, resolve_workload
+
+PLAN_KIND = "repro-experiment-plan"
+PLAN_VERSION = 1
+
+_SPEC_FIELDS = {f.name for f in fields(ExperimentSpec)}
+
+
+def _axis_apply(spec: ExperimentSpec, name: str, value) -> ExperimentSpec:
+    """One axis assignment, with coercion sugar for scheme/workload."""
+    if name == "scheme":
+        return replace(spec, scheme=coerce_scheme(value))
+    if name == "workload":
+        if isinstance(value, WorkloadSpec):
+            try:
+                registered = resolve_workload(value.name)
+            except KeyError:
+                registered = None
+            if registered == value:
+                return replace(spec, workload=value.name, workload_model=None)
+            return replace(spec, workload_model=value)
+        return replace(spec, workload=value, workload_model=None)
+    if name not in _SPEC_FIELDS:
+        raise SpecError(
+            f"unknown plan axis {name!r}; axes must be ExperimentSpec "
+            f"fields ({', '.join(sorted(_SPEC_FIELDS))})"
+        )
+    return replace(spec, **{name: value})
+
+
+def _axis_value_doc(name: str, value):
+    """JSON form of one axis value (inline models serialize in full)."""
+    if name == "scheme":
+        return coerce_scheme(value).to_dict()
+    if name == "workload" and isinstance(value, WorkloadSpec):
+        return _encode_tagged(value)
+    return value
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An ordered list of experiment cells, optionally grid-described."""
+
+    specs: tuple[ExperimentSpec, ...]
+    #: compact {base, axes} description when built by :meth:`grid`
+    source: dict | None = None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def grid(cls, base: ExperimentSpec | None = None, **axes) -> "Plan":
+        """Cartesian expansion of ``axes`` over ``base`` (see module doc)."""
+        if base is None:
+            base = ExperimentSpec(scheme=SchemeSpec("drcat"))
+        names = list(axes)
+        value_lists = [list(axes[name]) for name in names]
+        for name, values in zip(names, value_lists):
+            if not values:
+                raise SpecError(f"plan axis {name!r} has no values")
+        specs = []
+        for combo in itertools.product(*value_lists):
+            spec = base
+            for name, value in zip(names, combo):
+                spec = _axis_apply(spec, name, value)
+            specs.append(spec)
+        source = {
+            "base": base.to_dict(),
+            "axes": [
+                [name, [_axis_value_doc(name, v) for v in values]]
+                for name, values in zip(names, value_lists)
+            ],
+        }
+        return cls(tuple(specs), source)
+
+    @classmethod
+    def of(cls, specs) -> "Plan":
+        """A plan over an explicit spec list (no grid description)."""
+        return cls(tuple(specs))
+
+    def __add__(self, other: "Plan") -> "Plan":
+        """Concatenate plans (coupled, non-cartesian figures)."""
+        if not isinstance(other, Plan):
+            return NotImplemented
+        sources = None
+        if self.source is not None and other.source is not None:
+            mine = self.source.get("concat", [self.source])
+            theirs = other.source.get("concat", [other.source])
+            sources = {"concat": [*mine, *theirs]}
+        return Plan(self.specs + other.specs, sources)
+
+    # -- access -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def keys(self) -> list[tuple[str, str]]:
+        """Per-cell (workload, scheme-label) keys, in plan order."""
+        return [spec.key() for spec in self.specs]
+
+    def content_hash(self) -> str:
+        """Digest over every cell's content hash, in order."""
+        joined = ",".join(spec.content_hash() for spec in self.specs)
+        return hashlib.sha256(joined.encode("ascii")).hexdigest()[:16]
+
+    def summary(self) -> dict:
+        """Compact provenance header for artifacts (additive, small)."""
+        doc: dict = {
+            "n_cells": len(self.specs),
+            "plan_hash": self.content_hash(),
+        }
+        if self.source is not None:
+            doc["plan"] = self.source
+        return doc
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        doc: dict = {"kind": PLAN_KIND, "plan_version": PLAN_VERSION}
+        if self.source is not None and "concat" not in self.source:
+            doc.update(self.source)
+        else:
+            doc["specs"] = [spec.to_dict() for spec in self.specs]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Plan":
+        if not isinstance(doc, dict) or doc.get("kind") != PLAN_KIND:
+            raise SpecError(
+                f"not a {PLAN_KIND!r} document (run `repro plan --example` "
+                "for the expected shape)"
+            )
+        version = doc.get("plan_version", PLAN_VERSION)
+        if version != PLAN_VERSION:
+            raise SpecError(f"plan_version {version} is not supported")
+        if "specs" in doc:
+            return cls.of(
+                ExperimentSpec.from_dict(d) for d in doc["specs"]
+            )
+        if "base" not in doc or "axes" not in doc:
+            raise SpecError("plan document needs either specs or base+axes")
+        base = ExperimentSpec.from_dict(doc["base"])
+        axes: dict = {}
+        for entry in doc["axes"]:
+            try:
+                name, values = entry
+            except (TypeError, ValueError):
+                raise SpecError(
+                    f"malformed plan axis entry {entry!r}"
+                ) from None
+            if name == "workload":
+                values = [
+                    _decode_tagged(v) if isinstance(v, dict) else v
+                    for v in values
+                ]
+            axes[name] = values
+        return cls.grid(base, **axes)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+
+def load_plan(path) -> Plan:
+    """Read one Plan JSON file."""
+    from pathlib import Path
+
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"{path}: not valid JSON ({exc})") from None
+    return Plan.from_dict(doc)

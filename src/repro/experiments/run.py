@@ -1,0 +1,64 @@
+"""Executing specs and plans, with caching and process-pool fan-out."""
+
+from __future__ import annotations
+
+import concurrent.futures
+from collections.abc import Iterable
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.plan import Plan
+from repro.experiments.spec import ExperimentSpec
+
+
+def run_spec(spec: ExperimentSpec):
+    """Run one experiment; returns a
+    :class:`~repro.sim.metrics.SimulationResult`."""
+    from repro.sim.simulator import TraceDrivenSimulator
+
+    return TraceDrivenSimulator(spec).run()
+
+
+def _pool_cell(spec: ExperimentSpec):
+    """Module-level for pickling into worker processes."""
+    return run_spec(spec)
+
+
+def run_plan(
+    plan: Plan | Iterable[ExperimentSpec],
+    *,
+    workers: int = 1,
+    cache: "ResultCache | str | None" = None,
+) -> list:
+    """Run every cell of a plan; returns results in plan order.
+
+    ``cache`` (a :class:`ResultCache`, a directory path, or None) is
+    consulted per cell by spec content hash: hits skip the simulation
+    entirely, misses run — serially or on a process pool when
+    ``workers > 1`` — and are written back.  Per-cell seeding makes
+    results identical at any worker count and any hit/miss split.
+    """
+    specs = tuple(plan.specs if isinstance(plan, Plan) else plan)
+    cache = ResultCache.coerce(cache)
+    results: list = [None] * len(specs)
+    miss_indices: list[int] = []
+    for i, spec in enumerate(specs):
+        if cache is not None:
+            hit = cache.get(spec)
+            if hit is not None:
+                results[i] = hit
+                continue
+        miss_indices.append(i)
+    if miss_indices:
+        miss_specs = [specs[i] for i in miss_indices]
+        if workers > 1 and len(miss_specs) > 1:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(miss_specs))
+            ) as pool:
+                fresh = list(pool.map(_pool_cell, miss_specs))
+        else:
+            fresh = [_pool_cell(spec) for spec in miss_specs]
+        for i, spec, result in zip(miss_indices, miss_specs, fresh):
+            results[i] = result
+            if cache is not None:
+                cache.put(spec, result)
+    return results

@@ -13,7 +13,10 @@ fails" (see DESIGN.md, "Golden comparison tolerance policy").
 Parameters (scale/banks/intervals) must match exactly; the *engine* is
 deliberately excluded from the comparison because the batched and
 scalar engines are contractually bit-identical — one golden store
-gates both.
+gates both.  The additive ``spec`` provenance header (the producing
+experiment plan) is likewise excluded: goldens written before the
+experiments layer omit it, and the numbers it could influence are
+already gated through ``parameters`` and the row values.
 """
 
 from __future__ import annotations

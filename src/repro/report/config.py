@@ -89,6 +89,22 @@ def env_float(env: Mapping[str, str], name: str, default: float,
     return value
 
 
+def env_bool(env: Mapping[str, str], name: str, default: bool) -> bool:
+    """Read an on/off knob; fail clearly on unrecognised values."""
+    raw = env.get(name)
+    if raw is None or raw == "":
+        return default
+    lowered = raw.strip().lower()
+    if lowered in ("1", "on", "true", "yes"):
+        return True
+    if lowered in ("0", "off", "false", "no"):
+        return False
+    raise EnvConfigError(
+        f"{name}={raw!r} is not a valid value: expected one of "
+        "1/on/true/yes or 0/off/false/no"
+    )
+
+
 def env_choice(env: Mapping[str, str], name: str, default: str,
                choices: tuple[str, ...]) -> str:
     """Read an enumerated knob; fail clearly on unknown values."""
@@ -113,6 +129,11 @@ class BenchConfig:
     engine: str
     workers: int
     fidelity: str
+    #: sweep-cell result cache (see :mod:`repro.experiments.cache`):
+    #: enabled by default; ``REPRO_BENCH_CACHE=0`` disables,
+    #: ``REPRO_BENCH_CACHE_DIR`` overrides the store location.
+    cache: bool = True
+    cache_dir: str = ""
 
     @classmethod
     def from_env(cls, env: Mapping[str, str] | None = None) -> "BenchConfig":
@@ -136,6 +157,8 @@ class BenchConfig:
                               choices=ENGINE_NAMES),
             workers=workers,
             fidelity=env.get("REPRO_BENCH_FIDELITY", "") or "custom",
+            cache=env_bool(env, "REPRO_BENCH_CACHE", default=True),
+            cache_dir=env.get("REPRO_BENCH_CACHE_DIR", ""),
         )
 
     def sim_kwargs(self) -> dict:

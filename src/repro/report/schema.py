@@ -67,11 +67,17 @@ class Artifact:
     scale: float
     seed: int = ARRIVAL_SEED
     parameters: dict = field(default_factory=dict)
+    #: producing experiment description (a plan/spec summary from
+    #: :mod:`repro.experiments`) — additive provenance: goldens written
+    #: before this field existed simply omit it, and the comparator
+    #: never diffs it (like ``engine``, it cannot change the numbers;
+    #: the parameters and rows gate those).
+    spec: dict | None = None
     schema_version: int = SCHEMA_VERSION
 
     def to_json_dict(self) -> dict:
         """Plain-dict form, stable key order, ready for ``json.dump``."""
-        return {
+        doc = {
             "kind": ARTIFACT_KIND,
             "schema_version": self.schema_version,
             "name": self.name,
@@ -83,6 +89,9 @@ class Artifact:
             "columns": list(self.columns),
             "rows": [dict(row) for row in self.rows],
         }
+        if self.spec is not None:
+            doc["spec"] = dict(self.spec)
+        return doc
 
     def to_json(self) -> str:
         return json.dumps(self.to_json_dict(), indent=2, allow_nan=False) + "\n"
@@ -98,6 +107,7 @@ def build_artifact(
     scale: float,
     seed: int = ARRIVAL_SEED,
     parameters: dict | None = None,
+    spec: dict | None = None,
 ) -> Artifact:
     """Project bench rows onto ``columns`` and wrap them in the schema.
 
@@ -115,6 +125,11 @@ def build_artifact(
             c: _normalize_cell(row.get(c), where=f"{name} row {i} column {c!r}")
             for c in columns
         })
+    if spec is not None and not isinstance(spec, dict):
+        raise SchemaError(
+            f"artifact {name!r}: spec header must be a dict "
+            f"(got {type(spec).__name__}); pass e.g. Plan.summary()"
+        )
     return Artifact(
         name=name,
         title=title,
@@ -124,6 +139,7 @@ def build_artifact(
         scale=float(scale),
         seed=int(seed),
         parameters=dict(parameters or {}),
+        spec=dict(spec) if spec is not None else None,
     )
 
 
@@ -164,6 +180,9 @@ def from_json_dict(doc: dict, *, where: str = "artifact") -> Artifact:
     scale = _require(doc, "scale", (int, float), where)
     seed = _require(doc, "seed", int, where)
     parameters = _require(doc, "parameters", dict, where)
+    spec = doc.get("spec")  # additive: pre-experiments goldens omit it
+    if spec is not None and not isinstance(spec, dict):
+        raise SchemaError(f"{where}: key 'spec' must be an object when present")
     columns = _require(doc, "columns", list, where)
     if not all(isinstance(c, str) for c in columns):
         raise SchemaError(f"{where}: columns must all be strings")
@@ -192,6 +211,7 @@ def from_json_dict(doc: dict, *, where: str = "artifact") -> Artifact:
         scale=float(scale),
         seed=seed,
         parameters=parameters,
+        spec=spec,
         schema_version=version,
     )
 

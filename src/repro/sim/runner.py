@@ -1,41 +1,143 @@
 """Experiment runner: the public entry points benches and examples use.
 
-:func:`simulate_workload` runs one (workload, scheme) experiment with the
-paper's default configuration; :func:`sweep` runs a cartesian sweep and
-returns results keyed by parameters — the helper every figure bench is
-built on.  ``sweep(..., workers=N)`` dispatches independent
-(workload, scheme) cells over a process pool; every cell seeds its own
-generators deterministically, so results are identical at any worker
-count.
+The canonical input everywhere is the declarative layer in
+:mod:`repro.experiments`: :func:`simulate_workload` accepts a full
+:class:`~repro.experiments.ExperimentSpec`, and :func:`sweep` accepts a
+:class:`~repro.experiments.Plan` (with an optional per-cell on-disk
+result cache keyed by spec content hash).  The historical keyword forms
+still work: ``simulate_workload("black", scheme="drcat")`` builds the
+equivalent spec internally, and the per-scheme parameter soup
+(``counters=... / max_levels=... / pra_probability=... /
+threshold_strategy=...``) is kept as a deprecated shim for one release —
+it emits a ``DeprecationWarning`` pointing at
+:meth:`SchemeSpec.create <repro.experiments.SchemeSpec.create>`.
+
+``sweep(..., workers=N)`` dispatches independent cells over a process
+pool; every cell seeds its own generators deterministically, so results
+are identical at any worker count and any cache hit/miss split.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
+import warnings
 from collections.abc import Iterable
 
-from repro.dram.config import DUAL_CORE_2CH, SystemConfig
+from repro.dram.config import SystemConfig
+from repro.experiments.plan import Plan
+from repro.experiments.run import run_plan, run_spec
+from repro.experiments.spec import (
+    DEFAULT_BANKS,
+    DEFAULT_INTERVALS,
+    DEFAULT_SCALE,
+    DEFAULT_SYSTEM,
+    ExperimentSpec,
+    SchemeSpec,
+)
 from repro.sim.metrics import SimulationResult, mean_over
 from repro.sim.simulator import TraceDrivenSimulator
 from repro.workloads.attacks import AttackKernel, get_kernel
-from repro.workloads.suites import WORKLOAD_ORDER, WorkloadSpec, get_workload
+from repro.workloads.suites import WorkloadSpec, resolve_workload
 
-#: Default simulation economy knobs.  Benches override for more fidelity.
-DEFAULT_SCALE = 16.0
-DEFAULT_BANKS = 2
-DEFAULT_INTERVALS = 2
+__all__ = [
+    "DEFAULT_SCALE",
+    "DEFAULT_BANKS",
+    "DEFAULT_INTERVALS",
+    "simulate_workload",
+    "simulate_attack",
+    "sweep",
+    "suite_means",
+]
+
+#: Sentinel distinguishing "not passed" from an explicit default in the
+#: deprecated scheme-kwarg shim.
+_UNSET = object()
+
+_SOUP_MESSAGE = (
+    "passing per-scheme parameters as loose keywords "
+    "(counters/max_levels/pra_probability/threshold_strategy) is "
+    "deprecated; pass scheme=SchemeSpec.create(kind, ...) or a full "
+    "ExperimentSpec instead"
+)
+
+
+def _coerce_legacy_scheme(scheme, soup: dict, stacklevel: int = 3) -> SchemeSpec:
+    """Build a SchemeSpec from a legacy (kind, kwarg-soup) pair.
+
+    ``soup`` maps the historical keyword names to values-or-_UNSET; any
+    explicitly passed value triggers the one-release deprecation shim.
+    ``stacklevel`` must point the warning at the *user's* call site so
+    deprecated calls are locatable (each wrapper adds one frame).
+    """
+    if isinstance(scheme, SchemeSpec):
+        if any(v is not _UNSET for v in soup.values()):
+            raise TypeError(
+                "scheme is already a SchemeSpec; do not also pass the "
+                "deprecated counters/max_levels/pra_probability/"
+                "threshold_strategy keywords"
+            )
+        return scheme
+    if any(v is not _UNSET for v in soup.values()):
+        warnings.warn(_SOUP_MESSAGE, DeprecationWarning,
+                      stacklevel=stacklevel)
+    filled = {k: v for k, v in soup.items() if v is not _UNSET}
+    return SchemeSpec.from_legacy(str(scheme), **filled)
+
+
+def _workload_fields(workload: str | WorkloadSpec) -> dict:
+    """ExperimentSpec fields describing one workload argument."""
+    if isinstance(workload, WorkloadSpec):
+        try:
+            registered = resolve_workload(workload.name)
+        except KeyError:
+            registered = None
+        if registered == workload:
+            return {"workload": workload.name}
+        return {"workload_model": workload}
+    return {"workload": str(workload)}
+
+
+def build_spec(
+    workload: str | WorkloadSpec,
+    scheme,
+    *,
+    config: SystemConfig | None = None,
+    refresh_threshold: int = 32768,
+    scale: float = DEFAULT_SCALE,
+    n_banks: int = DEFAULT_BANKS,
+    n_intervals: int = DEFAULT_INTERVALS,
+    engine: str = "batched",
+    soup: dict | None = None,
+    _warn_stacklevel: int = 4,
+) -> ExperimentSpec:
+    """The ExperimentSpec a legacy keyword call describes."""
+    soup = soup or {
+        k: _UNSET
+        for k in ("counters", "max_levels", "pra_probability",
+                  "threshold_strategy")
+    }
+    return ExperimentSpec(
+        scheme=_coerce_legacy_scheme(scheme, soup,
+                                     stacklevel=_warn_stacklevel),
+        system=config if config is not None else DEFAULT_SYSTEM,
+        refresh_threshold=refresh_threshold,
+        scale=scale,
+        n_banks=n_banks,
+        n_intervals=n_intervals,
+        engine=engine,
+        **_workload_fields(workload),
+    )
 
 
 def simulate_workload(
-    workload: str | WorkloadSpec,
-    scheme: str = "drcat",
+    workload: str | WorkloadSpec | ExperimentSpec,
+    scheme="drcat",
     *,
     config: SystemConfig | None = None,
-    counters: int = 64,
-    max_levels: int = 11,
+    counters=_UNSET,
+    max_levels=_UNSET,
     refresh_threshold: int = 32768,
-    pra_probability: float = 0.002,
-    threshold_strategy: str = "auto",
+    pra_probability=_UNSET,
+    threshold_strategy=_UNSET,
     scale: float = DEFAULT_SCALE,
     n_banks: int = DEFAULT_BANKS,
     n_intervals: int = DEFAULT_INTERVALS,
@@ -43,108 +145,185 @@ def simulate_workload(
 ) -> SimulationResult:
     """Run one experiment and return CMRPO/ETO metrics.
 
-    ``workload`` may be a Figure 8 label (``"blackscholes"`` is accepted
-    as an alias for ``"black"``) or a :class:`WorkloadSpec`.  ``engine``
-    selects the per-event ``"scalar"`` loop or the (event-exact,
-    bit-identical) ``"batched"`` fast path.
+    The first argument may be a full
+    :class:`~repro.experiments.ExperimentSpec` (every other argument is
+    then ignored), or a workload — a Figure 8 label, a long-form alias
+    (``"blackscholes"``), or a :class:`WorkloadSpec` — paired with a
+    scheme given as a :class:`~repro.experiments.SchemeSpec` or a bare
+    kind string.  ``engine`` selects the per-event ``"scalar"`` loop or
+    the (event-exact, bit-identical) ``"batched"`` fast path.
     """
-    spec = _resolve_workload(workload)
-    sim = TraceDrivenSimulator(
-        config or DUAL_CORE_2CH,
+    if isinstance(workload, ExperimentSpec):
+        return run_spec(workload)
+    spec = build_spec(
+        workload,
         scheme,
-        n_counters=counters,
-        max_levels=max_levels,
+        config=config,
         refresh_threshold=refresh_threshold,
-        pra_probability=pra_probability,
-        threshold_strategy=threshold_strategy,
         scale=scale,
-        n_banks_simulated=n_banks,
+        n_banks=n_banks,
         n_intervals=n_intervals,
         engine=engine,
+        soup={
+            "counters": counters,
+            "max_levels": max_levels,
+            "pra_probability": pra_probability,
+            "threshold_strategy": threshold_strategy,
+        },
     )
-    return sim.run(spec)
+    return run_spec(spec)
 
 
 def simulate_attack(
     kernel: str | AttackKernel,
     mode: str,
-    scheme: str,
+    scheme,
     *,
     benign: str | WorkloadSpec = "libq",
     config: SystemConfig | None = None,
-    counters: int = 64,
-    max_levels: int = 11,
+    counters=_UNSET,
+    max_levels=_UNSET,
     refresh_threshold: int = 32768,
-    pra_probability: float = 0.002,
+    pra_probability=_UNSET,
     scale: float = DEFAULT_SCALE,
     n_banks: int = DEFAULT_BANKS,
     n_intervals: int = DEFAULT_INTERVALS,
     engine: str = "batched",
 ) -> SimulationResult:
-    """Run one Figure 13 attack experiment."""
+    """Run one Figure 13 attack experiment.
+
+    As with :func:`simulate_workload`, ``kernel`` may be a full attack
+    :class:`~repro.experiments.ExperimentSpec`; otherwise a kernel
+    name/object, mix mode and scheme describe the cell.
+    """
+    if isinstance(kernel, ExperimentSpec):
+        return run_spec(kernel)
+    scheme_spec = _coerce_legacy_scheme(scheme, {
+        "counters": counters,
+        "max_levels": max_levels,
+        "pra_probability": pra_probability,
+        "threshold_strategy": _UNSET,
+    })
     kernel_obj = get_kernel(kernel) if isinstance(kernel, str) else kernel
-    benign_spec = _resolve_workload(benign)
-    sim = TraceDrivenSimulator(
-        config or DUAL_CORE_2CH,
-        scheme,
-        n_counters=counters,
-        max_levels=max_levels,
+    spec = ExperimentSpec(
+        scheme=scheme_spec,
+        kind="attack",
+        attack_kernel=kernel_obj.name,
+        attack_mode=mode,
+        system=config if config is not None else DEFAULT_SYSTEM,
         refresh_threshold=refresh_threshold,
-        pra_probability=pra_probability,
         scale=scale,
-        n_banks_simulated=n_banks,
+        n_banks=n_banks,
         n_intervals=n_intervals,
         engine=engine,
+        **_workload_fields(benign),
     )
-    return sim.run_attack(kernel_obj, mode, benign_spec)
+    try:
+        registered = get_kernel(kernel_obj.name)
+    except KeyError:
+        registered = None
+    if registered != kernel_obj:
+        # An off-registry kernel object cannot be named in a spec; run
+        # it directly (uncacheable, but fully supported).
+        sim = TraceDrivenSimulator(spec)
+        return sim.run_attack(kernel_obj, mode, spec.resolve_workload_model())
+    return run_spec(spec)
 
 
-def _sweep_cell(
-    cell: tuple[WorkloadSpec, str, dict],
-) -> tuple[tuple[str, str], SimulationResult]:
-    """Run one (workload, scheme) cell; module-level for pickling."""
-    spec, scheme, kwargs = cell
-    return (spec.name, scheme), simulate_workload(spec, scheme, **kwargs)
+#: Default scheme axis of a legacy sweep; identity-compared so an
+#: explicitly passed ``schemes`` alongside a Plan is detectable.
+_DEFAULT_SWEEP_SCHEMES = ("pra", "sca", "prcat", "drcat")
 
 
 def sweep(
-    workloads: Iterable[str | WorkloadSpec] | None = None,
-    schemes: Iterable[str] = ("pra", "sca", "prcat", "drcat"),
+    workloads: Plan | Iterable[str | WorkloadSpec] | None = None,
+    schemes: Iterable = _DEFAULT_SWEEP_SCHEMES,
     workers: int = 1,
+    *,
+    cache=None,
     **kwargs,
 ) -> dict[tuple[str, str], SimulationResult]:
-    """Cartesian (workload × scheme) sweep.
+    """Run a :class:`~repro.experiments.Plan`, or a legacy cartesian grid.
 
-    Returns ``{(workload_name, scheme): SimulationResult}``.  Keyword
-    arguments forward to :func:`simulate_workload`; per-scheme overrides
-    can be given as ``scheme_overrides={"sca": {"counters": 128}}``.
+    Returns ``{(workload_name, scheme_label): SimulationResult}``.  The
+    first argument may be a Plan (``schemes`` and the legacy keyword
+    arguments are then invalid); otherwise a (workload × scheme) grid is
+    built from names, with per-scheme overrides via
+    ``scheme_overrides={"sca": {"counters": 128}}`` (deprecated — put
+    typed ``SchemeSpec``s in a Plan instead).
 
-    ``workers > 1`` runs the independent cells on a
-    :class:`~concurrent.futures.ProcessPoolExecutor`.  All seeding is
-    per-cell and deterministic, so the result dict is identical at any
-    worker count (cells are reassembled in submission order).
+    ``workers > 1`` runs cells on a process pool; ``cache`` (a
+    directory path or :class:`~repro.experiments.ResultCache`) enables
+    the per-cell on-disk result cache keyed by spec content hash.
     """
-    scheme_overrides: dict[str, dict] = kwargs.pop("scheme_overrides", {})
-    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
-    cells: list[tuple[WorkloadSpec, str, dict]] = []
-    for workload in names:
-        spec = _resolve_workload(workload)
-        for scheme in schemes:
-            overrides = dict(kwargs)
-            overrides.update(scheme_overrides.get(scheme, {}))
-            cells.append((spec, scheme, overrides))
-    results: dict[tuple[str, str], SimulationResult] = {}
-    if workers > 1 and len(cells) > 1:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(workers, len(cells))
-        ) as pool:
-            for key, result in pool.map(_sweep_cell, cells):
-                results[key] = result
+    if isinstance(workloads, Plan):
+        if kwargs:
+            raise TypeError(
+                "sweep(plan) takes no legacy keyword arguments "
+                f"({', '.join(kwargs)})"
+            )
+        if schemes is not _DEFAULT_SWEEP_SCHEMES:
+            raise TypeError(
+                "sweep(plan) takes no schemes argument — the plan's "
+                "cells already carry their SchemeSpecs"
+            )
+        plan = workloads
+        keys = plan.keys()
+        duplicates = {k for k in keys if keys.count(k) > 1}
+        if duplicates:
+            # dict(zip(...)) would silently keep only the last cell per
+            # key; plans with axes beyond workload/scheme (thresholds,
+            # engines, ...) need the full per-spec results.
+            raise ValueError(
+                "sweep(plan) keys results by (workload, scheme-label), "
+                f"but these keys repeat: {sorted(duplicates)}; give the "
+                "colliding cells distinct SchemeSpec labels, or use "
+                "repro.experiments.run_plan for per-spec results"
+            )
     else:
-        for cell in cells:
-            key, result = _sweep_cell(cell)
-            results[key] = result
-    return results
+        plan = _legacy_plan(workloads, schemes, kwargs)
+    results = run_plan(plan, workers=workers, cache=cache)
+    return dict(zip(plan.keys(), results))
+
+
+def _legacy_plan(
+    workloads: Iterable[str | WorkloadSpec] | None,
+    schemes: Iterable,
+    kwargs: dict,
+) -> Plan:
+    """The Plan a legacy ``sweep(workloads=, schemes=, **kwargs)`` means."""
+    from repro.workloads.suites import WORKLOAD_ORDER
+
+    scheme_overrides: dict[str, dict] = kwargs.pop("scheme_overrides", {})
+    if scheme_overrides:
+        warnings.warn(_SOUP_MESSAGE, DeprecationWarning, stacklevel=3)
+    soup = {
+        "counters": kwargs.pop("counters", _UNSET),
+        "max_levels": kwargs.pop("max_levels", _UNSET),
+        "pra_probability": kwargs.pop("pra_probability", _UNSET),
+        "threshold_strategy": kwargs.pop("threshold_strategy", _UNSET),
+    }
+    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    specs = []
+    for workload in names:
+        for scheme in schemes:
+            cell_soup = dict(soup)
+            cell_kwargs = dict(kwargs)
+            if isinstance(scheme, str) and scheme in scheme_overrides:
+                # The historical contract: overrides merge into the full
+                # simulate_workload kwargs, so scheme-param names route
+                # through the soup and run knobs (refresh_threshold,
+                # engine, scale, ...) override the cell's spec fields.
+                for key, value in scheme_overrides[scheme].items():
+                    if key in cell_soup:
+                        cell_soup[key] = value
+                    else:
+                        cell_kwargs[key] = value
+            specs.append(
+                build_spec(workload, scheme, soup=cell_soup,
+                           _warn_stacklevel=5, **cell_kwargs)
+            )
+    return Plan.of(specs)
 
 
 def suite_means(
@@ -160,18 +339,5 @@ def suite_means(
 
 
 def _resolve_workload(workload: str | WorkloadSpec) -> WorkloadSpec:
-    if isinstance(workload, WorkloadSpec):
-        return workload
-    aliases = {
-        "blackscholes": "black",
-        "facesim": "face",
-        "streamcluster": "str",
-        "fluidanimate": "fluid",
-        "swaptions": "swapt",
-        "freqmine": "freq",
-        "libquantum": "libq",
-        "leslie3d": "leslie",
-        "mummer": "mum",
-        "tigr": "tigr",
-    }
-    return get_workload(aliases.get(workload, workload))
+    """Deprecated alias for :func:`repro.workloads.resolve_workload`."""
+    return resolve_workload(workload)

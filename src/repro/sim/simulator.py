@@ -1,11 +1,19 @@
 """The trace-driven simulator gluing workloads, DRAM and schemes.
 
-One :class:`TraceDrivenSimulator` run models ``n_banks_simulated`` banks
-of the configured system over ``n_intervals`` auto-refresh intervals.
+One :class:`TraceDrivenSimulator` run models ``n_banks`` banks of the
+configured system over ``n_intervals`` auto-refresh intervals.
 Mitigation schemes are per-bank and independent, so simulating a subset
 of banks and averaging is statistically equivalent to simulating all of
 them — the remaining banks would simply replay the same workload model
 with different seeds.
+
+The simulator is configured by one declarative
+:class:`~repro.experiments.ExperimentSpec` — ``TraceDrivenSimulator(spec)``
+— which carries the system, workload/attack, typed scheme parameters and
+economy knobs.  The historical ``TraceDrivenSimulator(config, kind,
+n_counters=..., ...)`` keyword form still works as a deprecated shim
+(it builds the equivalent spec internally and emits a
+``DeprecationWarning``); it will be removed in a future release.
 
 Scaling (see DESIGN.md): with ``scale = s`` the simulator divides the
 per-interval activation budget *and* every threshold (refresh + split)
@@ -18,6 +26,7 @@ stall ratio overstates ETO by exactly ``s`` and is corrected in
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable
 
 import numpy as np
@@ -27,9 +36,9 @@ from repro.core import make_scheme
 from repro.dram.config import REFRESH_INTERVAL_S, SystemConfig
 from repro.dram.memory_system import MemorySystem
 from repro.energy.cmrpo import compute_cmrpo
-from repro.sim.engine import ENGINES, quantize_times_ns, run_batched_streams
+from repro.sim.engine import quantize_times_ns, run_batched_streams
 from repro.sim.metrics import RunTotals, SimulationResult
-from repro.workloads.attacks import AttackKernel, attack_stream
+from repro.workloads.attacks import AttackKernel, attack_stream, get_kernel
 from repro.workloads.suites import WorkloadSpec
 from repro.workloads.synthetic import interarrival_times_ns
 
@@ -39,13 +48,21 @@ def scaled_threshold(refresh_threshold: int, scale: float) -> int:
     return max(32, int(round(refresh_threshold / scale)))
 
 
+_LEGACY_KWARG_MESSAGE = (
+    "the TraceDrivenSimulator(config, scheme_kind, n_counters=..., ...) "
+    "keyword form is deprecated; construct an "
+    "repro.experiments.ExperimentSpec (with a typed SchemeSpec) and pass "
+    "TraceDrivenSimulator(spec)"
+)
+
+
 class TraceDrivenSimulator:
-    """Run one (workload, scheme) experiment on a subset of banks."""
+    """Run one experiment spec on a subset of banks."""
 
     def __init__(
         self,
-        config: SystemConfig,
-        scheme_kind: str,
+        config_or_spec,
+        scheme_kind: str | None = None,
         *,
         n_counters: int = 64,
         max_levels: int = 11,
@@ -57,42 +74,72 @@ class TraceDrivenSimulator:
         n_intervals: int = 2,
         engine: str = "batched",
     ) -> None:
-        if scale < 1.0:
-            raise ValueError("scale must be >= 1")
-        if n_banks_simulated < 1 or n_intervals < 1:
-            raise ValueError("need at least one bank and one interval")
-        if engine not in ENGINES:
-            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
-        self.config = config
-        self.scheme_kind = scheme_kind.lower()
-        self.engine = engine
-        self.n_counters = n_counters
-        self.max_levels = max_levels
-        self.refresh_threshold = refresh_threshold
-        self.pra_probability = pra_probability
-        self.threshold_strategy = threshold_strategy
-        self.scale = scale
-        self.n_banks_simulated = min(n_banks_simulated, config.n_banks)
-        self.n_intervals = n_intervals
-        self.sim_threshold = scaled_threshold(refresh_threshold, scale)
-        self.epoch_s = REFRESH_INTERVAL_S / scale
+        from repro.experiments.spec import ExperimentSpec, SchemeSpec
+
+        if isinstance(config_or_spec, ExperimentSpec):
+            if scheme_kind is not None:
+                raise TypeError(
+                    "pass either an ExperimentSpec or (config, scheme_kind),"
+                    " not both"
+                )
+            spec = config_or_spec
+        else:
+            if scheme_kind is None:
+                raise TypeError(
+                    "TraceDrivenSimulator needs an ExperimentSpec or a "
+                    "(config, scheme_kind) pair"
+                )
+            warnings.warn(_LEGACY_KWARG_MESSAGE, DeprecationWarning,
+                          stacklevel=2)
+            spec = ExperimentSpec(
+                scheme=SchemeSpec.from_legacy(
+                    scheme_kind,
+                    counters=n_counters,
+                    max_levels=max_levels,
+                    pra_probability=pra_probability,
+                    threshold_strategy=threshold_strategy,
+                ),
+                system=config_or_spec,
+                refresh_threshold=refresh_threshold,
+                scale=scale,
+                n_banks=n_banks_simulated,
+                n_intervals=n_intervals,
+                engine=engine,
+            )
+        self.spec = spec
+        self.config = spec.resolve_system()
+        self.scheme_spec = spec.scheme
+        self.scheme_kind = spec.scheme.kind
+        self.engine = spec.engine
+        params = spec.scheme.params
+        # Derived legacy attributes: schemes without the field fall back
+        # to the historical cross-scheme defaults so downstream energy
+        # accounting (compute_cmrpo) sees identical inputs.
+        self.n_counters = getattr(params, "n_counters", 64)
+        self.max_levels = getattr(params, "max_levels", 11)
+        self.pra_probability = getattr(params, "probability", 0.002)
+        self.threshold_strategy = getattr(params, "threshold_strategy", "auto")
+        self.refresh_threshold = spec.refresh_threshold
+        self.scale = spec.scale
+        self.n_banks_simulated = min(spec.n_banks, self.config.n_banks)
+        self.n_intervals = spec.n_intervals
+        self.seed = spec.seed
+        self.sim_threshold = scaled_threshold(spec.refresh_threshold,
+                                              spec.scale)
+        self.epoch_s = REFRESH_INTERVAL_S / spec.scale
 
     # -- scheme construction ------------------------------------------------
 
     def _scheme_factory(self) -> Callable[[int], MitigationScheme]:
         kind = self.scheme_kind
+        params = self.scheme_spec.params
         sim_t = self.sim_threshold
         effective_scale = self.refresh_threshold / sim_t
 
         def factory(n_rows: int) -> MitigationScheme:
             if kind in ("prcat", "drcat"):
                 scheme = make_scheme(
-                    kind,
-                    n_rows,
-                    self.refresh_threshold,
-                    n_counters=self.n_counters,
-                    max_levels=self.max_levels,
-                    threshold_strategy=self.threshold_strategy,
+                    kind, n_rows, self.refresh_threshold, params=params
                 )
                 # Swap in the scaled schedule so tree dynamics replay at
                 # simulation scale with identical shape.
@@ -102,17 +149,7 @@ class TraceDrivenSimulator:
                 scheme.refresh_threshold = scaled.refresh_threshold
                 scheme.tree.reset()
                 return scheme
-            if kind == "sca":
-                return make_scheme(
-                    kind, n_rows, sim_t, n_counters=self.n_counters
-                )
-            if kind == "ccache":
-                return make_scheme(kind, n_rows, sim_t)
-            if kind == "pra":
-                return make_scheme(
-                    kind, n_rows, sim_t, probability=self.pra_probability
-                )
-            raise ValueError(f"unknown scheme kind {kind!r}")
+            return make_scheme(kind, n_rows, sim_t, params=params)
 
         return factory
 
@@ -153,8 +190,21 @@ class TraceDrivenSimulator:
 
     # -- main loop -----------------------------------------------------------
 
-    def run(self, workload: WorkloadSpec) -> SimulationResult:
-        """Simulate the workload; return metrics at paper scale."""
+    def run(self, workload: WorkloadSpec | None = None) -> SimulationResult:
+        """Simulate the spec's experiment; return metrics at paper scale.
+
+        ``workload`` overrides the spec's workload model (the legacy
+        calling convention); with no argument the spec decides, which
+        for ``kind="attack"`` specs dispatches to :meth:`run_attack`.
+        """
+        if workload is None:
+            if self.spec.kind == "attack":
+                return self.run_attack(
+                    get_kernel(self.spec.attack_kernel),
+                    self.spec.attack_mode,
+                    self.spec.resolve_workload_model(),
+                )
+            workload = self.spec.resolve_workload_model()
         rows_fn = lambda bank, interval: self._interval_rows(  # noqa: E731
             workload, bank, interval
         )
@@ -197,7 +247,7 @@ class TraceDrivenSimulator:
         )
         self._last_memory = memory
         epoch_ns = self.epoch_s * 1e9
-        arrival_rng = np.random.Generator(np.random.PCG64(0xC0FFEE))
+        arrival_rng = np.random.Generator(np.random.PCG64(self.seed))
         accesses = 0
         for interval in range(self.n_intervals):
             base_ns = interval * epoch_ns

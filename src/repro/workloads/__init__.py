@@ -10,11 +10,15 @@ from repro.workloads.attacks import (
 )
 from repro.workloads.suites import (
     SUITES,
+    WORKLOAD_ALIASES,
     WORKLOAD_ORDER,
     WORKLOADS,
+    UnknownWorkloadError,
     WorkloadSpec,
+    canonical_name,
     get_workload,
     phase_layouts,
+    resolve_workload,
     row_frequency_histogram,
 )
 from repro.workloads.synthetic import (
@@ -33,10 +37,14 @@ __all__ = [
     "attack_stream",
     "get_kernel",
     "SUITES",
+    "WORKLOAD_ALIASES",
     "WORKLOAD_ORDER",
     "WORKLOADS",
+    "UnknownWorkloadError",
     "WorkloadSpec",
+    "canonical_name",
     "get_workload",
+    "resolve_workload",
     "phase_layouts",
     "row_frequency_histogram",
     "PhaseLayout",

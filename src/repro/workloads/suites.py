@@ -144,14 +144,65 @@ WORKLOAD_ORDER: tuple[str, ...] = tuple(
 )
 
 
-def get_workload(name: str) -> WorkloadSpec:
-    """Look up a workload by its Figure 8 label."""
+#: Long-form aliases accepted anywhere a workload name is taken (the
+#: paper's Figure 8 axis abbreviates them).  This is the single home of
+#: workload-name resolution; the runner and CLI delegate here.
+WORKLOAD_ALIASES: dict[str, str] = {
+    "blackscholes": "black",
+    "facesim": "face",
+    "streamcluster": "str",
+    "fluidanimate": "fluid",
+    "swaptions": "swapt",
+    "freqmine": "freq",
+    "libquantum": "libq",
+    "leslie3d": "leslie",
+    "mummer": "mum",
+    "tigr": "tigr",
+}
+
+
+class UnknownWorkloadError(KeyError, ValueError):
+    """Raised for a workload name that is neither canonical nor an alias.
+
+    Subclasses both ``KeyError`` (the historical :func:`get_workload`
+    contract) and ``ValueError`` (what name-validation callers catch).
+    """
+
+    def __init__(self, name: str) -> None:
+        message = (
+            f"unknown workload {name!r}; valid names: "
+            f"{', '.join(WORKLOAD_ORDER)}; aliases: "
+            + ", ".join(f"{a}->{c}" for a, c in sorted(WORKLOAD_ALIASES.items()))
+        )
+        super().__init__(message)
+        self.workload = name
+
+    def __str__(self) -> str:  # KeyError would render the repr
+        return self.args[0]
+
+
+def resolve_workload(workload: "str | WorkloadSpec") -> WorkloadSpec:
+    """Resolve a canonical name, a long-form alias, or a spec object."""
+    if isinstance(workload, WorkloadSpec):
+        return workload
+    name = WORKLOAD_ALIASES.get(workload, workload)
     try:
         return WORKLOADS[name]
     except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; choose from {', '.join(WORKLOAD_ORDER)}"
-        ) from None
+        raise UnknownWorkloadError(workload) from None
+
+
+def canonical_name(workload: "str | WorkloadSpec") -> str:
+    """The Figure 8 label a name/alias/spec resolves to (validating)."""
+    return resolve_workload(workload).name
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload by its Figure 8 label (aliases not accepted)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise UnknownWorkloadError(name) from None
 
 
 def row_frequency_histogram(

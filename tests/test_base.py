@@ -9,7 +9,7 @@ from repro.core.sca import SCAScheme
 class TestRefreshCommand:
     def test_row_count_plain(self):
         cmd = RefreshCommand(10, 19)
-        assert cmd.n_rows == 10
+        assert cmd.span == 10
         assert cmd.row_count(1024) == 10
 
     def test_clamps_low_edge(self):

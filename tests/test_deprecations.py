@@ -1,0 +1,117 @@
+"""Deprecation-shim gates.
+
+ISSUE-3 keeps the pre-spec keyword surfaces alive for one release
+behind ``DeprecationWarning``s; this module pins exactly which calls
+warn (so the shim can be deleted in a later PR by making these
+``pytest.raises``) and that the canonical spec paths stay silent.
+CI runs this file as its own job.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.base import RefreshCommand
+from repro.dram.config import DUAL_CORE_2CH
+from repro.experiments import ExperimentSpec, Plan, SchemeSpec, run_spec
+from repro.sim.runner import simulate_attack, simulate_workload, sweep
+from repro.sim.simulator import TraceDrivenSimulator
+
+FAST = dict(scale=128.0, n_banks=1, n_intervals=1)
+
+
+def fast_spec(**overrides):
+    fields = dict(scheme=SchemeSpec("drcat"), workload="libq", **FAST)
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+class TestSimulatorCtorShim:
+    def test_legacy_ctor_warns(self):
+        with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
+            TraceDrivenSimulator(DUAL_CORE_2CH, "sca", scale=128.0,
+                                 n_banks_simulated=1, n_intervals=1)
+
+    def test_spec_ctor_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            TraceDrivenSimulator(fast_spec())
+
+    def test_legacy_ctor_still_works(self):
+        with pytest.warns(DeprecationWarning):
+            sim = TraceDrivenSimulator(DUAL_CORE_2CH, "drcat", scale=128.0,
+                                       n_banks_simulated=1, n_intervals=1)
+        from repro.workloads.suites import get_workload
+
+        assert sim.run(get_workload("libq")).totals.accesses > 0
+
+
+class TestSchemeKwargSoupShim:
+    def test_counters_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="SchemeSpec.create"):
+            simulate_workload("libq", scheme="sca", counters=128, **FAST)
+
+    def test_pra_probability_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="SchemeSpec.create"):
+            simulate_workload("libq", scheme="pra",
+                              pra_probability=0.004, **FAST)
+
+    def test_attack_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="SchemeSpec.create"):
+            simulate_attack("kernel01", "light", "sca", counters=128, **FAST)
+
+    def test_sweep_scheme_overrides_warns(self):
+        with pytest.warns(DeprecationWarning, match="SchemeSpec.create"):
+            sweep(workloads=["libq"], schemes=("sca",),
+                  scheme_overrides={"sca": {"counters": 128}}, **FAST)
+
+    def test_scheme_spec_call_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            simulate_workload(
+                "libq",
+                scheme=SchemeSpec.create("sca", n_counters=128),
+                **FAST,
+            )
+
+    def test_plain_kind_string_is_silent(self):
+        # The convenience form without per-scheme parameters stays.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            simulate_workload("libq", scheme="drcat", **FAST)
+
+    def test_spec_path_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_spec(fast_spec())
+            sweep(Plan.grid(fast_spec(), workload=["libq"]))
+
+    def test_scheme_spec_plus_soup_rejected(self):
+        with pytest.raises(TypeError, match="already a SchemeSpec"):
+            simulate_workload("libq", scheme=SchemeSpec("sca"),
+                              counters=128, **FAST)
+
+    def test_shim_matches_spec_numerics(self):
+        """The deprecated path must produce bit-identical results."""
+        with pytest.warns(DeprecationWarning):
+            legacy = simulate_workload("libq", scheme="sca",
+                                       counters=128, **FAST)
+        via_spec = run_spec(fast_spec(
+            scheme=SchemeSpec.create("sca", n_counters=128)
+        ))
+        assert legacy.to_dict() == via_spec.to_dict()
+
+
+class TestRefreshCommandSpan:
+    def test_span(self):
+        assert RefreshCommand(3, 12).span == 10
+
+    def test_n_rows_alias_warns_and_matches(self):
+        cmd = RefreshCommand(3, 12)
+        with pytest.warns(DeprecationWarning, match="span"):
+            assert cmd.n_rows == cmd.span
+
+    def test_span_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            RefreshCommand(0, 0).span
