@@ -127,7 +127,7 @@ def plan_memo(builder):
     def wrapper(*args):
         config = bench_config()
         key = (args, config.scale, config.n_intervals, config.n_banks,
-               config.engine)
+               config.engine, config.session)
         if key not in cache:
             cache[key] = builder(*args)
         return cache[key]
@@ -153,6 +153,7 @@ def fig8_sweep(refresh_threshold: int):
         config.n_intervals,
         config.n_banks,
         config.engine,
+        config.session,
     )
 
 
@@ -174,7 +175,8 @@ def fig8_plan(refresh_threshold: int) -> Plan:
 
 @functools.lru_cache(maxsize=None)
 def _fig8_sweep_cached(refresh_threshold: int, scale: float,
-                       n_intervals: int, n_banks: int, engine: str):
+                       n_intervals: int, n_banks: int, engine: str,
+                       session: str):
     plan = fig8_plan(refresh_threshold)
     results = run_bench_plan(plan)
     return dict(zip(plan.keys(), results))

@@ -75,8 +75,8 @@ def _measure_seed_path(scheme: str, repeats: int) -> float:
     """
     import numpy as np
 
-    from repro.dram.config import DUAL_CORE_2CH
     from repro.dram.memory_system import MemorySystem
+    from repro.experiments import ExperimentSpec, SchemeSpec
     from repro.sim.simulator import TraceDrivenSimulator
     from repro.workloads.suites import get_workload
     from repro.workloads.synthetic import interarrival_times_ns
@@ -84,7 +84,10 @@ def _measure_seed_path(scheme: str, repeats: int) -> float:
     spec = get_workload(PROFILE_WORKLOAD)
     best = float("inf")
     for _ in range(repeats):
-        sim = TraceDrivenSimulator(DUAL_CORE_2CH, scheme, engine="scalar")
+        sim = TraceDrivenSimulator(ExperimentSpec(
+            scheme=SchemeSpec(scheme), workload=PROFILE_WORKLOAD,
+            engine="scalar",
+        ))
         start = time.perf_counter()
         memory = MemorySystem(
             sim.config, sim._scheme_factory(), epoch_s=sim.epoch_s

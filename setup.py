@@ -6,6 +6,8 @@ the runtime dependency (numpy).  Test/lint tooling comes from the
 ``requirements-dev.txt`` for reproducible runs.
 """
 
+from pathlib import Path
+
 from setuptools import find_packages, setup
 
 TEST_REQUIRES = [
@@ -14,9 +16,22 @@ TEST_REQUIRES = [
     "hypothesis>=6.130,<7",
 ]
 
+
+def read_version() -> str:
+    """The single-sourced version from ``src/repro/_version.py``."""
+    scope: dict = {}
+    exec(
+        (Path(__file__).parent / "src" / "repro" / "_version.py").read_text(
+            encoding="utf-8"
+        ),
+        scope,
+    )
+    return scope["__version__"]
+
+
 setup(
     name="repro-drcat",
-    version="0.2.0",
+    version=read_version(),
     description=(
         "Reproduction of the ISCA 2018 CAT/DRCAT rowhammer-mitigation "
         "study: simulation engines, figure benches, golden-figure "

@@ -17,21 +17,26 @@ schemes — together with every substrate the evaluation depends on:
   Monte-Carlo, SCA energy breakdown, split-threshold cost model).
 * :mod:`repro.sim` — the trace-driven simulator and experiment runner.
 
-Quickstart::
+Quickstart — stream a run incrementally through the session API::
 
-    from repro import ExperimentSpec, SchemeSpec, run_spec
-    spec = ExperimentSpec(
+    from repro import ExperimentSpec, SchemeSpec, open_session
+    session = open_session(ExperimentSpec(
         scheme=SchemeSpec.create("drcat", n_counters=64),
         workload="blackscholes",
-    )
-    result = run_spec(spec)
+    ))
+    session.on_epoch(lambda e: print(e.epoch, e.delta.eto))
+    session.advance(session.total_ns / 2)   # pausable, checkpointable
+    snap = session.snapshot()               # JSON-able; resume anywhere
+    result = session.result()
     print(result.cmrpo, result.eto)
 
-or, for one-off convenience runs::
+or, for one-shot batch runs::
 
     from repro import simulate_workload
     result = simulate_workload("blackscholes", scheme="drcat")
 """
+
+from repro._version import __version__
 
 from repro.core import (
     CounterTree,
@@ -54,10 +59,16 @@ from repro.experiments import (
     run_plan,
     run_spec,
 )
+from repro.api import Session, open_session
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import simulate_workload, sweep
 
-__version__ = "1.0.0"
+# __version__ comes from repro/_version.py, the single source setup.py
+# also builds the distribution metadata from.  The co-located constant
+# is preferred over importlib.metadata deliberately: it ships with
+# every install *and* always describes the code actually imported,
+# whereas a metadata lookup can be shadowed by a stale installed
+# distribution when developing with PYTHONPATH=src.
 
 __all__ = [
     "CounterTree",
@@ -82,5 +93,7 @@ __all__ = [
     "run_plan",
     "simulate_workload",
     "sweep",
+    "Session",
+    "open_session",
     "__version__",
 ]

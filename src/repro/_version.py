@@ -1,0 +1,10 @@
+"""Single source of the package version.
+
+``setup.py`` reads this file at build time and :mod:`repro` exposes it
+as ``repro.__version__`` (preferring the installed distribution's
+metadata, which is generated from this same constant), so the version
+can never drift between the package, the metadata, and ``repro
+--version``.
+"""
+
+__version__ = "0.3.0"

@@ -61,6 +61,43 @@ class PRNG(abc.ABC):
             count=count,
         )
 
+    # -- checkpointable state (see repro.api) ----------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable generator state; see :func:`prng_from_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} is not checkpointable"
+        )
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the generator state from a :meth:`to_state` doc."""
+        raise NotImplementedError(
+            f"{type(self).__name__} is not checkpointable"
+        )
+
+
+def prng_from_state(state: dict) -> "PRNG":
+    """Rebuild a PRNG from its :meth:`PRNG.to_state` document.
+
+    The ``kind`` field names the generator class; the restored instance
+    continues the captured stream bit-exactly.
+    """
+    kinds: dict[str, type[PRNG]] = {
+        TrueRandomPRNG.name: TrueRandomPRNG,
+        LFSRPRNG.name: LFSRPRNG,
+        CountingPRNG.name: CountingPRNG,
+    }
+    kind = state.get("kind")
+    if kind not in kinds:
+        raise ValueError(
+            f"unknown PRNG kind {kind!r}; known: {', '.join(kinds)}"
+        )
+    prng = kinds[kind]() if kind != LFSRPRNG.name else LFSRPRNG(
+        width=int(state["width"])
+    )
+    prng.restore_state(state)
+    return prng
+
 
 class TrueRandomPRNG(PRNG):
     """High-quality PRNG standing in for a hardware TRNG.
@@ -87,6 +124,14 @@ class TrueRandomPRNG(PRNG):
         by ``tests/test_engine_equivalence.py``), so this is bit-exact.
         """
         return self._rng.integers(0, 1 << n_bits, size=count, dtype=np.int64)
+
+    def to_state(self) -> dict:
+        """Capture the full PCG64 stream position (JSON-safe big ints)."""
+        return {"kind": self.name, "pcg64": self._rng.bit_generator.state}
+
+    def restore_state(self, state: dict) -> None:
+        """Resume the captured PCG64 stream bit-exactly."""
+        self._rng.bit_generator.state = state["pcg64"]
 
 
 class LFSRPRNG(PRNG):
@@ -136,6 +181,19 @@ class LFSRPRNG(PRNG):
         """Upper bound on the state period (``2**width - 1``)."""
         return (1 << self.width) - 1
 
+    def to_state(self) -> dict:
+        """Width + register contents fully determine the sequence."""
+        return {"kind": self.name, "width": self.width, "state": self._state}
+
+    def restore_state(self, state: dict) -> None:
+        """Resume from a captured register value (width must match)."""
+        if int(state["width"]) != self.width:
+            raise ValueError(
+                f"LFSR width mismatch: state {state['width']}, "
+                f"register {self.width}"
+            )
+        self._state = int(state["state"])
+
 
 class CountingPRNG(PRNG):
     """Deterministic counter source for tests (worst-case correlation)."""
@@ -157,3 +215,11 @@ class CountingPRNG(PRNG):
                & ((1 << n_bits) - 1))
         self._value += count
         return out
+
+    def to_state(self) -> dict:
+        """The counter value is the whole state."""
+        return {"kind": self.name, "value": self._value}
+
+    def restore_state(self, state: dict) -> None:
+        """Resume the counter sequence."""
+        self._value = int(state["value"])

@@ -1,0 +1,474 @@
+"""Streaming session API: incremental, checkpointable simulation runs.
+
+The counter trees of the paper are *online* structures — they evolve per
+access and per refresh window — and this module makes that observable:
+instead of one run-to-completion call, :func:`open_session` returns a
+:class:`Session` that can be advanced incrementally, observed while it
+runs, perturbed mid-stream, checkpointed to a JSON document, and resumed
+(or forked) bit-identically::
+
+    from repro import ExperimentSpec, SchemeSpec, open_session
+
+    session = open_session(ExperimentSpec(
+        scheme=SchemeSpec.create("drcat", n_counters=64),
+        workload="blackscholes",
+        n_intervals=8,
+    ))
+
+    @session.on_epoch
+    def progress(event):
+        print(f"epoch {event.epoch}: {100 * event.delta.eto:.3f}% ETO")
+
+    session.advance(session.total_ns / 2)        # run half the horizon
+    session.inject_attack("kernel03", "heavy")   # mid-run perturbation
+    snap = session.snapshot()                    # checkpoint (JSON-able)
+    fork = Session.restore(snap)                 # independent fork
+    result = session.result()                    # finish -> SimulationResult
+
+**Equivalence guarantees** (enforced by ``repro verify --session`` and
+the property tests):
+
+1. ``Session(spec).result()`` is bit-identical to
+   ``run_spec(spec)`` — the session drives the same
+   :class:`~repro.sim.session.SessionCore` the batch path uses.
+2. ``snapshot -> restore -> finish`` is bit-identical to an
+   uninterrupted run, for every registered scheme, on both engines —
+   every scheme implements the ``SchemeState`` protocol
+   (``to_state``/``restore_state``), and the core's loop state (pending
+   streams, cursors, arrival RNG, epoch clock) is explicit.
+3. Observer taps are read-only: registering them never changes the
+   numbers.
+
+Injection (:meth:`Session.inject` / :meth:`Session.inject_attack`) is
+the one deliberate exception — it *adds* traffic, which is its purpose;
+injected accesses are part of subsequent snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.base import RefreshCommand
+from repro.sim.engine import TIME_QUANTUM_NS
+from repro.sim.metrics import RunTotals, SimulationResult
+from repro.sim.session import SessionCore
+from repro.sim.simulator import TraceDrivenSimulator
+from repro.workloads.attacks import attack_stream, get_kernel
+
+#: Bump on incompatible snapshot-layout changes; :meth:`Session.restore`
+#: rejects other versions with a regeneration hint.
+SNAPSHOT_VERSION = 1
+SNAPSHOT_KIND = "repro-session-snapshot"
+
+
+class SessionError(RuntimeError):
+    """A session was driven in an unsupported way."""
+
+
+@dataclass(frozen=True)
+class EpochEvent:
+    """One auto-refresh epoch boundary, as seen by ``on_epoch`` taps.
+
+    ``totals`` is the cumulative :class:`RunTotals` up to (and
+    including) this epoch; ``delta`` covers this epoch alone, with
+    ``elapsed_ns`` equal to one epoch, so ``delta.eto`` is the epoch's
+    own execution-time overhead.
+    """
+
+    epoch: int
+    time_ns: float
+    totals: RunTotals
+    delta: RunTotals
+
+
+@dataclass(frozen=True)
+class MitigationEvent:
+    """One refresh command applied by the substrate (``on_mitigation``)."""
+
+    time_ns: float
+    bank: int
+    low: int
+    high: int
+    reason: str
+    rows: int
+
+
+class Session:
+    """A resumable, observable simulation run opened from one spec.
+
+    Construct via :func:`open_session` (or directly); drive with
+    :meth:`step` / :meth:`advance`; finish with :meth:`result`.
+    """
+
+    def __init__(self, spec, *, _core_state: dict | None = None) -> None:
+        from repro.experiments.spec import ExperimentSpec
+
+        if isinstance(spec, dict):
+            spec = ExperimentSpec.from_dict(spec)
+        self.spec = spec
+        self.sim = TraceDrivenSimulator(spec)
+        plan = self.sim.stream_plan()
+        if _core_state is None:
+            self._core = SessionCore(self.sim, *plan)
+        else:
+            self._core = SessionCore.from_state(self.sim, *plan, _core_state)
+        self._epoch_taps: list[Callable[[EpochEvent], None]] = []
+        self._mitigation_taps: list[Callable[[MitigationEvent], None]] = []
+        # Baseline totals as of the last epoch boundary, updated on
+        # every boundary (taps or not) so a late-registered tap's first
+        # delta still covers exactly one epoch; snapshots carry it so
+        # resumed sessions report full-epoch deltas too.
+        if _core_state is not None and "epoch_baseline" in _core_state:
+            self._epoch_baseline = {
+                k: v for k, v in _core_state["epoch_baseline"].items()
+            }
+        else:
+            self._epoch_baseline = self._raw_totals()
+        self._core.memory.on_epoch = self._on_epoch_boundary
+        self._result: SimulationResult | None = None
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def epoch_ns(self) -> float:
+        """One simulated auto-refresh interval, in (compressed) ns."""
+        return self._core.epoch_ns
+
+    @property
+    def total_ns(self) -> float:
+        """The full simulated horizon (``n_intervals`` epochs)."""
+        return self.spec.n_intervals * self.epoch_ns
+
+    @property
+    def position_ns(self) -> float:
+        """Arrival time of the most recently served access."""
+        return self._core.position_ns()
+
+    @property
+    def accesses_served(self) -> int:
+        """Demand activations served so far."""
+        return self._core.accesses_served
+
+    @property
+    def done(self) -> bool:
+        """True once every access of the run has been served."""
+        return self._core.done
+
+    # -- driving -----------------------------------------------------------
+
+    def step(self, n: int = 1) -> int:
+        """Serve up to ``n`` further accesses; returns the count served."""
+        if n < 0:
+            raise ValueError(f"step count must be >= 0, got {n}")
+        return self._core.advance(max_accesses=n)
+
+    def advance(self, until_ns: float) -> int:
+        """Serve every access arriving strictly before ``until_ns``.
+
+        Returns the number served.  The epoch clock only moves as served
+        accesses push it (exactly like an uninterrupted run), so
+        advancing to a quiet time leaves later boundaries uncrossed.
+        """
+        return self._core.advance(until_ns=float(until_ns))
+
+    def run(self) -> "Session":
+        """Serve everything that remains; returns ``self`` for chaining."""
+        self._core.advance()
+        return self
+
+    def result(self) -> SimulationResult:
+        """Finish the run (if needed) and return the final metrics.
+
+        Bit-identical to ``run_spec(spec)`` on the same spec, however
+        the session was paused, observed, or checkpoint-cycled along the
+        way (injections excepted — they add real traffic).
+        """
+        if self._result is None:
+            self._core.advance()
+            # The final interval's boundary is never crossed by an
+            # access; close the stream for epoch observers with one
+            # synthetic final event covering the last epoch.
+            if self._epoch_taps and \
+                    self._core.memory.epochs_completed < self.spec.n_intervals:
+                self._dispatch_epoch(self.spec.n_intervals)
+            self._result = self.sim._finalize(self._core.totals())
+        return self._result
+
+    def metrics(self) -> RunTotals:
+        """Cumulative raw totals at the current position.
+
+        Mid-epoch, ``elapsed_ns`` is the last served arrival time (the
+        best partial-horizon estimate); at completion it is the full
+        horizon, making the final :meth:`metrics` equal to
+        ``result().totals``.
+        """
+        if self.done:
+            return self._core.totals()
+        return self._core.totals(
+            elapsed_ns=max(self.position_ns, TIME_QUANTUM_NS)
+        )
+
+    # -- injection ---------------------------------------------------------
+
+    def inject(
+        self,
+        rows,
+        *,
+        bank: int = 0,
+        times_ns=None,
+    ) -> int:
+        """Splice extra row activations into the live run.
+
+        ``rows`` is a sequence of row ids on ``bank``.  ``times_ns``
+        gives their arrival times; when omitted the burst is spread
+        uniformly over the remainder of the current interval.  Returns
+        the number of accesses injected.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        core = self._core
+        if times_ns is None:
+            if core.interval < 0:
+                # Materialise interval 0 so "the remainder" is defined.
+                core.advance(max_accesses=0)
+            start = max(
+                self.position_ns, core.interval * core.epoch_ns
+            )
+            end = (core.interval + 1) * core.epoch_ns
+            span = end - start
+            if span <= 0:
+                raise SessionError("no room left in the current interval")
+            # Strictly inside (start, end): offset by half a slot.
+            times_ns = start + (np.arange(len(rows)) + 0.5) * (
+                span / max(1, len(rows))
+            )
+        return core.inject(bank, np.asarray(times_ns, dtype=np.float64), rows)
+
+    def inject_attack(
+        self,
+        kernel: str,
+        mode: str = "heavy",
+        *,
+        n_accesses: int | None = None,
+        bank: int = 0,
+        seed_salt: int = 0,
+    ) -> int:
+        """Inject one attack-kernel burst (Figure 13 kernels) mid-run.
+
+        The burst's size defaults to the spec workload's (scaled)
+        per-interval intensity; its rows come from the named kernel
+        mixed with the spec's benign workload at the mode's attack
+        fraction.  Returns the number of accesses injected.
+        """
+        kernel_obj = get_kernel(kernel)
+        benign = self.spec.resolve_workload_model()
+        sim = self.sim
+        if n_accesses is None:
+            n_accesses = max(1, int(round(benign.intensity / sim.scale)))
+        rng = np.random.Generator(
+            np.random.PCG64(kernel_obj.seed * 86_028_121 + bank * 53 + seed_salt)
+        )
+        rows = attack_stream(
+            kernel_obj,
+            mode,
+            sim.config.rows_per_bank,
+            n_accesses,
+            bank=bank,
+            benign=benign,
+            rng=rng,
+        )
+        return self.inject(rows, bank=bank)
+
+    # -- observer taps -----------------------------------------------------
+
+    def on_epoch(
+        self, tap: Callable[[EpochEvent], None]
+    ) -> Callable[[EpochEvent], None]:
+        """Register a per-epoch observer (usable as a decorator)."""
+        self._epoch_taps.append(tap)
+        self._wire_taps()
+        return tap
+
+    def on_mitigation(
+        self, tap: Callable[[MitigationEvent], None]
+    ) -> Callable[[MitigationEvent], None]:
+        """Register a per-refresh-command observer (decorator-friendly)."""
+        self._mitigation_taps.append(tap)
+        self._wire_taps()
+        return tap
+
+    def _wire_taps(self) -> None:
+        memory = self._core.memory
+        if self._mitigation_taps and memory.on_refresh is None:
+            memory.on_refresh = self._dispatch_mitigation
+
+    def _raw_totals(self) -> dict[str, float]:
+        memory = self._core.memory
+        return {
+            "accesses": memory.total_activations,
+            "refresh_commands": memory.total_refresh_commands,
+            "rows_refreshed": memory.total_rows_refreshed,
+            "stall_ns": memory.total_stall_ns,
+            "mitigation_busy_ns": memory.total_mitigation_busy_ns,
+        }
+
+    def _on_epoch_boundary(self, epoch: int) -> None:
+        """Epoch tick: always roll the baseline; dispatch if observed."""
+        now = self._raw_totals()
+        base = self._epoch_baseline
+        self._epoch_baseline = now
+        if self._epoch_taps:
+            self._dispatch_epoch(epoch, now, base)
+
+    def _dispatch_epoch(
+        self, epoch: int, now: dict | None = None, base: dict | None = None
+    ) -> None:
+        if now is None:
+            now = self._raw_totals()
+        if base is None:
+            base = self._epoch_baseline
+            self._epoch_baseline = now
+        time_ns = epoch * self.epoch_ns
+        sim = self.sim
+        common = dict(
+            scheme=sim.scheme_kind,
+            workload=self._core.label,
+            scale=sim.scale,
+            n_banks_simulated=self._core.n_banks,
+            full_scale_accesses_per_interval=self._core.full_intensity,
+        )
+        totals = RunTotals(
+            n_intervals=epoch,
+            accesses=int(now["accesses"]),
+            refresh_commands=int(now["refresh_commands"]),
+            rows_refreshed=int(now["rows_refreshed"]),
+            stall_ns=now["stall_ns"],
+            elapsed_ns=time_ns,
+            mitigation_busy_ns=now["mitigation_busy_ns"],
+            **common,
+        )
+        delta = RunTotals(
+            n_intervals=1,
+            accesses=int(now["accesses"] - base["accesses"]),
+            refresh_commands=int(
+                now["refresh_commands"] - base["refresh_commands"]
+            ),
+            rows_refreshed=int(
+                now["rows_refreshed"] - base["rows_refreshed"]
+            ),
+            stall_ns=now["stall_ns"] - base["stall_ns"],
+            elapsed_ns=self.epoch_ns,
+            mitigation_busy_ns=(
+                now["mitigation_busy_ns"] - base["mitigation_busy_ns"]
+            ),
+            **common,
+        )
+        event = EpochEvent(
+            epoch=epoch, time_ns=time_ns, totals=totals, delta=delta
+        )
+        for tap in self._epoch_taps:
+            tap(event)
+
+    def _dispatch_mitigation(
+        self, bank: int, time_ns: float, cmd: RefreshCommand, rows: int
+    ) -> None:
+        event = MitigationEvent(
+            time_ns=time_ns,
+            bank=bank,
+            low=cmd.low,
+            high=cmd.high,
+            reason=cmd.reason,
+            rows=rows,
+        )
+        for tap in self._mitigation_taps:
+            tap(event)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable checkpoint of the whole run state.
+
+        Safe to take at any pause point *and* from inside an
+        ``on_epoch`` tap (epoch boundaries are clean cut points).
+        Restoring it — in this process or another — continues the run
+        bit-identically; restoring it twice forks two independent
+        continuations.
+        """
+        core = self._core.to_state()
+        core["epoch_baseline"] = dict(self._epoch_baseline)
+        return {
+            "kind": SNAPSHOT_KIND,
+            "snapshot_version": SNAPSHOT_VERSION,
+            "spec": self.spec.to_dict(),
+            "core": core,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "Session":
+        """Rebuild a live session from a :meth:`snapshot` document."""
+        if not isinstance(snapshot, dict) or \
+                snapshot.get("kind") != SNAPSHOT_KIND:
+            raise SessionError(
+                "not a session snapshot (expected a dict with "
+                f"kind={SNAPSHOT_KIND!r})"
+            )
+        version = snapshot.get("snapshot_version")
+        if version != SNAPSHOT_VERSION:
+            raise SessionError(
+                f"snapshot_version {version} is not supported (this "
+                f"build reads version {SNAPSHOT_VERSION}); re-create "
+                "the snapshot with this build"
+            )
+        return cls(snapshot["spec"], _core_state=snapshot["core"])
+
+    def save(self, path) -> Path:
+        """Write :meth:`snapshot` as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.snapshot(), separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path) -> "Session":
+        """Resume a session saved by :meth:`save`."""
+        try:
+            doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise SessionError(f"{path}: not valid JSON ({exc})") from None
+        return cls.restore(doc)
+
+
+def open_session(spec, **overrides) -> Session:
+    """Open a streaming :class:`Session` over one experiment spec.
+
+    ``spec`` is an :class:`~repro.experiments.ExperimentSpec` (or its
+    serialized dict form); keyword ``overrides`` replace spec fields
+    first (``open_session(spec, n_intervals=32)``).
+    """
+    from dataclasses import replace
+
+    from repro.experiments.spec import ExperimentSpec
+
+    if isinstance(spec, dict):
+        spec = ExperimentSpec.from_dict(spec)
+    if overrides:
+        spec = replace(spec, **overrides)
+    return Session(spec)
+
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "SNAPSHOT_KIND",
+    "SessionError",
+    "EpochEvent",
+    "MitigationEvent",
+    "Session",
+    "open_session",
+]

@@ -3,16 +3,27 @@
 Subcommands::
 
     python -m repro run --workload black --scheme drcat [--threshold 32768]
-    python -m repro run --spec experiment.json
+    python -m repro run --spec experiment.json [--stream]
+    python -m repro run --stream --snapshot-at NS --snapshot-to snap.json
+    python -m repro resume snap.json [--stream] [--json]
     python -m repro compare --workload face [--threshold 16384]
     python -m repro attack --kernel kernel03 --mode heavy --scheme sca
     python -m repro sweep --workers 8 [--workloads mum libq]
     python -m repro plan --spec plan.json [--run] [--workers 8]
     python -m repro plan --example
     python -m repro list {workloads,schemes,attacks}
-    python -m repro verify [--fidelity ci|smoke|full] [--update]
+    python -m repro verify [--fidelity ci|smoke|full] [--session checkpoint]
     python -m repro workloads
     python -m repro hardware [--counters 64]
+
+``run --stream`` drives the experiment through the streaming session
+API (:mod:`repro.api`) and prints one metrics line per simulated 64 ms
+epoch; ``--snapshot-at NS --snapshot-to FILE`` checkpoints the run
+mid-stream into a JSON snapshot that ``repro resume FILE`` finishes
+bit-identically (on this or any other machine).  ``verify --session
+session|checkpoint`` re-runs the whole golden-figure gate through the
+session facade (optionally checkpoint/resume-cycling every cell) to
+prove the streaming path equals the batch path.
 
 Every flag-driven subcommand builds a declarative
 :class:`~repro.experiments.ExperimentSpec` internally; ``run --spec``
@@ -32,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 
+from repro import __version__
 from repro.core.registry import get_scheme_info, params_to_dict, scheme_names
 from repro.energy.hardware_model import TABLE2_M, pra_hardware, scheme_hardware
 from repro.experiments import (
@@ -43,7 +55,7 @@ from repro.experiments import (
     run_plan,
     run_spec,
 )
-from repro.report.config import FIDELITIES
+from repro.report.config import FIDELITIES, SESSION_MODES
 from repro.report.verify import run_verify
 from repro.sim.engine import ENGINES
 from repro.sim.metrics import format_table
@@ -118,6 +130,62 @@ def _result_row(label: str, result) -> dict:
     }
 
 
+def _print_result(args: argparse.Namespace, label: str, result,
+                  spec=None) -> int:
+    if args.json:
+        doc = result.to_dict()
+        if spec is not None:
+            doc["spec"] = spec.to_dict()
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(format_table([_result_row(label, result)],
+                       ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
+    return 0
+
+
+def _stream_taps(session) -> None:
+    """Wire the ``--stream`` per-epoch progress printer onto a session."""
+    @session.on_epoch
+    def _print_epoch(event) -> None:
+        d = event.delta
+        print(f"epoch {event.epoch:>3}  t={event.time_ns / 1e6:9.3f} ms  "
+              f"accesses={d.accesses:>8}  refreshes={d.refresh_commands:>6}  "
+              f"rows={d.rows_refreshed:>8}  eto={100 * d.eto:8.4f}%")
+
+
+def _run_streaming(args: argparse.Namespace, spec, label: str) -> int:
+    """``repro run --stream`` / ``--snapshot-at``: session-driven run."""
+    from repro.api import open_session
+
+    session = open_session(spec)
+    if args.stream:
+        _stream_taps(session)
+    if args.snapshot_at is not None:
+        if not args.snapshot_to:
+            print("error: --snapshot-at needs --snapshot-to FILE")
+            return 2
+        session.advance(args.snapshot_at)
+        path = session.save(args.snapshot_to)
+        print(f"snapshot at {session.position_ns:.1f} ns "
+              f"({session.accesses_served} accesses served) -> {path}")
+        print("finish it with: repro resume " + str(path))
+        return 0
+    if args.snapshot_to:
+        if not spec.checkpoint_every:
+            print("error: --snapshot-to needs --snapshot-at NS (or a spec "
+                  "with checkpoint_every set)")
+            return 2
+        # Spec-declared checkpoint cadence: auto-snapshot every k epochs.
+        every, sink = spec.checkpoint_every, args.snapshot_to
+
+        @session.on_epoch
+        def _autosnap(event) -> None:
+            if event.epoch % every == 0 and event.epoch < spec.n_intervals:
+                session.save(f"{sink}.epoch{event.epoch}")
+
+    return _print_result(args, label, session.result(), spec)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: one experiment — from flags or a spec file."""
     if args.spec:
@@ -126,15 +194,27 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         spec = _spec_from_args(args, args.scheme, args.workload)
         label = args.scheme
+    if args.stream or args.snapshot_at is not None or args.snapshot_to:
+        return _run_streaming(args, spec, label)
     result = run_spec(spec)
-    if args.json:
-        doc = result.to_dict()
-        doc["spec"] = spec.to_dict()
-        print(json.dumps(doc, indent=2))
-        return 0
-    print(format_table([_result_row(label, result)],
-                       ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
-    return 0
+    return _print_result(args, label, result, spec)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """``repro resume``: finish a checkpointed session snapshot."""
+    from repro.api import Session, SessionError
+
+    try:
+        session = Session.load(args.snapshot)
+    except (SessionError, FileNotFoundError) as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.stream:
+        _stream_taps(session)
+    print(f"resumed at {session.position_ns:.1f} ns "
+          f"({session.accesses_served} accesses already served)")
+    label = session.spec.scheme.display_label
+    return _print_result(args, label, session.result(), session.spec)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -321,6 +401,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         golden_dir=args.golden_dir,
         benchmarks_dir=args.benchmarks_dir,
         list_only=args.list,
+        session=args.session,
     )
 
 
@@ -382,6 +463,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="CAT rowhammer-mitigation reproduction (ISCA 2018)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run one workload with one scheme")
@@ -390,8 +473,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--spec", default=None, metavar="FILE",
                        help="run an ExperimentSpec JSON document instead of "
                             "building one from the flags")
+    p_run.add_argument("--stream", action="store_true",
+                       help="drive the run through the streaming session "
+                            "API and print one metrics line per epoch")
+    p_run.add_argument("--snapshot-at", type=float, default=None,
+                       metavar="NS",
+                       help="advance to the given simulated time (ns), "
+                            "write a session snapshot, and stop")
+    p_run.add_argument("--snapshot-to", default=None, metavar="FILE",
+                       help="snapshot destination for --snapshot-at (or "
+                            "the sink prefix for a spec's "
+                            "checkpoint_every policy)")
     _add_sim_flags(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_res = sub.add_parser(
+        "resume",
+        help="finish a checkpointed run from a session snapshot file",
+    )
+    p_res.add_argument("snapshot", metavar="FILE",
+                       help="snapshot written by `repro run --snapshot-at` "
+                            "or Session.save()")
+    p_res.add_argument("--stream", action="store_true",
+                       help="print per-epoch metrics while finishing")
+    p_res.add_argument("--json", action="store_true",
+                       help="machine-readable result")
+    p_res.set_defaults(func=cmd_resume)
 
     p_cmp = sub.add_parser("compare", help="all schemes on one workload")
     p_cmp.add_argument("--workload", default="black", choices=list(WORKLOAD_ORDER))
@@ -460,6 +567,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the engine (default batched; the "
                             "golden store gates both engines because they "
                             "are bit-identical)")
+    p_ver.add_argument("--session", choices=list(SESSION_MODES),
+                       default=None,
+                       help="spec execution path: 'session' runs every "
+                            "cell through the streaming facade, "
+                            "'checkpoint' additionally snapshots each "
+                            "cell mid-run, JSON-round-trips and resumes "
+                            "it (default direct; all paths must match "
+                            "the same goldens)")
     p_ver.add_argument("--update", action="store_true",
                        help="rewrite the golden store from this run "
                             "instead of comparing")

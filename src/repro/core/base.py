@@ -14,7 +14,6 @@ guards a *single bank*; the memory system owns one instance per bank.
 from __future__ import annotations
 
 import abc
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -55,22 +54,6 @@ class RefreshCommand:
         """Number of rows named by this command (before clamping)."""
         return self.high - self.low + 1
 
-    @property
-    def n_rows(self) -> int:
-        """Deprecated alias for :attr:`span`.
-
-        The name collided with the ubiquitous *bank size* ``n_rows``
-        attribute carried by every scheme and the substrate, a recurring
-        source of confusion; use :attr:`span` instead.
-        """
-        warnings.warn(
-            "RefreshCommand.n_rows is deprecated (it shadows the bank-size "
-            "n_rows name); use RefreshCommand.span",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.span
-
     def row_count(self, n_rows: int) -> int:
         """Number of physical rows refreshed once clamped to the bank."""
         c = self.clamped(n_rows)
@@ -103,6 +86,15 @@ class SchemeStats:
             "merges": self.merges,
             "resets": self.resets,
         }
+
+    def restore(self, state: dict[str, int]) -> None:
+        """Overwrite all totals from a :meth:`snapshot` dict."""
+        self.activations = int(state["activations"])
+        self.refresh_commands = int(state["refresh_commands"])
+        self.rows_refreshed = int(state["rows_refreshed"])
+        self.splits = int(state["splits"])
+        self.merges = int(state["merges"])
+        self.resets = int(state["resets"])
 
 
 class MitigationScheme(abc.ABC):
@@ -166,6 +158,31 @@ class MitigationScheme(abc.ABC):
 
         The default is a no-op; PRCAT overrides this to rebuild its tree.
         """
+
+    # -- SchemeState protocol --------------------------------------------
+    #
+    # Every scheme is checkpointable: ``to_state()`` captures the full
+    # dynamic state as a JSON-serializable document, and
+    # ``restore_state(state)`` overwrites a freshly *constructed* scheme
+    # (same configuration) so that its subsequent behaviour — every
+    # refresh command, statistic, and structural mutation — is
+    # bit-identical to the instance the state was captured from.  The
+    # session layer (:mod:`repro.api`) relies on this to checkpoint,
+    # fork, and resume runs mid-stream.
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of all dynamic scheme state."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the SchemeState "
+            "protocol (to_state/restore_state)"
+        )
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite this (freshly built) scheme from :meth:`to_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the SchemeState "
+            "protocol (to_state/restore_state)"
+        )
 
     def _check_row(self, row: int) -> None:
         if not 0 <= row < self.n_rows:

@@ -65,6 +65,19 @@ class PRCATScheme(MitigationScheme):
         self.tree.reset()
         self.stats.resets += 1
 
+    def to_state(self) -> dict:
+        """SchemeState protocol: the tree plus scheme-level stats."""
+        return {
+            "scheme": self.name,
+            "tree": self.tree.to_state(),
+            "stats": self.stats.snapshot(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """SchemeState protocol: overwrite tree registers + stats."""
+        self.tree.restore_state(state["tree"])
+        self.stats.restore(state["stats"])
+
     @property
     def counters_in_use(self) -> int:
         """Currently active leaf counters of the tree."""

@@ -141,6 +141,52 @@ class CounterCacheScheme(MitigationScheme):
                 break
         self._memory_counters[row] = count
 
+    # -- checkpointable state (SchemeState protocol; see repro.api) ------
+
+    def to_state(self) -> dict:
+        """Backing counters + LRU-ordered cache sets + hit/miss totals.
+
+        The per-set way lists are stored most-recently-used first,
+        exactly as :attr:`_sets` keeps them — eviction order is part of
+        bit-identical resumption.  The (large, mostly zero) backing
+        store is run-length compressed as (index, count) pairs.
+        """
+        nonzero = [
+            [i, c] for i, c in enumerate(self._memory_counters) if c
+        ]
+        return {
+            "scheme": self.name,
+            "memory_counters": nonzero,
+            "sets": [
+                [[tag, list(counts)] for tag, counts in ways]
+                for ways in self._sets
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+            "stats": self.stats.snapshot(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """SchemeState protocol: overwrite cache + backing store."""
+        counters = [0] * self.n_rows
+        for i, c in state["memory_counters"]:
+            counters[int(i)] = int(c)
+        self._memory_counters = counters
+        sets = [
+            [(int(tag), [int(c) for c in counts]) for tag, counts in ways]
+            for ways in state["sets"]
+        ]
+        if len(sets) != self.n_sets:
+            raise ValueError(
+                f"state carries {len(sets)} sets, cache has {self.n_sets}"
+            )
+        self._sets = sets
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+        self.writebacks = int(state["writebacks"])
+        self.stats.restore(state["stats"])
+
     # -- epoch / introspection -------------------------------------------
 
     def on_interval_boundary(self) -> None:

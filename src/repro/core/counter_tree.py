@@ -644,6 +644,94 @@ class CounterTree:
         return None
 
     # ------------------------------------------------------------------
+    # checkpointable state (SchemeState protocol; see repro.api)
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable capture of every behaviour-bearing register.
+
+        The free lists are stored *in order*: splits pop from their
+        tails, so list order determines which physical counter/inode a
+        future split activates — part of bit-identical resumption even
+        though it is invisible to the partition.  Derived structures
+        (the row-block index map and its per-counter caches) are
+        deliberately absent: they rebuild lazily and deterministically
+        from the captured registers.
+        """
+        return {
+            "count": list(self._count),
+            "level": list(self._level),
+            "low": list(self._low),
+            "high": list(self._high),
+            "weight": list(self._weight),
+            "counter_active": [int(b) for b in self._counter_active],
+            "child_l": list(self._child_l),
+            "child_r": list(self._child_r),
+            "leaf_l": [int(b) for b in self._leaf_l],
+            "leaf_r": [int(b) for b in self._leaf_r],
+            "inode_active": [int(b) for b in self._inode_active],
+            "free_counters": list(self._free_counters),
+            "free_inodes": list(self._free_inodes),
+            "n_active": self._n_active,
+            "root": self._root,
+            "root_is_leaf": int(self._root_is_leaf),
+            "harvest_blocked": [int(b) for b in self._harvest_blocked],
+            "harvest_budget": self._harvest_budget,
+            "totals": {
+                "splits": self.total_splits,
+                "merges": self.total_merges,
+                "refresh_commands": self.total_refresh_commands,
+                "rows_refreshed": self.total_rows_refreshed,
+                "sram_reads": self.total_sram_reads,
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite a freshly built tree (same config) from a state doc.
+
+        The tree must have been constructed with the same ``n_rows`` and
+        thresholds schedule the state was captured under; after the call
+        its future behaviour is bit-identical to the captured instance.
+        """
+        m = self.n_counters
+        for name in ("count", "level", "low", "high", "weight"):
+            values = state[name]
+            if len(values) != m:
+                raise ValueError(
+                    f"tree state field {name!r} has {len(values)} "
+                    f"entries, tree has {m} counters"
+                )
+        self._count = [int(v) for v in state["count"]]
+        self._level = [int(v) for v in state["level"]]
+        self._low = [int(v) for v in state["low"]]
+        self._high = [int(v) for v in state["high"]]
+        self._weight = [int(v) for v in state["weight"]]
+        self._counter_active = [bool(v) for v in state["counter_active"]]
+        self._child_l = [int(v) for v in state["child_l"]]
+        self._child_r = [int(v) for v in state["child_r"]]
+        self._leaf_l = [bool(v) for v in state["leaf_l"]]
+        self._leaf_r = [bool(v) for v in state["leaf_r"]]
+        self._inode_active = [bool(v) for v in state["inode_active"]]
+        self._free_counters = [int(v) for v in state["free_counters"]]
+        self._free_inodes = [int(v) for v in state["free_inodes"]]
+        self._n_active = int(state["n_active"])
+        self._root = int(state["root"])
+        self._root_is_leaf = bool(state["root_is_leaf"])
+        self._harvest_blocked = [bool(v) for v in state["harvest_blocked"]]
+        self._harvest_budget = int(state["harvest_budget"])
+        totals = state["totals"]
+        self.total_splits = int(totals["splits"])
+        self.total_merges = int(totals["merges"])
+        self.total_refresh_commands = int(totals["refresh_commands"])
+        self.total_rows_refreshed = int(totals["rows_refreshed"])
+        self.total_sram_reads = int(totals["sram_reads"])
+        # Derived batch-path structures rebuild lazily from the restored
+        # registers; bump the version so stale gathered ids re-gather.
+        self._index_map = None
+        self._map_version += 1
+        self.check_invariants()
+
+    # ------------------------------------------------------------------
     # introspection (tests, invariants, reports)
     # ------------------------------------------------------------------
 

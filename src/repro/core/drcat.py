@@ -110,6 +110,21 @@ class DRCATScheme(MitigationScheme):
             tree._harvest_blocked[i] = False
         self.stats.resets += 1
 
+    def to_state(self) -> dict:
+        """SchemeState protocol: tree registers, stats, reconfig count."""
+        return {
+            "scheme": self.name,
+            "tree": self.tree.to_state(),
+            "stats": self.stats.snapshot(),
+            "reconfigurations": self.reconfigurations,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """SchemeState protocol: overwrite tree + stats + reconfig count."""
+        self.tree.restore_state(state["tree"])
+        self.stats.restore(state["stats"])
+        self.reconfigurations = int(state["reconfigurations"])
+
     @property
     def counters_in_use(self) -> int:
         """Currently active leaf counters of the tree."""

@@ -100,6 +100,21 @@ class PRAScheme(MitigationScheme):
         self.stats.rows_refreshed += n_commands
         return events
 
+    def to_state(self) -> dict:
+        """SchemeState protocol: the PRNG stream position is the state."""
+        return {
+            "scheme": self.name,
+            "prng": self._prng.to_state(),
+            "stats": self.stats.snapshot(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """SchemeState protocol: resume the captured PRNG stream."""
+        from repro.analysis.prng import prng_from_state
+
+        self._prng = prng_from_state(state["prng"])
+        self.stats.restore(state["stats"])
+
     @property
     def counters_in_use(self) -> int:
         """PRA keeps no counters; only the shared PRNG."""

@@ -103,6 +103,25 @@ class SCAScheme(MitigationScheme):
         """Current count of group ``group`` (test/inspection hook)."""
         return self._counts[group]
 
+    def to_state(self) -> dict:
+        """SchemeState protocol: counters + stats capture SCA entirely."""
+        return {
+            "scheme": self.name,
+            "counts": list(self._counts),
+            "stats": self.stats.snapshot(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """SchemeState protocol: overwrite counters + stats."""
+        counts = [int(c) for c in state["counts"]]
+        if len(counts) != self.n_counters:
+            raise ValueError(
+                f"state carries {len(counts)} counters, scheme has "
+                f"{self.n_counters}"
+            )
+        self._counts = counts
+        self.stats.restore(state["stats"])
+
     @property
     def counters_in_use(self) -> int:
         """All M counters are always active in SCA."""

@@ -198,3 +198,33 @@ class BankState:
         (their energy was already accounted when commanded).
         """
         self.refresh_backlog_rows = 0
+
+    # -- checkpointable state (see repro.api) ----------------------------
+
+    def to_state(self) -> dict:
+        """All timing/accounting registers, JSON-serializable.
+
+        Every float here is a sum of quarter-ns-grid quantities, exactly
+        representable in float64 and therefore exact through a JSON
+        round-trip (Python serializes floats by shortest round-trip
+        repr).
+        """
+        return {
+            "free_at_ns": self.free_at_ns,
+            "refresh_backlog_rows": self.refresh_backlog_rows,
+            "mitigation_busy_ns": self.mitigation_busy_ns,
+            "stall_ns": self.stall_ns,
+            "activations": self.activations,
+            "rows_refreshed": self.rows_refreshed,
+            "escalations": self.escalations,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite all registers from a :meth:`to_state` document."""
+        self.free_at_ns = float(state["free_at_ns"])
+        self.refresh_backlog_rows = int(state["refresh_backlog_rows"])
+        self.mitigation_busy_ns = float(state["mitigation_busy_ns"])
+        self.stall_ns = float(state["stall_ns"])
+        self.activations = int(state["activations"])
+        self.rows_refreshed = int(state["rows_refreshed"])
+        self.escalations = int(state["escalations"])

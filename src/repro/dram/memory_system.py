@@ -62,6 +62,17 @@ class MemorySystem:
         self.total_refresh_commands = 0
         self.total_rows_refreshed = 0
         self.last_completion_ns = 0.0
+        #: auto-refresh epoch boundaries crossed so far
+        self.epochs_completed = 0
+        #: observer taps (see :mod:`repro.api`): pure read-only callbacks;
+        #: they must not mutate simulation state.
+        #: ``on_epoch(epoch_index)`` fires after each boundary crossing,
+        #: ``on_refresh(bank, time_ns, cmd, rows)`` after each mitigation
+        #: refresh command is applied.
+        self.on_epoch: Callable[[int], None] | None = None
+        self.on_refresh: (
+            Callable[[int, float, RefreshCommand, int], None] | None
+        ) = None
 
     def access(self, time_ns: float, bank: int, row: int) -> float:
         """One demand activation; returns its completion time (ns)."""
@@ -71,7 +82,7 @@ class MemorySystem:
         done = bank_state.serve_access(time_ns)
         if scheme is not None:
             for cmd in scheme.access(row):
-                self._apply_refresh(bank_state, done, cmd)
+                self._apply_refresh(bank_state, done, cmd, bank=bank)
         self.last_completion_ns = max(self.last_completion_ns, bank_state.free_at_ns)
         return done
 
@@ -87,12 +98,18 @@ class MemorySystem:
         run_batched(self, times_ns, banks, rows)
 
     def _apply_refresh(
-        self, bank_state: BankState, time_ns: float, cmd: RefreshCommand
+        self,
+        bank_state: BankState,
+        time_ns: float,
+        cmd: RefreshCommand,
+        bank: int,
     ) -> None:
         rows = cmd.row_count(self.config.rows_per_bank)
         bank_state.serve_refresh(time_ns, rows)
         self.total_refresh_commands += 1
         self.total_rows_refreshed += rows
+        if self.on_refresh is not None:
+            self.on_refresh(bank, time_ns, cmd, rows)
 
     def _advance_epochs(self, time_ns: float) -> None:
         while time_ns >= self._next_epoch_ns:
@@ -102,6 +119,65 @@ class MemorySystem:
                 if scheme is not None:
                     scheme.on_interval_boundary()
             self._next_epoch_ns += self._epoch_ns
+            self.epochs_completed += 1
+            if self.on_epoch is not None:
+                self.on_epoch(self.epochs_completed)
+
+    # -- checkpointable state (see repro.api) ----------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable capture of substrate + per-bank scheme state.
+
+        Observer taps are deliberately excluded: callbacks belong to a
+        live session, not to the simulation state.
+        """
+        return {
+            "next_epoch_ns": self._next_epoch_ns,
+            "epochs_completed": self.epochs_completed,
+            "total_refresh_commands": self.total_refresh_commands,
+            "total_rows_refreshed": self.total_rows_refreshed,
+            "last_completion_ns": self.last_completion_ns,
+            "banks": [bank.to_state() for bank in self.banks],
+            "schemes": [
+                scheme.to_state() if scheme is not None else None
+                for scheme in self.schemes
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite a freshly built system (same config/factory).
+
+        The scheme layout (which banks are protected, and by which
+        scheme kind) must match the layout the state was captured from.
+        """
+        bank_states = state["banks"]
+        scheme_states = state["schemes"]
+        if len(bank_states) != len(self.banks):
+            raise ValueError(
+                f"state carries {len(bank_states)} banks, system has "
+                f"{len(self.banks)}"
+            )
+        for scheme, doc in zip(self.schemes, scheme_states):
+            if (scheme is None) != (doc is None):
+                raise ValueError(
+                    "state protected-bank layout does not match the "
+                    "rebuilt system"
+                )
+            if scheme is not None and doc.get("scheme") != scheme.name:
+                raise ValueError(
+                    f"state scheme {doc.get('scheme')!r} does not match "
+                    f"rebuilt scheme {scheme.name!r}"
+                )
+        self._next_epoch_ns = float(state["next_epoch_ns"])
+        self.epochs_completed = int(state["epochs_completed"])
+        self.total_refresh_commands = int(state["total_refresh_commands"])
+        self.total_rows_refreshed = int(state["total_rows_refreshed"])
+        self.last_completion_ns = float(state["last_completion_ns"])
+        for bank, doc in zip(self.banks, bank_states):
+            bank.restore_state(doc)
+        for scheme, doc in zip(self.schemes, scheme_states):
+            if scheme is not None:
+                scheme.restore_state(doc)
 
     # -- aggregate views -------------------------------------------------
 

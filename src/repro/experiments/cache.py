@@ -99,9 +99,11 @@ class ResultCache:
 
     def put(self, spec: ExperimentSpec, result) -> Path:
         """Persist one result (atomic rename; concurrent writers safe)."""
-        path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
         doc = {"spec": spec.to_dict(), "result": result.to_dict()}
+        return self._write(self.path_for(spec), doc)
+
+    def _write(self, path: Path, doc: dict) -> Path:
+        path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=path.stem, suffix=".tmp"
         )
@@ -116,3 +118,47 @@ class ResultCache:
                 pass
             raise
         return path
+
+    # -- partial runs (session snapshots) --------------------------------
+    #
+    # Warm-started sweeps: a checkpointed prefix of a run is reusable by
+    # any experiment sharing the spec's semantic content — e.g. sweep
+    # cells re-based on a longer horizon, or interactive what-if forks.
+    # Snapshots are keyed by (spec content hash, position tag) in the
+    # same fingerprint-salted partition as results, so stale code can
+    # never resume into new numerics.
+
+    def snapshot_path(self, spec: ExperimentSpec, tag: str | int) -> Path:
+        """Where a partial-run snapshot of ``spec`` at ``tag`` lives."""
+        return self.root / f"{spec.content_hash()}.snap-{tag}.json"
+
+    def get_snapshot(self, spec: ExperimentSpec, tag: str | int):
+        """The stored session-snapshot document, or None (miss)."""
+        path = self.snapshot_path(spec, tag)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            stored = doc.get("spec")
+            if not isinstance(stored, dict) or ExperimentSpec.from_dict(
+                stored
+            ).canonical_dict() != spec.canonical_dict():
+                raise ValueError("snapshot entry spec mismatch")
+            snapshot = doc["snapshot"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return snapshot
+
+    def put_snapshot(
+        self, spec: ExperimentSpec, tag: str | int, snapshot: dict
+    ) -> Path:
+        """Persist one partial-run snapshot (atomic, like :meth:`put`)."""
+        doc = {"spec": spec.to_dict(), "snapshot": snapshot}
+        return self._write(self.snapshot_path(spec, tag), doc)

@@ -1,21 +1,58 @@
-"""Executing specs and plans, with caching and process-pool fan-out."""
+"""Executing specs and plans, with caching and process-pool fan-out.
+
+``REPRO_SESSION_MODE`` selects the execution path every spec takes:
+
+* ``direct`` (default) — the batch run-to-completion loop;
+* ``session`` — open a streaming :class:`repro.api.Session` and drive it
+  to completion (proves the session facade against the batch path);
+* ``checkpoint`` — run half the simulated horizon, snapshot, round-trip
+  the snapshot through JSON, restore into a *fresh* session, and finish
+  (proves checkpoint/resume bit-identity; ``repro verify --session
+  checkpoint`` gates the whole figure suite through this path).
+
+All three paths are bit-identical by construction; the knob exists so
+CI can prove it stays that way.  The sweep-cell result cache is bypassed
+for the non-direct modes — a cache hit would silently skip the very
+code path being exercised.
+"""
 
 from __future__ import annotations
 
 import concurrent.futures
+import json
+import os
 from collections.abc import Iterable
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.plan import Plan
 from repro.experiments.spec import ExperimentSpec
+from repro.report.config import SESSION_MODES, env_choice
+
+
+def session_mode() -> str:
+    """The validated ``REPRO_SESSION_MODE`` execution path."""
+    return env_choice(os.environ, "REPRO_SESSION_MODE",
+                      default="direct", choices=SESSION_MODES)
 
 
 def run_spec(spec: ExperimentSpec):
     """Run one experiment; returns a
     :class:`~repro.sim.metrics.SimulationResult`."""
-    from repro.sim.simulator import TraceDrivenSimulator
+    mode = session_mode()
+    if mode == "direct":
+        from repro.sim.simulator import TraceDrivenSimulator
 
-    return TraceDrivenSimulator(spec).run()
+        return TraceDrivenSimulator(spec).run()
+    from repro.api import Session
+
+    session = Session(spec)
+    if mode == "checkpoint":
+        # Mid-run cut: half the simulated horizon — mid-interval for
+        # single-interval runs, the interior boundary region otherwise.
+        session.advance(session.total_ns / 2.0)
+        doc = json.loads(json.dumps(session.snapshot()))
+        session = Session.restore(doc)
+    return session.result()
 
 
 def _pool_cell(spec: ExperimentSpec):
@@ -39,6 +76,10 @@ def run_plan(
     """
     specs = tuple(plan.specs if isinstance(plan, Plan) else plan)
     cache = ResultCache.coerce(cache)
+    if cache is not None and session_mode() != "direct":
+        # A cache hit would skip the session/checkpoint path entirely,
+        # making the equivalence gate vacuous; always simulate.
+        cache = None
     results: list = [None] * len(specs)
     miss_indices: list[int] = []
     for i, spec in enumerate(specs):

@@ -197,6 +197,13 @@ class ExperimentSpec:
     n_intervals: int = DEFAULT_INTERVALS
     engine: str = "batched"
     seed: int = DEFAULT_SEED
+    #: session epoch/checkpoint policy: auto-snapshot every this many
+    #: epochs when the run is driven through a streaming session with a
+    #: snapshot sink (``repro run --stream --snapshot-dir``).  Like the
+    #: scheme label this is *cosmetic for the numbers* — checkpointing
+    #: is bit-identical by contract — so it is excluded from
+    #: :meth:`content_hash`.
+    checkpoint_every: int | None = None
 
     def __post_init__(self) -> None:
         scheme = coerce_scheme(self.scheme)
@@ -253,6 +260,11 @@ class ExperimentSpec:
             raise ValueError("refresh_threshold must be positive")
         if self.intensity_scale <= 0:
             raise ValueError("intensity_scale must be positive")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1 epoch or None, got "
+                f"{self.checkpoint_every}"
+            )
 
     # -- resolution -------------------------------------------------------
 
@@ -332,10 +344,11 @@ class ExperimentSpec:
 
     def canonical_dict(self) -> dict:
         """:meth:`to_dict` minus cosmetic fields (the scheme's display
-        label cannot change the numbers), the form hashing and cache
-        equality use."""
+        label and the checkpoint policy cannot change the numbers), the
+        form hashing and cache equality use."""
         doc = self.to_dict()
         doc["scheme"] = dict(doc["scheme"], label=None)
+        doc["checkpoint_every"] = None
         return doc
 
     def content_hash(self) -> str:

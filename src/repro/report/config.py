@@ -26,6 +26,12 @@ from typing import Mapping
 #: does not import the simulation stack).
 ENGINE_NAMES = ("batched", "scalar")
 
+#: Execution paths ``run_spec`` can take (``REPRO_SESSION_MODE``):
+#: the direct batch loop, the streaming session facade, or the
+#: checkpoint-mid-run/JSON-round-trip/resume path — all bit-identical
+#: by contract (see :mod:`repro.experiments.run`).
+SESSION_MODES = ("direct", "session", "checkpoint")
+
 #: Named fidelity points: the env values ``repro verify`` applies.
 FIDELITIES: dict[str, dict[str, str]] = {
     "ci": {
@@ -129,6 +135,9 @@ class BenchConfig:
     engine: str
     workers: int
     fidelity: str
+    #: spec execution path (``REPRO_SESSION_MODE``): part of the memo
+    #: keys so one process can gate several paths without cross-talk.
+    session: str = "direct"
     #: sweep-cell result cache (see :mod:`repro.experiments.cache`):
     #: enabled by default; ``REPRO_BENCH_CACHE=0`` disables,
     #: ``REPRO_BENCH_CACHE_DIR`` overrides the store location.
@@ -157,6 +166,8 @@ class BenchConfig:
                               choices=ENGINE_NAMES),
             workers=workers,
             fidelity=env.get("REPRO_BENCH_FIDELITY", "") or "custom",
+            session=env_choice(env, "REPRO_SESSION_MODE", default="direct",
+                               choices=SESSION_MODES),
             cache=env_bool(env, "REPRO_BENCH_CACHE", default=True),
             cache_dir=env.get("REPRO_BENCH_CACHE_DIR", ""),
         )
@@ -171,8 +182,12 @@ class BenchConfig:
         }
 
 
-def fidelity_env(fidelity: str, engine: str | None = None) -> dict[str, str]:
-    """The environment a named fidelity (plus engine override) pins."""
+def fidelity_env(
+    fidelity: str,
+    engine: str | None = None,
+    session: str | None = None,
+) -> dict[str, str]:
+    """The environment a named fidelity (plus overrides) pins."""
     if fidelity not in FIDELITIES:
         raise EnvConfigError(
             f"unknown fidelity {fidelity!r}: expected one of "
@@ -180,8 +195,9 @@ def fidelity_env(fidelity: str, engine: str | None = None) -> dict[str, str]:
         )
     env = dict(FIDELITIES[fidelity])
     env["REPRO_BENCH_FIDELITY"] = fidelity
-    # Always pin the engine: an ambient REPRO_BENCH_ENGINE must not
-    # leak into a named-fidelity run whose header reports the default.
+    # Always pin the engine and session mode: ambient REPRO_BENCH_ENGINE
+    # / REPRO_SESSION_MODE must not leak into a named-fidelity run whose
+    # header reports the default.
     if engine is None:
         engine = "batched"
     if engine not in ENGINE_NAMES:
@@ -190,4 +206,12 @@ def fidelity_env(fidelity: str, engine: str | None = None) -> dict[str, str]:
             f"{', '.join(ENGINE_NAMES)}"
         )
     env["REPRO_BENCH_ENGINE"] = engine
+    if session is None:
+        session = "direct"
+    if session not in SESSION_MODES:
+        raise EnvConfigError(
+            f"unknown session mode {session!r}: expected one of "
+            f"{', '.join(SESSION_MODES)}"
+        )
+    env["REPRO_SESSION_MODE"] = session
     return env

@@ -125,9 +125,16 @@ def run_verify(
     golden_dir: str | Path | None = None,
     benchmarks_dir: str | Path | None = None,
     list_only: bool = False,
+    session: str | None = None,
     out=None,
 ) -> int:
-    """Drive one verify run; returns the process exit code."""
+    """Drive one verify run; returns the process exit code.
+
+    ``session`` selects the spec execution path (``direct`` /
+    ``session`` / ``checkpoint``) every simulated cell takes; the
+    non-direct paths gate the streaming-session equivalence guarantees
+    against the *unmodified* golden store.
+    """
     say = (out or sys.stdout).write
 
     if fidelity not in FIDELITIES:
@@ -159,7 +166,7 @@ def run_verify(
     store = store / fidelity
 
     t0 = time.perf_counter()
-    with _scoped_env(fidelity_env(fidelity, engine)):
+    with _scoped_env(fidelity_env(fidelity, engine, session)):
         collected = collect_artifacts(bench_dir, modules)
     elapsed = time.perf_counter() - t0
     artifacts = [a for _, arts in collected for a in arts]
@@ -187,7 +194,8 @@ def run_verify(
 
     failures = 0
     say(f"\n== repro verify — fidelity={fidelity} "
-        f"engine={engine or 'batched'} ==\n")
+        f"engine={engine or 'batched'} "
+        f"session={session or 'direct'} ==\n")
     for stem, arts in collected:
         for artifact in arts:
             golden_path = store / f"{artifact.name}.json"

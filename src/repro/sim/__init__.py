@@ -1,6 +1,13 @@
-"""Simulation harness: trace-driven simulator, metrics, sweep runner."""
+"""Simulation harness: re-entrant core, trace-driven simulator, metrics,
+sweep runner."""
 
-from repro.sim.engine import ENGINES, TIME_QUANTUM_NS, quantize_times_ns, run_batched
+from repro.sim.engine import (
+    ENGINES,
+    TIME_QUANTUM_NS,
+    advance_batched_streams,
+    quantize_times_ns,
+    run_batched,
+)
 from repro.sim.metrics import (
     RunTotals,
     SimulationResult,
@@ -14,6 +21,7 @@ from repro.sim.runner import (
     suite_means,
     sweep,
 )
+from repro.sim.session import SessionCore, merge_streams
 from repro.sim.simulator import TraceDrivenSimulator, scaled_threshold
 
 __all__ = [
@@ -21,6 +29,7 @@ __all__ = [
     "TIME_QUANTUM_NS",
     "quantize_times_ns",
     "run_batched",
+    "advance_batched_streams",
     "RunTotals",
     "SimulationResult",
     "format_table",
@@ -29,6 +38,8 @@ __all__ = [
     "simulate_workload",
     "suite_means",
     "sweep",
+    "SessionCore",
+    "merge_streams",
     "TraceDrivenSimulator",
     "scaled_threshold",
     "ReplayResult",

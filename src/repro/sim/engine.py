@@ -91,7 +91,34 @@ def run_batched_streams(
     sort and the per-bank re-extraction entirely.  ``streams[bank]``
     holds that bank's sorted (quarter-ns grid) arrival times and rows.
     """
-    cursors = [0] * len(streams)
+    advance_batched_streams(memory, streams, [0] * len(streams))
+
+
+def advance_batched_streams(
+    memory: MemorySystem,
+    streams: list[tuple[np.ndarray, np.ndarray]],
+    cursors: list[int],
+    *,
+    until_ns: float | None = None,
+    max_accesses: int | None = None,
+) -> int:
+    """Re-entrant core of :func:`run_batched_streams`.
+
+    Serves stream accesses starting from the per-bank ``cursors``
+    (mutated in place) until the streams are exhausted, until the next
+    pending access would arrive at or after ``until_ns``, or until
+    ``max_accesses`` accesses have been served — whichever comes first.
+    Returns the number of accesses served.
+
+    Pausing and resuming at *any* cut leaves the final state
+    bit-identical to an uninterrupted run: within one epoch segment the
+    banks are independent (the only shared state, the running
+    completion max and the aggregate totals, commutes), and an epoch
+    boundary is only crossed here when the next access to be served
+    lies beyond it — exactly when the scalar loop would cross it.  The
+    session layer (:mod:`repro.api`) is built on this property.
+    """
+    served = 0
     while True:
         boundary = memory._next_epoch_ns
         next_time: float | None = None
@@ -100,13 +127,27 @@ def run_batched_streams(
             if i >= len(times):
                 continue
             j = i + int(np.searchsorted(times[i:], boundary, side="left"))
+            if until_ns is not None and until_ns < boundary:
+                j = min(
+                    j,
+                    i + int(np.searchsorted(times[i:], until_ns, side="left")),
+                )
+            if max_accesses is not None:
+                j = min(j, i + (max_accesses - served))
             if j > i:
                 _run_bank_segment(memory, bank, times[i:j], rows[i:j])
                 cursors[bank] = j
+                served += j - i
             if j < len(times) and (next_time is None or times[j] < next_time):
                 next_time = float(times[j])
         if next_time is None:
-            return
+            return served
+        if max_accesses is not None and served >= max_accesses:
+            return served
+        if until_ns is not None and next_time >= until_ns:
+            return served
+        # The next pending access lies beyond the epoch boundary; cross
+        # it exactly as serving that access would.
         memory._advance_epochs(next_time)
 
 
@@ -122,7 +163,7 @@ def _run_bank_segment(
         bank_state.serve_accesses_batch(times[prev:position])
         done = bank_state.serve_access(float(times[position]))
         for cmd in commands:
-            memory._apply_refresh(bank_state, done, cmd)
+            memory._apply_refresh(bank_state, done, cmd, bank=bank)
         prev = position + 1
     bank_state.serve_accesses_batch(times[prev:])
     memory.last_completion_ns = max(

@@ -4,13 +4,13 @@ The canonical input everywhere is the declarative layer in
 :mod:`repro.experiments`: :func:`simulate_workload` accepts a full
 :class:`~repro.experiments.ExperimentSpec`, and :func:`sweep` accepts a
 :class:`~repro.experiments.Plan` (with an optional per-cell on-disk
-result cache keyed by spec content hash).  The historical keyword forms
-still work: ``simulate_workload("black", scheme="drcat")`` builds the
-equivalent spec internally, and the per-scheme parameter soup
-(``counters=... / max_levels=... / pra_probability=... /
-threshold_strategy=...``) is kept as a deprecated shim for one release —
-it emits a ``DeprecationWarning`` pointing at
-:meth:`SchemeSpec.create <repro.experiments.SchemeSpec.create>`.
+result cache keyed by spec content hash).  The convenience keyword forms
+remain — ``simulate_workload("black", scheme="drcat")`` builds the
+equivalent spec internally — but per-scheme parameters are typed:
+pass ``scheme=SchemeSpec.create(kind, ...)``.  (The pre-spec loose
+keyword soup — ``counters=`` / ``max_levels=`` / ``pra_probability=`` /
+``threshold_strategy=`` / ``scheme_overrides=`` — was removed after its
+one-release deprecation window and now raises ``TypeError``.)
 
 ``sweep(..., workers=N)`` dispatches independent cells over a process
 pool; every cell seeds its own generators deterministically, so results
@@ -19,7 +19,6 @@ are identical at any worker count and any cache hit/miss split.
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Iterable
 
 from repro.dram.config import SystemConfig
@@ -31,7 +30,7 @@ from repro.experiments.spec import (
     DEFAULT_SCALE,
     DEFAULT_SYSTEM,
     ExperimentSpec,
-    SchemeSpec,
+    coerce_scheme,
 )
 from repro.sim.metrics import SimulationResult, mean_over
 from repro.sim.simulator import TraceDrivenSimulator
@@ -47,40 +46,6 @@ __all__ = [
     "sweep",
     "suite_means",
 ]
-
-#: Sentinel distinguishing "not passed" from an explicit default in the
-#: deprecated scheme-kwarg shim.
-_UNSET = object()
-
-_SOUP_MESSAGE = (
-    "passing per-scheme parameters as loose keywords "
-    "(counters/max_levels/pra_probability/threshold_strategy) is "
-    "deprecated; pass scheme=SchemeSpec.create(kind, ...) or a full "
-    "ExperimentSpec instead"
-)
-
-
-def _coerce_legacy_scheme(scheme, soup: dict, stacklevel: int = 3) -> SchemeSpec:
-    """Build a SchemeSpec from a legacy (kind, kwarg-soup) pair.
-
-    ``soup`` maps the historical keyword names to values-or-_UNSET; any
-    explicitly passed value triggers the one-release deprecation shim.
-    ``stacklevel`` must point the warning at the *user's* call site so
-    deprecated calls are locatable (each wrapper adds one frame).
-    """
-    if isinstance(scheme, SchemeSpec):
-        if any(v is not _UNSET for v in soup.values()):
-            raise TypeError(
-                "scheme is already a SchemeSpec; do not also pass the "
-                "deprecated counters/max_levels/pra_probability/"
-                "threshold_strategy keywords"
-            )
-        return scheme
-    if any(v is not _UNSET for v in soup.values()):
-        warnings.warn(_SOUP_MESSAGE, DeprecationWarning,
-                      stacklevel=stacklevel)
-    filled = {k: v for k, v in soup.items() if v is not _UNSET}
-    return SchemeSpec.from_legacy(str(scheme), **filled)
 
 
 def _workload_fields(workload: str | WorkloadSpec) -> dict:
@@ -106,18 +71,10 @@ def build_spec(
     n_banks: int = DEFAULT_BANKS,
     n_intervals: int = DEFAULT_INTERVALS,
     engine: str = "batched",
-    soup: dict | None = None,
-    _warn_stacklevel: int = 4,
 ) -> ExperimentSpec:
-    """The ExperimentSpec a legacy keyword call describes."""
-    soup = soup or {
-        k: _UNSET
-        for k in ("counters", "max_levels", "pra_probability",
-                  "threshold_strategy")
-    }
+    """The ExperimentSpec a convenience keyword call describes."""
     return ExperimentSpec(
-        scheme=_coerce_legacy_scheme(scheme, soup,
-                                     stacklevel=_warn_stacklevel),
+        scheme=coerce_scheme(scheme),
         system=config if config is not None else DEFAULT_SYSTEM,
         refresh_threshold=refresh_threshold,
         scale=scale,
@@ -133,11 +90,7 @@ def simulate_workload(
     scheme="drcat",
     *,
     config: SystemConfig | None = None,
-    counters=_UNSET,
-    max_levels=_UNSET,
     refresh_threshold: int = 32768,
-    pra_probability=_UNSET,
-    threshold_strategy=_UNSET,
     scale: float = DEFAULT_SCALE,
     n_banks: int = DEFAULT_BANKS,
     n_intervals: int = DEFAULT_INTERVALS,
@@ -150,8 +103,10 @@ def simulate_workload(
     then ignored), or a workload — a Figure 8 label, a long-form alias
     (``"blackscholes"``), or a :class:`WorkloadSpec` — paired with a
     scheme given as a :class:`~repro.experiments.SchemeSpec` or a bare
-    kind string.  ``engine`` selects the per-event ``"scalar"`` loop or
-    the (event-exact, bit-identical) ``"batched"`` fast path.
+    kind string (per-scheme parameters go through
+    :meth:`SchemeSpec.create <repro.experiments.SchemeSpec.create>`).
+    ``engine`` selects the per-event ``"scalar"`` loop or the
+    (event-exact, bit-identical) ``"batched"`` fast path.
     """
     if isinstance(workload, ExperimentSpec):
         return run_spec(workload)
@@ -164,12 +119,6 @@ def simulate_workload(
         n_banks=n_banks,
         n_intervals=n_intervals,
         engine=engine,
-        soup={
-            "counters": counters,
-            "max_levels": max_levels,
-            "pra_probability": pra_probability,
-            "threshold_strategy": threshold_strategy,
-        },
     )
     return run_spec(spec)
 
@@ -181,10 +130,7 @@ def simulate_attack(
     *,
     benign: str | WorkloadSpec = "libq",
     config: SystemConfig | None = None,
-    counters=_UNSET,
-    max_levels=_UNSET,
     refresh_threshold: int = 32768,
-    pra_probability=_UNSET,
     scale: float = DEFAULT_SCALE,
     n_banks: int = DEFAULT_BANKS,
     n_intervals: int = DEFAULT_INTERVALS,
@@ -198,15 +144,9 @@ def simulate_attack(
     """
     if isinstance(kernel, ExperimentSpec):
         return run_spec(kernel)
-    scheme_spec = _coerce_legacy_scheme(scheme, {
-        "counters": counters,
-        "max_levels": max_levels,
-        "pra_probability": pra_probability,
-        "threshold_strategy": _UNSET,
-    })
     kernel_obj = get_kernel(kernel) if isinstance(kernel, str) else kernel
     spec = ExperimentSpec(
-        scheme=scheme_spec,
+        scheme=coerce_scheme(scheme),
         kind="attack",
         attack_kernel=kernel_obj.name,
         attack_mode=mode,
@@ -243,14 +183,15 @@ def sweep(
     cache=None,
     **kwargs,
 ) -> dict[tuple[str, str], SimulationResult]:
-    """Run a :class:`~repro.experiments.Plan`, or a legacy cartesian grid.
+    """Run a :class:`~repro.experiments.Plan`, or a cartesian grid.
 
     Returns ``{(workload_name, scheme_label): SimulationResult}``.  The
-    first argument may be a Plan (``schemes`` and the legacy keyword
+    first argument may be a Plan (``schemes`` and the grid keyword
     arguments are then invalid); otherwise a (workload × scheme) grid is
-    built from names, with per-scheme overrides via
-    ``scheme_overrides={"sca": {"counters": 128}}`` (deprecated — put
-    typed ``SchemeSpec``s in a Plan instead).
+    built, with scheme entries given as kind strings or typed
+    :class:`~repro.experiments.SchemeSpec` objects and the remaining
+    keywords (``refresh_threshold=`` / ``scale=`` / ... ) applied to
+    every cell via :func:`build_spec`.
 
     ``workers > 1`` runs cells on a process pool; ``cache`` (a
     directory path or :class:`~repro.experiments.ResultCache`) enables
@@ -259,7 +200,7 @@ def sweep(
     if isinstance(workloads, Plan):
         if kwargs:
             raise TypeError(
-                "sweep(plan) takes no legacy keyword arguments "
+                "sweep(plan) takes no grid keyword arguments "
                 f"({', '.join(kwargs)})"
             )
         if schemes is not _DEFAULT_SWEEP_SCHEMES:
@@ -281,48 +222,25 @@ def sweep(
                 "repro.experiments.run_plan for per-spec results"
             )
     else:
-        plan = _legacy_plan(workloads, schemes, kwargs)
+        plan = _grid_plan(workloads, schemes, kwargs)
     results = run_plan(plan, workers=workers, cache=cache)
     return dict(zip(plan.keys(), results))
 
 
-def _legacy_plan(
+def _grid_plan(
     workloads: Iterable[str | WorkloadSpec] | None,
     schemes: Iterable,
     kwargs: dict,
 ) -> Plan:
-    """The Plan a legacy ``sweep(workloads=, schemes=, **kwargs)`` means."""
+    """The Plan a ``sweep(workloads=, schemes=, **run_knobs)`` means."""
     from repro.workloads.suites import WORKLOAD_ORDER
 
-    scheme_overrides: dict[str, dict] = kwargs.pop("scheme_overrides", {})
-    if scheme_overrides:
-        warnings.warn(_SOUP_MESSAGE, DeprecationWarning, stacklevel=3)
-    soup = {
-        "counters": kwargs.pop("counters", _UNSET),
-        "max_levels": kwargs.pop("max_levels", _UNSET),
-        "pra_probability": kwargs.pop("pra_probability", _UNSET),
-        "threshold_strategy": kwargs.pop("threshold_strategy", _UNSET),
-    }
     names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
-    specs = []
-    for workload in names:
-        for scheme in schemes:
-            cell_soup = dict(soup)
-            cell_kwargs = dict(kwargs)
-            if isinstance(scheme, str) and scheme in scheme_overrides:
-                # The historical contract: overrides merge into the full
-                # simulate_workload kwargs, so scheme-param names route
-                # through the soup and run knobs (refresh_threshold,
-                # engine, scale, ...) override the cell's spec fields.
-                for key, value in scheme_overrides[scheme].items():
-                    if key in cell_soup:
-                        cell_soup[key] = value
-                    else:
-                        cell_kwargs[key] = value
-            specs.append(
-                build_spec(workload, scheme, soup=cell_soup,
-                           _warn_stacklevel=5, **cell_kwargs)
-            )
+    specs = [
+        build_spec(workload, scheme, **kwargs)
+        for workload in names
+        for scheme in schemes
+    ]
     return Plan.of(specs)
 
 

@@ -10,10 +10,15 @@ with different seeds.
 The simulator is configured by one declarative
 :class:`~repro.experiments.ExperimentSpec` — ``TraceDrivenSimulator(spec)``
 — which carries the system, workload/attack, typed scheme parameters and
-economy knobs.  The historical ``TraceDrivenSimulator(config, kind,
-n_counters=..., ...)`` keyword form still works as a deprecated shim
-(it builds the equivalent spec internally and emits a
-``DeprecationWarning``); it will be removed in a future release.
+economy knobs.  (The pre-spec ``TraceDrivenSimulator(config, kind,
+n_counters=..., ...)`` keyword form was removed after its one-release
+deprecation window; construct a spec instead.)
+
+The run loop itself lives in :class:`~repro.sim.session.SessionCore`:
+:meth:`TraceDrivenSimulator.run` builds a stream plan, opens a core, and
+advances it to completion.  The streaming session API (:mod:`repro.api`)
+drives the identical core incrementally, which is why checkpointed and
+uninterrupted runs are bit-identical.
 
 Scaling (see DESIGN.md): with ``scale = s`` the simulator divides the
 per-interval activation budget *and* every threshold (refresh + split)
@@ -26,7 +31,6 @@ stall ratio overstates ETO by exactly ``s`` and is corrected in
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Callable
 
 import numpy as np
@@ -34,13 +38,21 @@ import numpy as np
 from repro.core.base import MitigationScheme
 from repro.core import make_scheme
 from repro.dram.config import REFRESH_INTERVAL_S, SystemConfig
-from repro.dram.memory_system import MemorySystem
 from repro.energy.cmrpo import compute_cmrpo
-from repro.sim.engine import quantize_times_ns, run_batched_streams
-from repro.sim.metrics import RunTotals, SimulationResult
+from repro.sim.metrics import SimulationResult
+# _merge_streams stays importable from here (tests and older callers
+# address it via this module); its implementation moved to the session
+# core alongside the loop it serves.
+from repro.sim.session import SessionCore
+from repro.sim.session import merge_streams as _merge_streams  # noqa: F401
 from repro.workloads.attacks import AttackKernel, attack_stream, get_kernel
 from repro.workloads.suites import WorkloadSpec
-from repro.workloads.synthetic import interarrival_times_ns
+
+__all__ = [
+    "TraceDrivenSimulator",
+    "scaled_threshold",
+    "baseline_execution_time_ns",
+]
 
 
 def scaled_threshold(refresh_threshold: int, scale: float) -> int:
@@ -48,63 +60,19 @@ def scaled_threshold(refresh_threshold: int, scale: float) -> int:
     return max(32, int(round(refresh_threshold / scale)))
 
 
-_LEGACY_KWARG_MESSAGE = (
-    "the TraceDrivenSimulator(config, scheme_kind, n_counters=..., ...) "
-    "keyword form is deprecated; construct an "
-    "repro.experiments.ExperimentSpec (with a typed SchemeSpec) and pass "
-    "TraceDrivenSimulator(spec)"
-)
-
-
 class TraceDrivenSimulator:
     """Run one experiment spec on a subset of banks."""
 
-    def __init__(
-        self,
-        config_or_spec,
-        scheme_kind: str | None = None,
-        *,
-        n_counters: int = 64,
-        max_levels: int = 11,
-        refresh_threshold: int = 32768,
-        pra_probability: float = 0.002,
-        threshold_strategy: str = "auto",
-        scale: float = 16.0,
-        n_banks_simulated: int = 2,
-        n_intervals: int = 2,
-        engine: str = "batched",
-    ) -> None:
-        from repro.experiments.spec import ExperimentSpec, SchemeSpec
+    def __init__(self, spec) -> None:
+        from repro.experiments.spec import ExperimentSpec
 
-        if isinstance(config_or_spec, ExperimentSpec):
-            if scheme_kind is not None:
-                raise TypeError(
-                    "pass either an ExperimentSpec or (config, scheme_kind),"
-                    " not both"
-                )
-            spec = config_or_spec
-        else:
-            if scheme_kind is None:
-                raise TypeError(
-                    "TraceDrivenSimulator needs an ExperimentSpec or a "
-                    "(config, scheme_kind) pair"
-                )
-            warnings.warn(_LEGACY_KWARG_MESSAGE, DeprecationWarning,
-                          stacklevel=2)
-            spec = ExperimentSpec(
-                scheme=SchemeSpec.from_legacy(
-                    scheme_kind,
-                    counters=n_counters,
-                    max_levels=max_levels,
-                    pra_probability=pra_probability,
-                    threshold_strategy=threshold_strategy,
-                ),
-                system=config_or_spec,
-                refresh_threshold=refresh_threshold,
-                scale=scale,
-                n_banks=n_banks_simulated,
-                n_intervals=n_intervals,
-                engine=engine,
+        if not isinstance(spec, ExperimentSpec):
+            raise TypeError(
+                "TraceDrivenSimulator takes an "
+                "repro.experiments.ExperimentSpec (the legacy "
+                "(config, scheme_kind, **kwargs) form was removed); "
+                "build one with ExperimentSpec(scheme=SchemeSpec.create"
+                "(kind, ...), ...)"
             )
         self.spec = spec
         self.config = spec.resolve_system()
@@ -188,18 +156,22 @@ class TraceDrivenSimulator:
             parts.append(model.sample(rng, count, layout))
         return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
 
-    # -- main loop -----------------------------------------------------------
+    # -- stream plans --------------------------------------------------------
 
-    def run(self, workload: WorkloadSpec | None = None) -> SimulationResult:
-        """Simulate the spec's experiment; return metrics at paper scale.
+    def stream_plan(
+        self, workload: WorkloadSpec | None = None
+    ) -> tuple[str, float, Callable[[int, int], np.ndarray]]:
+        """The (label, full_intensity, rows_fn) triple this spec means.
 
-        ``workload`` overrides the spec's workload model (the legacy
-        calling convention); with no argument the spec decides, which
-        for ``kind="attack"`` specs dispatches to :meth:`run_attack`.
+        ``rows_fn(bank, interval)`` deterministically yields the row ids
+        of one bank-interval; the triple fully describes the demand
+        streams, so a spec alone reconstructs them — the property
+        session snapshots rely on.  ``workload`` overrides the spec's
+        workload model (used by :meth:`run`'s explicit-workload form).
         """
         if workload is None:
             if self.spec.kind == "attack":
-                return self.run_attack(
+                return self._attack_plan(
                     get_kernel(self.spec.attack_kernel),
                     self.spec.attack_mode,
                     self.spec.resolve_workload_model(),
@@ -208,16 +180,12 @@ class TraceDrivenSimulator:
         rows_fn = lambda bank, interval: self._interval_rows(  # noqa: E731
             workload, bank, interval
         )
-        totals = self._run_streams(workload.name, workload.intensity, rows_fn)
-        return self._finalize(totals)
+        return workload.name, workload.intensity, rows_fn
 
-    def run_attack(
-        self,
-        kernel: AttackKernel,
-        mode: str,
-        benign: WorkloadSpec,
-    ) -> SimulationResult:
-        """Simulate an attack-kernel mix (Figure 13)."""
+    def _attack_plan(
+        self, kernel: AttackKernel, mode: str, benign: WorkloadSpec
+    ) -> tuple[str, float, Callable[[int, int], np.ndarray]]:
+        """Stream plan of one attack-kernel mix (Figure 13)."""
         n_rows = self.config.rows_per_bank
 
         def rows_fn(bank: int, interval: int) -> np.ndarray:
@@ -230,69 +198,35 @@ class TraceDrivenSimulator:
             )
 
         label = f"{kernel.name}:{mode}:{benign.name}"
-        totals = self._run_streams(label, benign.intensity, rows_fn)
-        return self._finalize(totals)
+        return label, benign.intensity, rows_fn
 
-    def _run_streams(
+    # -- main loop -----------------------------------------------------------
+
+    def open_core(self, workload: WorkloadSpec | None = None) -> SessionCore:
+        """A fresh re-entrant core over this spec's streams."""
+        return SessionCore(self, *self.stream_plan(workload))
+
+    def run(self, workload: WorkloadSpec | None = None) -> SimulationResult:
+        """Simulate the spec's experiment; return metrics at paper scale.
+
+        ``workload`` overrides the spec's workload model; with no
+        argument the spec decides, which for ``kind="attack"`` specs
+        runs the attack mix.
+        """
+        core = self.open_core(workload)
+        core.advance()
+        return self._finalize(core.totals())
+
+    def run_attack(
         self,
-        label: str,
-        full_intensity: float,
-        rows_fn: Callable[[int, int], np.ndarray],
-    ) -> RunTotals:
-        memory = MemorySystem(
-            self.config,
-            self._scheme_factory(),
-            epoch_s=self.epoch_s,
-            active_banks=self.n_banks_simulated,
-        )
-        self._last_memory = memory
-        epoch_ns = self.epoch_s * 1e9
-        arrival_rng = np.random.Generator(np.random.PCG64(self.seed))
-        accesses = 0
-        for interval in range(self.n_intervals):
-            base_ns = interval * epoch_ns
-            per_bank: list[tuple[np.ndarray, np.ndarray]] = []
-            for bank in range(self.n_banks_simulated):
-                rows = rows_fn(bank, interval)
-                times = interarrival_times_ns(arrival_rng, len(rows), epoch_ns)
-                # Quantize to the simulation time grid so the scalar and
-                # batched engines perform bit-identical arithmetic (see
-                # DESIGN.md, "Time quantization").
-                per_bank.append((quantize_times_ns(times + base_ns), rows))
-            if self.engine == "batched":
-                # Banks only couple at epoch boundaries, so the batched
-                # engine consumes the per-bank streams directly; the
-                # global merge order is irrelevant to the outcome.
-                run_batched_streams(memory, per_bank)
-            else:
-                # Merge bank streams in global time order so epoch
-                # boundaries advance consistently for every scheme.
-                merged_times, merged_banks, merged_rows = _merge_streams(
-                    per_bank
-                )
-                access = memory.access
-                for time_ns, bank, row in zip(
-                    merged_times.tolist(),
-                    merged_banks.tolist(),
-                    merged_rows.tolist(),
-                ):
-                    access(time_ns, bank, row)
-            accesses += sum(len(rows) for _, rows in per_bank)
-        elapsed_ns = self.n_intervals * epoch_ns
-        return RunTotals(
-            scheme=self.scheme_kind,
-            workload=label,
-            scale=self.scale,
-            n_banks_simulated=self.n_banks_simulated,
-            n_intervals=self.n_intervals,
-            accesses=accesses,
-            refresh_commands=memory.total_refresh_commands,
-            rows_refreshed=memory.total_rows_refreshed,
-            stall_ns=memory.total_stall_ns,
-            elapsed_ns=elapsed_ns,
-            mitigation_busy_ns=memory.total_mitigation_busy_ns,
-            full_scale_accesses_per_interval=full_intensity,
-        )
+        kernel: AttackKernel,
+        mode: str,
+        benign: WorkloadSpec,
+    ) -> SimulationResult:
+        """Simulate an explicit attack-kernel mix (Figure 13)."""
+        core = SessionCore(self, *self._attack_plan(kernel, mode, benign))
+        core.advance()
+        return self._finalize(core.totals())
 
     def _finalize(self, totals: RunTotals) -> SimulationResult:
         measured_fetch_nj_per_access = 0.0
@@ -361,33 +295,6 @@ def _phase_segments(interval: int, phase_count: int) -> list[tuple[float, int]]:
         phase_id = interval * phase_count + k
         segments.append((b - a, phase_id))
     return segments
-
-
-def _merge_streams(
-    per_bank: list[tuple[np.ndarray, np.ndarray]]
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Merge per-bank (times, rows) into sorted (times, banks, rows) arrays.
-
-    Bank and row ids stay in integer dtypes throughout (no ``float64``
-    round-trip), and one stable argsort on the time column preserves the
-    per-bank ordering for tied timestamps.
-    """
-    if not per_bank:
-        return (
-            np.empty(0, dtype=np.float64),
-            np.empty(0, dtype=np.int64),
-            np.empty(0, dtype=np.int64),
-        )
-    times = np.concatenate([t for t, _ in per_bank])
-    banks = np.concatenate(
-        [np.full(len(rows), bank, dtype=np.int64)
-         for bank, (_, rows) in enumerate(per_bank)]
-    )
-    rows = np.concatenate(
-        [r.astype(np.int64, copy=False) for _, r in per_bank]
-    )
-    order = np.argsort(times, kind="stable")
-    return times[order], banks[order], rows[order]
 
 
 def baseline_execution_time_ns(

@@ -19,8 +19,14 @@ class TestPublicAPI:
         for name in repro.__all__:
             assert hasattr(repro, name), f"missing export {name}"
 
-    def test_version(self):
-        assert repro.__version__ == "1.0.0"
+    def test_version_single_sourced(self):
+        """repro.__version__ always agrees with the _version constant
+        (which setup.py builds the distribution metadata from)."""
+        from repro._version import __version__ as source
+
+        assert repro.__version__ == source
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
 
     def test_subpackage_exports(self):
         import repro.analysis as analysis

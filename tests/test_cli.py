@@ -62,3 +62,69 @@ class TestCommands:
         assert main(["hardware", "--counters", "64"]) == 0
         out = capsys.readouterr().out
         assert "sca_64" in out and "sca_32" not in out
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+
+class TestStreamingCommands:
+    def test_run_stream_prints_epoch_lines(self, capsys):
+        assert main(["run", "--workload", "libq", "--stream", *FAST,
+                     "--intervals", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("epoch ") == 2
+        assert "eto=" in out and "CMRPO" in out
+
+    def test_stream_result_matches_batch(self, capsys):
+        args = ["run", "--workload", "libq", "--json", *FAST]
+        assert main(args) == 0
+        batch = capsys.readouterr().out
+        assert main([*args, "--stream"]) == 0
+        streamed = capsys.readouterr().out
+        # Same JSON document after the per-epoch progress lines.
+        json_part = "\n".join(
+            line for line in streamed.splitlines()
+            if not line.startswith("epoch ")
+        ) + "\n"
+        assert json_part == batch
+
+    def test_snapshot_then_resume_matches_batch(self, tmp_path, capsys):
+        args = ["run", "--workload", "libq", "--scheme", "sca", *FAST]
+        assert main([*args, "--json"]) == 0
+        batch_out = capsys.readouterr().out
+        import json as json_mod
+
+        batch = json_mod.loads(batch_out)
+        snap = tmp_path / "half.json"
+        assert main([*args, "--snapshot-at", "250000",
+                     "--snapshot-to", str(snap)]) == 0
+        assert "snapshot at" in capsys.readouterr().out
+        assert snap.is_file()
+        assert main(["resume", str(snap), "--json"]) == 0
+        resumed_out = capsys.readouterr().out
+        resumed = json_mod.loads(resumed_out.split("\n", 1)[1])
+        assert resumed == batch
+
+    def test_snapshot_at_requires_destination(self, capsys):
+        assert main(["run", "--workload", "libq", *FAST,
+                     "--snapshot-at", "1000"]) == 2
+        assert "--snapshot-to" in capsys.readouterr().out
+
+    def test_snapshot_to_alone_is_an_error(self, tmp_path, capsys):
+        """--snapshot-to without --snapshot-at (and no checkpoint_every
+        spec policy) must fail loudly, not silently skip the snapshot."""
+        assert main(["run", "--workload", "libq", *FAST,
+                     "--snapshot-to", str(tmp_path / "s.json")]) == 2
+        assert "--snapshot-at" in capsys.readouterr().out
+        assert not (tmp_path / "s.json").exists()
+
+    def test_resume_missing_file_is_error(self, capsys):
+        assert main(["resume", "/nonexistent/snap.json"]) == 2
+        assert "error" in capsys.readouterr().out

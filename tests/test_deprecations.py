@@ -1,10 +1,11 @@
-"""Deprecation-shim gates.
+"""Removal gates for the pre-spec keyword surfaces.
 
-ISSUE-3 keeps the pre-spec keyword surfaces alive for one release
-behind ``DeprecationWarning``s; this module pins exactly which calls
-warn (so the shim can be deleted in a later PR by making these
-``pytest.raises``) and that the canonical spec paths stay silent.
-CI runs this file as its own job.
+ISSUE-3 kept these shims alive for one release behind
+``DeprecationWarning``; ISSUE-4 removed them.  This module pins the
+*removal guarantees*: every former shim now raises (``TypeError`` /
+``AttributeError``) instead of silently doing something, and the
+canonical spec paths stay free of deprecation warnings.  CI runs this
+file as its own job so a future PR cannot quietly resurrect a shim.
 """
 
 import warnings
@@ -26,42 +27,49 @@ def fast_spec(**overrides):
     return ExperimentSpec(**fields)
 
 
-class TestSimulatorCtorShim:
-    def test_legacy_ctor_warns(self):
-        with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
-            TraceDrivenSimulator(DUAL_CORE_2CH, "sca", scale=128.0,
-                                 n_banks_simulated=1, n_intervals=1)
+class TestSimulatorCtorRemoved:
+    def test_config_positional_raises(self):
+        with pytest.raises(TypeError, match="ExperimentSpec"):
+            TraceDrivenSimulator(DUAL_CORE_2CH)
+
+    def test_legacy_ctor_raises(self):
+        with pytest.raises(TypeError):
+            TraceDrivenSimulator(DUAL_CORE_2CH, "sca")
+
+    def test_legacy_kwargs_raise(self):
+        with pytest.raises(TypeError):
+            TraceDrivenSimulator(
+                DUAL_CORE_2CH, "sca", scale=128.0,
+                n_banks_simulated=1, n_intervals=1,
+            )
 
     def test_spec_ctor_is_silent(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             TraceDrivenSimulator(fast_spec())
 
-    def test_legacy_ctor_still_works(self):
-        with pytest.warns(DeprecationWarning):
-            sim = TraceDrivenSimulator(DUAL_CORE_2CH, "drcat", scale=128.0,
-                                       n_banks_simulated=1, n_intervals=1)
-        from repro.workloads.suites import get_workload
 
-        assert sim.run(get_workload("libq")).totals.accesses > 0
-
-
-class TestSchemeKwargSoupShim:
-    def test_counters_kwarg_warns(self):
-        with pytest.warns(DeprecationWarning, match="SchemeSpec.create"):
+class TestSchemeKwargSoupRemoved:
+    def test_counters_kwarg_raises(self):
+        with pytest.raises(TypeError):
             simulate_workload("libq", scheme="sca", counters=128, **FAST)
 
-    def test_pra_probability_kwarg_warns(self):
-        with pytest.warns(DeprecationWarning, match="SchemeSpec.create"):
+    def test_pra_probability_kwarg_raises(self):
+        with pytest.raises(TypeError):
             simulate_workload("libq", scheme="pra",
                               pra_probability=0.004, **FAST)
 
-    def test_attack_kwarg_warns(self):
-        with pytest.warns(DeprecationWarning, match="SchemeSpec.create"):
+    def test_threshold_strategy_kwarg_raises(self):
+        with pytest.raises(TypeError):
+            simulate_workload("libq", scheme="drcat",
+                              threshold_strategy="geometric", **FAST)
+
+    def test_attack_kwarg_raises(self):
+        with pytest.raises(TypeError):
             simulate_attack("kernel01", "light", "sca", counters=128, **FAST)
 
-    def test_sweep_scheme_overrides_warns(self):
-        with pytest.warns(DeprecationWarning, match="SchemeSpec.create"):
+    def test_sweep_scheme_overrides_raises(self):
+        with pytest.raises(TypeError):
             sweep(workloads=["libq"], schemes=("sca",),
                   scheme_overrides={"sca": {"counters": 128}}, **FAST)
 
@@ -86,32 +94,42 @@ class TestSchemeKwargSoupShim:
             run_spec(fast_spec())
             sweep(Plan.grid(fast_spec(), workload=["libq"]))
 
-    def test_scheme_spec_plus_soup_rejected(self):
-        with pytest.raises(TypeError, match="already a SchemeSpec"):
-            simulate_workload("libq", scheme=SchemeSpec("sca"),
-                              counters=128, **FAST)
-
-    def test_shim_matches_spec_numerics(self):
-        """The deprecated path must produce bit-identical results."""
-        with pytest.warns(DeprecationWarning):
-            legacy = simulate_workload("libq", scheme="sca",
-                                       counters=128, **FAST)
+    def test_typed_scheme_matches_spec_numerics(self):
+        """The convenience keyword path and the spec path still agree."""
+        convenient = simulate_workload(
+            "libq", scheme=SchemeSpec.create("sca", n_counters=128), **FAST
+        )
         via_spec = run_spec(fast_spec(
             scheme=SchemeSpec.create("sca", n_counters=128)
         ))
-        assert legacy.to_dict() == via_spec.to_dict()
+        assert convenient.to_dict() == via_spec.to_dict()
 
 
 class TestRefreshCommandSpan:
     def test_span(self):
         assert RefreshCommand(3, 12).span == 10
 
-    def test_n_rows_alias_warns_and_matches(self):
-        cmd = RefreshCommand(3, 12)
-        with pytest.warns(DeprecationWarning, match="span"):
-            assert cmd.n_rows == cmd.span
+    def test_n_rows_alias_removed(self):
+        with pytest.raises(AttributeError):
+            RefreshCommand(3, 12).n_rows
 
     def test_span_is_silent(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             RefreshCommand(0, 0).span
+
+
+class TestSessionSurfaceIsCanonical:
+    """The new public surface stays warning-free from day one."""
+
+    def test_session_paths_are_silent(self):
+        import json
+
+        from repro.api import Session, open_session
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = open_session(fast_spec())
+            session.step(100)
+            doc = json.loads(json.dumps(session.snapshot()))
+            Session.restore(doc).result()

@@ -14,6 +14,7 @@ import pytest
 
 from repro.analysis.prng import CountingPRNG, TrueRandomPRNG
 from repro.dram.config import DUAL_CORE_2CH
+from repro.experiments import ExperimentSpec, SchemeSpec
 from repro.sim.runner import simulate_attack, simulate_workload
 from repro.sim.simulator import TraceDrivenSimulator
 from repro.workloads.suites import get_workload
@@ -26,14 +27,12 @@ KNOBS = dict(scale=64.0, n_banks=2, n_intervals=3)
 
 
 def _run(engine: str, scheme: str, workload: str):
-    sim = TraceDrivenSimulator(
-        DUAL_CORE_2CH,
-        scheme,
+    sim = TraceDrivenSimulator(ExperimentSpec(
+        scheme=SchemeSpec(scheme),
+        system=DUAL_CORE_2CH,
         engine=engine,
-        n_banks_simulated=KNOBS["n_banks"],
-        n_intervals=KNOBS["n_intervals"],
-        scale=KNOBS["scale"],
-    )
+        **KNOBS,
+    ))
     result = sim.run(get_workload(workload))
     return result, sim._last_memory
 
@@ -116,7 +115,7 @@ def test_default_prng_batch_fallback_matches():
 
 def test_engine_flag_validation():
     with pytest.raises(ValueError):
-        TraceDrivenSimulator(DUAL_CORE_2CH, "sca", engine="warp")
+        ExperimentSpec(scheme=SchemeSpec("sca"), engine="warp")
 
 
 def test_runner_plumbs_engine():

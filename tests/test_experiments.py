@@ -340,21 +340,20 @@ class TestSweepPlanPath:
             k: v.to_dict() for k, v in via_plan.items()
         } == {k: v.to_dict() for k, v in legacy.items()}
 
-    def test_sweep_plan_rejects_legacy_kwargs(self):
+    def test_sweep_plan_rejects_grid_kwargs(self):
         plan = Plan.grid(fast_spec(), workload=["libq"])
-        with pytest.raises(TypeError, match="legacy keyword"):
+        with pytest.raises(TypeError, match="keyword"):
             sweep(plan, scale=128.0)
 
-    def test_legacy_scheme_overrides_honour_run_knobs(self):
-        # The historical contract: per-scheme overrides merge into the
-        # full simulate_workload kwargs, not only the scheme params.
-        with pytest.warns(DeprecationWarning):
-            results = sweep(
-                workloads=["libq"],
-                schemes=("sca", "drcat"),
-                scheme_overrides={"sca": {"refresh_threshold": 16384}},
-                **FAST,
-            )
+    def test_per_cell_run_knobs_via_plan_concat(self):
+        # Per-scheme run-knob overrides (the old scheme_overrides use
+        # case) are expressed by concatenating per-knob grids.
+        plan = Plan.grid(
+            fast_spec(refresh_threshold=16384), scheme=[SchemeSpec("sca")]
+        ) + Plan.grid(
+            fast_spec(refresh_threshold=32768), scheme=[SchemeSpec("drcat")]
+        )
+        results = sweep(plan)
         assert results[("libq", "sca")].parameters[
             "refresh_threshold"] == 16384
         assert results[("libq", "drcat")].parameters[

@@ -6,6 +6,7 @@ reproduces at higher fidelity.
 """
 
 from repro import simulate_workload
+from repro.experiments import SchemeSpec
 from repro.sim.runner import simulate_attack, sweep, suite_means
 
 FAST = dict(scale=32.0, n_banks=1, n_intervals=2)
@@ -15,8 +16,8 @@ class TestSchemeOrderings:
     def test_cat_beats_sca_on_skewed_workload(self):
         """The paper's core claim: adaptive counters refresh far fewer
         rows than a uniform static assignment at equal counter count."""
-        sca = simulate_workload("black", scheme="sca", counters=64, **FAST)
-        drcat = simulate_workload("black", scheme="drcat", counters=64, **FAST)
+        sca = simulate_workload("black", scheme=SchemeSpec.create("sca", n_counters=64), **FAST)
+        drcat = simulate_workload("black", scheme=SchemeSpec.create("drcat", n_counters=64), **FAST)
         assert (
             drcat.totals.rows_refreshed_per_bank_interval
             < 0.7 * sca.totals.rows_refreshed_per_bank_interval
@@ -24,8 +25,8 @@ class TestSchemeOrderings:
         assert drcat.cmrpo < sca.cmrpo
 
     def test_sca128_beats_sca64_rows(self):
-        r64 = simulate_workload("face", scheme="sca", counters=64, **FAST)
-        r128 = simulate_workload("face", scheme="sca", counters=128, **FAST)
+        r64 = simulate_workload("face", scheme=SchemeSpec.create("sca", n_counters=64), **FAST)
+        r128 = simulate_workload("face", scheme=SchemeSpec.create("sca", n_counters=128), **FAST)
         assert (
             r128.totals.rows_refreshed_per_bank_interval
             < r64.totals.rows_refreshed_per_bank_interval
@@ -42,8 +43,8 @@ class TestSchemeOrderings:
         assert 0.05 < result.cmrpo < 0.20
 
     def test_cat_eto_below_sca(self):
-        sca = simulate_workload("black", scheme="sca", counters=64, **FAST)
-        prcat = simulate_workload("black", scheme="prcat", counters=64, **FAST)
+        sca = simulate_workload("black", scheme=SchemeSpec.create("sca", n_counters=64), **FAST)
+        prcat = simulate_workload("black", scheme=SchemeSpec.create("prcat", n_counters=64), **FAST)
         assert prcat.eto < sca.eto
 
     def test_all_etos_small(self):
@@ -70,8 +71,7 @@ class TestThresholdSensitivity:
         """Figure 12: T=8K with doubled counters stays below 10%."""
         r = simulate_workload(
             "comm1",
-            scheme="drcat",
-            counters=128,
+            scheme=SchemeSpec.create("drcat", n_counters=128),
             refresh_threshold=8192,
             **FAST,
         )
@@ -82,7 +82,8 @@ class TestAttackIntegration:
     def test_heavier_attacks_cost_more_eto(self):
         etos = [
             simulate_attack(
-                "kernel01", mode, "sca", counters=128,
+                "kernel01", mode,
+                SchemeSpec.create("sca", n_counters=128),
                 refresh_threshold=16384, **FAST
             ).eto
             for mode in ("light", "heavy")
@@ -92,11 +93,13 @@ class TestAttackIntegration:
     def test_cat_confines_attacks_better_than_sca(self):
         """Section VIII-D: CAT refreshes far fewer rows under attack."""
         sca = simulate_attack(
-            "kernel02", "heavy", "sca", counters=128,
+            "kernel02", "heavy",
+            SchemeSpec.create("sca", n_counters=128),
             refresh_threshold=16384, **FAST
         )
         drcat = simulate_attack(
-            "kernel02", "heavy", "drcat", counters=64,
+            "kernel02", "heavy",
+            SchemeSpec.create("drcat", n_counters=64),
             refresh_threshold=16384, **FAST
         )
         assert (

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.experiments import SchemeSpec
 from repro.sim.runner import (
     simulate_attack,
     simulate_workload,
@@ -36,8 +37,15 @@ class TestSimulateWorkload:
             simulate_workload("quake3", **FAST)
 
     def test_counter_knob(self):
-        result = simulate_workload("libq", scheme="sca", counters=128, **FAST)
+        result = simulate_workload(
+            "libq", scheme=SchemeSpec.create("sca", n_counters=128), **FAST
+        )
         assert result.parameters["n_counters"] == 128
+
+    def test_loose_scheme_kwargs_removed(self):
+        """The pre-spec kwarg soup is gone for good (was deprecated)."""
+        with pytest.raises(TypeError):
+            simulate_workload("libq", scheme="sca", counters=128, **FAST)
 
 
 class TestSweep:
@@ -52,15 +60,26 @@ class TestSweep:
             ("libq", "drcat"),
         }
 
-    def test_scheme_overrides(self):
+    def test_typed_scheme_axis(self):
+        """Per-scheme parameters ride on SchemeSpec grid entries."""
         results = sweep(
             workloads=["libq"],
-            schemes=("sca", "drcat"),
-            scheme_overrides={"sca": {"counters": 128}},
+            schemes=(SchemeSpec.create("sca", "sca", n_counters=128),
+                     SchemeSpec.create("drcat", "drcat", n_counters=64)),
             **FAST,
         )
         assert results[("libq", "sca")].parameters["n_counters"] == 128
         assert results[("libq", "drcat")].parameters["n_counters"] == 64
+
+    def test_scheme_overrides_removed(self):
+        """The scheme_overrides kwarg is gone (was deprecated)."""
+        with pytest.raises(TypeError):
+            sweep(
+                workloads=["libq"],
+                schemes=("sca",),
+                scheme_overrides={"sca": {"counters": 128}},
+                **FAST,
+            )
 
     def test_suite_means(self):
         results = sweep(workloads=["black", "libq"], schemes=("sca",), **FAST)

@@ -1,0 +1,192 @@
+"""SchemeState protocol: capture/restore fidelity at the object level.
+
+The session-level tests prove end-to-end bit-identity; these tests pin
+the protocol itself: for every registered scheme, ``to_state`` is
+JSON-serializable, ``restore_state`` onto a freshly built instance
+reproduces the *future behaviour* exactly (same commands on the same
+continuation stream, same statistics), and mismatched states are
+rejected instead of silently corrupting.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.prng import (
+    CountingPRNG,
+    LFSRPRNG,
+    TrueRandomPRNG,
+    prng_from_state,
+)
+from repro.core import make_scheme
+from repro.core.registry import get_scheme_info, scheme_names
+from repro.dram.bank import BankState
+from repro.dram.config import SystemConfig
+from repro.dram.memory_system import MemorySystem
+
+N_ROWS = 4096
+T = 256
+
+
+def build(kind: str):
+    """A small, eventful instance of one registered scheme."""
+    info = get_scheme_info(kind)
+    params = dict(info.safety_overrides.get("params", {}))
+    return make_scheme(kind, N_ROWS, T, **params)
+
+
+def stream(seed: int, n: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    # Skewed: a hot row plus background, so counters cross thresholds.
+    hot = rng.random(n) < 0.5
+    rows = rng.integers(0, N_ROWS, size=n)
+    rows[hot] = 17
+    return [int(r) for r in rows]
+
+
+def drive(scheme, rows):
+    """Feed rows; return the (position, command-tuple) event history."""
+    out = []
+    for i, row in enumerate(rows):
+        for cmd in scheme.access(row):
+            out.append((i, cmd.low, cmd.high, cmd.reason))
+    return out
+
+
+@pytest.mark.parametrize("kind", scheme_names())
+class TestSchemeStateRoundTrip:
+    def test_future_behaviour_identical(self, kind):
+        prefix, suffix = stream(3, 4000), stream(4, 4000)
+        original = build(kind)
+        drive(original, prefix)
+        state = json.loads(json.dumps(original.to_state()))
+
+        clone = build(kind)
+        clone.restore_state(state)
+        assert drive(clone, suffix) == drive(original, suffix)
+        assert clone.stats.snapshot() == original.stats.snapshot()
+
+    def test_state_is_json_serializable(self, kind):
+        scheme = build(kind)
+        drive(scheme, stream(5, 1000))
+        json.dumps(scheme.to_state())  # must not raise
+
+    def test_batch_path_after_restore(self, kind):
+        """access_batch on a restored scheme equals the original's."""
+        prefix = stream(6, 3000)
+        original = build(kind)
+        drive(original, prefix)
+        clone = build(kind)
+        clone.restore_state(json.loads(json.dumps(original.to_state())))
+        batch = np.asarray(stream(7, 3000), dtype=np.int64)
+        events_a = [
+            (p, [(c.low, c.high, c.reason) for c in cmds])
+            for p, cmds in original.access_batch(batch.copy())
+        ]
+        events_b = [
+            (p, [(c.low, c.high, c.reason) for c in cmds])
+            for p, cmds in clone.access_batch(batch.copy())
+        ]
+        assert events_a == events_b
+        assert clone.stats.snapshot() == original.stats.snapshot()
+
+
+class TestTreeStateIntegrity:
+    def test_restored_tree_passes_invariants(self):
+        scheme = build("drcat")
+        drive(scheme, stream(8, 6000))
+        clone = build("drcat")
+        clone.restore_state(json.loads(json.dumps(scheme.to_state())))
+        clone.tree.check_invariants()
+        assert clone.tree.partition() == scheme.tree.partition()
+        assert clone.tree.depth_histogram() == scheme.tree.depth_histogram()
+
+    def test_free_list_order_preserved(self):
+        """Splits pop from the free-list tail; order is behavioural."""
+        scheme = build("drcat")
+        drive(scheme, stream(9, 6000))
+        state = scheme.to_state()
+        clone = build("drcat")
+        clone.restore_state(state)
+        assert clone.tree._free_counters == scheme.tree._free_counters
+        assert clone.tree._free_inodes == scheme.tree._free_inodes
+
+    def test_wrong_size_state_rejected(self):
+        scheme = build("sca")
+        state = scheme.to_state()
+        state["counts"] = state["counts"][:-1]
+        with pytest.raises(ValueError, match="counters"):
+            build("sca").restore_state(state)
+
+
+class TestPrngState:
+    @pytest.mark.parametrize("prng", [
+        TrueRandomPRNG(seed=42), LFSRPRNG(width=16), CountingPRNG(5),
+    ])
+    def test_stream_continues_exactly(self, prng):
+        [prng.next_bits(9) for _ in range(137)]
+        clone = prng_from_state(json.loads(json.dumps(prng.to_state())))
+        assert [clone.next_bits(9) for _ in range(200)] == \
+            [prng.next_bits(9) for _ in range(200)]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown PRNG kind"):
+            prng_from_state({"kind": "quantum"})
+
+    def test_lfsr_width_mismatch_rejected(self):
+        state = LFSRPRNG(width=16).to_state()
+        with pytest.raises(ValueError, match="width"):
+            LFSRPRNG(width=24).restore_state(state)
+
+
+class TestSubstrateState:
+    def test_bank_state_round_trip(self):
+        bank = BankState(SystemConfig().timings)
+        bank.serve_access(10.0)
+        bank.serve_refresh(20.0, 64)
+        bank.serve_access(25.0)
+        clone = BankState(SystemConfig().timings)
+        clone.restore_state(json.loads(json.dumps(bank.to_state())))
+        assert clone == bank
+
+    def test_memory_system_round_trip(self):
+        config = SystemConfig(rows_per_bank=N_ROWS)
+
+        def factory(n_rows):
+            return make_scheme("drcat", n_rows, T,
+                               n_counters=8, max_levels=6)
+
+        rng = np.random.default_rng(11)
+        times = np.sort(rng.uniform(0, 5e6, size=3000))
+        banks = rng.integers(0, 4, size=3000)
+        rows = rng.integers(0, N_ROWS, size=3000)
+        system = MemorySystem(config, factory, epoch_s=1e-3)
+        for t, b, r in zip(times, banks, rows):
+            system.access(float(t), int(b), int(r))
+
+        clone = MemorySystem(config, factory, epoch_s=1e-3)
+        clone.restore_state(json.loads(json.dumps(system.to_state())))
+        assert clone.total_stall_ns == system.total_stall_ns
+        assert clone.epochs_completed == system.epochs_completed
+        assert clone.scheme_stats() == system.scheme_stats()
+        # Future behaviour agrees too.
+        for t, b, r in zip(times, banks, rows):
+            assert system.access(float(t) + 5e6, int(b), int(r)) == \
+                clone.access(float(t) + 5e6, int(b), int(r))
+
+    def test_scheme_layout_mismatch_rejected(self):
+        config = SystemConfig(rows_per_bank=N_ROWS)
+        protected = MemorySystem(
+            config, lambda n: make_scheme("sca", n, T), active_banks=1
+        )
+        unprotected = MemorySystem(config, None)
+        with pytest.raises(ValueError, match="layout"):
+            unprotected.restore_state(protected.to_state())
+
+    def test_scheme_kind_mismatch_rejected(self):
+        config = SystemConfig(rows_per_bank=N_ROWS)
+        sca = MemorySystem(config, lambda n: make_scheme("sca", n, T))
+        pra = MemorySystem(config, lambda n: make_scheme("pra", n, T))
+        with pytest.raises(ValueError, match="scheme"):
+            pra.restore_state(sca.to_state())

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dram.config import DUAL_CORE_2CH, SystemConfig
+from repro.experiments import ExperimentSpec, SchemeSpec
 from repro.sim.simulator import (
     TraceDrivenSimulator,
     _merge_streams,
@@ -98,12 +99,16 @@ class TestBaselineExecutionTime:
 
 class TestSimulatorRuns:
     def make(self, scheme, **kw):
-        defaults = dict(scale=64.0, n_banks_simulated=1, n_intervals=1)
+        params = kw.pop("params", {})
+        defaults = dict(scale=64.0, n_banks=1, n_intervals=1,
+                        system=DUAL_CORE_2CH)
         defaults.update(kw)
-        return TraceDrivenSimulator(DUAL_CORE_2CH, scheme, **defaults)
+        return TraceDrivenSimulator(ExperimentSpec(
+            scheme=SchemeSpec.create(scheme, **params), **defaults
+        ))
 
     def test_totals_consistent(self):
-        sim = self.make("sca", n_counters=64)
+        sim = self.make("sca", params={"n_counters": 64})
         result = sim.run(get_workload("black"))
         totals = result.totals
         assert totals.accesses > 0
@@ -126,7 +131,7 @@ class TestSimulatorRuns:
         assert rows[0] == pytest.approx(rows[1], rel=0.35)
 
     def test_pra_probability_plumbs_through(self):
-        sim = self.make("pra", pra_probability=0.004)
+        sim = self.make("pra", params={"probability": 0.004})
         result = sim.run(get_workload("libq"))
         assert result.parameters["probability"] == 0.004
 
@@ -134,8 +139,13 @@ class TestSimulatorRuns:
         with pytest.raises(ValueError):
             self.make("sca", scale=0.5)
 
+    def test_rejects_non_spec_construction(self):
+        """The pre-spec (config, kind, **kwargs) form is gone for good."""
+        with pytest.raises(TypeError, match="ExperimentSpec"):
+            TraceDrivenSimulator(DUAL_CORE_2CH)
+
     def test_banks_capped_at_config(self):
-        sim = self.make("sca", n_banks_simulated=1000)
+        sim = self.make("sca", n_banks=1000)
         assert sim.n_banks_simulated == DUAL_CORE_2CH.n_banks
 
     def test_cat_schedule_scaled(self):
@@ -158,8 +168,9 @@ class TestSimulatorRuns:
 class TestQuadCoreConfig:
     def test_quad_core_rows(self):
         quad = SystemConfig(n_cores=4, rows_per_bank=131072)
-        sim = TraceDrivenSimulator(
-            quad, "sca", scale=128.0, n_banks_simulated=1, n_intervals=1
-        )
+        sim = TraceDrivenSimulator(ExperimentSpec(
+            scheme=SchemeSpec("sca"), system=quad, scale=128.0,
+            n_banks=1, n_intervals=1,
+        ))
         result = sim.run(get_workload("comm1"))
         assert result.totals.accesses > 0

@@ -95,6 +95,25 @@ class TestVerifyExitCodes:
         out = capsys.readouterr().out
         assert "bench_fig8_cmrpo" in out and "bench_perf" not in out
 
+    def test_session_checkpoint_path_passes_same_goldens(self, tmp_path,
+                                                         capsys):
+        """The checkpoint/resume execution path must match goldens
+        written by the direct path — the session-equivalence gate."""
+        figs = ["--figures", "bench_counter_cache"]
+        assert main([
+            "verify", "--fidelity", "smoke", "--update",
+            "--golden-dir", str(tmp_path), *figs,
+        ]) == EXIT_OK
+        for session in ("session", "checkpoint"):
+            capsys.readouterr()
+            assert main([
+                "verify", "--fidelity", "smoke", "--session", session,
+                "--golden-dir", str(tmp_path), *figs,
+            ]) == EXIT_OK
+            out = capsys.readouterr().out
+            assert f"session={session}" in out
+            assert "verify ok" in out
+
     def test_missing_benchmarks_dir_is_usage_error(self, tmp_path, capsys):
         assert main([
             "verify", "--golden-dir", str(tmp_path),
