@@ -25,7 +25,12 @@ a message naming the variable):
   keyed by spec content hash under a code-fingerprint salt, so any
   source edit invalidates it automatically);
 * ``REPRO_BENCH_CACHE_DIR`` — cache location (default
-  ``benchmarks/results/sweep_cache``).
+  ``benchmarks/results/sweep_cache``);
+* ``REPRO_TRACE_STORE`` / ``REPRO_TRACE_STORE_DIR`` — the
+  content-addressed activation-trace store (default on, under
+  ``<cache dir>/traces``): scheme-axis grid cells share one stream
+  generation pass via memory-mapped entries (see
+  :mod:`repro.sim.tracestore`).
 
 The environment is re-read lazily on every call, so one process can run
 several fidelities (``repro verify`` relies on this).  Sweeps shared by

@@ -1,32 +1,44 @@
-"""Simulation-throughput benchmark: scalar vs. batched engine.
+"""Simulation-throughput benchmark: engines, caches, sweep throughput.
 
-Writes ``benchmarks/results/BENCH_perf.json`` with, per scheme, the
+Writes ``benchmarks/results/BENCH_perf.json`` (and a copy at the repo
+root, committed for cross-PR trajectory tracking) with, per scheme, the
 accesses/second of the scalar and batched engines on the profile
-workload (``mum``, the hot-path workload from the ISSUE-1 cProfile) and
-the wall-clock of a Figure 8 mini-sweep, so the performance trajectory
-is tracked across PRs.  A third baseline, ``seed_path``, replays the
-seed repository's exact scalar hot loop (float64 merged matrix with
-per-event ``int()`` casts) for an apples-to-apples speedup figure
-against the pre-optimization code.
+workload (``mum``, the hot-path workload from the ISSUE-1 cProfile),
+the wall-clock of a Figure 8 mini-sweep, the warm/cold behaviour of the
+sweep-cell result cache (ISSUE-3), and the sweep-throughput section
+(ISSUE-5): a scheme-axis figure grid timed with the activation-trace
+store disabled (the PR-4 cold baseline), cold (populating), and warm
+(every stream memmap-served) — plus the persistent-pool reuse gain.  A
+``seed_path`` baseline replays the seed repository's exact scalar hot
+loop (float64 merged matrix with per-event ``int()`` casts) for an
+apples-to-apples speedup figure against the pre-optimization code.
+
+The engine and result-cache sections pin ``REPRO_TRACE_STORE=0`` so
+their numbers stay comparable with earlier PRs; only the
+sweep-throughput section exercises the store.
 
 Usage::
 
     python benchmarks/bench_perf.py             # full run, writes JSON
-    python benchmarks/bench_perf.py --smoke     # drcat-only, fast
-    python benchmarks/bench_perf.py --check     # exit 1 unless the
-                                                # batched engine is >=5x
-                                                # the scalar engine on
-                                                # drcat (regression gate)
+    python benchmarks/bench_perf.py --smoke     # trimmed grids, fast
+    python benchmarks/bench_perf.py --check     # exit 1 on regression:
+                                                #  batched < 5x scalar,
+                                                #  result-cache warm < 2x,
+                                                #  trace-store warm < 3x
 
-The ``--check`` floor is half the 10x tentpole target, i.e. it fails on
-a >2x throughput regression of the batched engine relative to where the
-tentpole landed.
+The engine ``--check`` floor is half the 10x tentpole target, i.e. it
+fails on a >2x throughput regression of the batched engine relative to
+where that tentpole landed; the trace-store floor is the ISSUE-5
+acceptance criterion (warm scheme-axis grid >= 3x the store-off cold
+baseline).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -42,6 +54,8 @@ from repro.sim.runner import (  # noqa: E402
     sweep,
 )
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
 PROFILE_WORKLOAD = "mum"
 SCHEMES = ("drcat", "prcat", "sca", "pra", "ccache")
 #: Minimum accepted batched/scalar speedup on drcat for ``--check``.
@@ -52,6 +66,38 @@ MINI_SWEEP_SCHEMES = ("pra", "sca", "prcat", "drcat")
 #: Minimum accepted warm/cold speedup of the sweep-cell result cache
 #: for ``--check`` (ISSUE-3 acceptance: >= 2x on a bench rerun).
 CHECK_MIN_CACHE_SPEEDUP = 2.0
+#: Minimum accepted trace-store warm speedup of the scheme-axis grid
+#: over the store-off baseline for ``--check`` (ISSUE-5 acceptance).
+CHECK_MIN_TRACE_SPEEDUP = 3.0
+#: The gated sweep-throughput grid: a counter-budget scheme axis (PRA,
+#: the SCA M-sweep of Figure 10, PRCAT) crossed with the two paper
+#: thresholds — 14 scheme-side cells sharing one workload stream.  The
+#: memory-intensive ``libq`` keeps the gate's per-cell simulation share
+#: stable across machines; the full run also reports (ungated) ratios
+#: for additional streams so the spread is visible in the artifact.
+TRACE_SWEEP_WORKLOADS = ("libq",)
+TRACE_SWEEP_EXTRA_WORKLOADS = ("str", "comm2")
+TRACE_SWEEP_M = (32, 64, 128, 256, 512)
+TRACE_SWEEP_THRESHOLDS = (32768, 16384)
+
+
+@contextlib.contextmanager
+def _scoped_env(values: dict):
+    """Apply env overrides for one measurement (None = unset)."""
+    saved = {k: os.environ.get(k) for k in values}
+    for key, value in values.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    try:
+        yield
+    finally:
+        for key, old in saved.items():
+            if old is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = old
 
 
 def _measure(engine: str, scheme: str, repeats: int) -> tuple[float, int]:
@@ -113,6 +159,176 @@ def _measure_seed_path(scheme: str, repeats: int) -> float:
     return best
 
 
+def _trace_sweep_plan(workloads=TRACE_SWEEP_WORKLOADS):
+    """The scheme-axis grid of the sweep-throughput section."""
+    from repro.experiments import ExperimentSpec, Plan, SchemeSpec
+
+    schemes = [SchemeSpec.create("pra", "PRA")] + [
+        SchemeSpec.create("sca", f"SCA_{m}", n_counters=m)
+        for m in TRACE_SWEEP_M
+    ] + [SchemeSpec.create("prcat", "PRCAT_64", n_counters=64)]
+    # scale=8 (between the ci and full fidelities): bigger cells
+    # amortize per-cell setup and scheduler noise, which both raises
+    # the true warm ratio and stabilizes the gated measurement on
+    # loaded CI runners.
+    base = ExperimentSpec(
+        scheme=SchemeSpec("drcat"), scale=8.0, n_banks=1, n_intervals=2,
+    )
+    return Plan.grid(
+        base,
+        workload=list(workloads),
+        scheme=schemes,
+        refresh_threshold=list(TRACE_SWEEP_THRESHOLDS),
+    ), len(workloads)
+
+
+def _measure_trace_sweep(smoke: bool) -> dict:
+    """Store-off vs cold-store vs warm-store wall-clock of one grid.
+
+    All passes run serially with the result cache off, so the numbers
+    isolate exactly what the trace store changes: the store-off pass is
+    the PR-4 cold baseline (every cell generates its streams), the cold
+    pass generates once per unique stream while populating the store,
+    and the warm pass serves every stream from the memmaps.  Pass order
+    is cold, warm, then off, so the off baseline gets fully warmed
+    Python/numpy caches — the conservative direction for the gate.
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments import run_plan
+    from repro.sim import tracestore
+
+    import gc
+
+    plan, n_streams = _trace_sweep_plan()
+    root = tempfile.mkdtemp(prefix="repro-trace-bench-")
+
+    def timed(fn):
+        # GC pauses land arbitrarily inside a ~100 ms pass and are the
+        # dominant noise source for the gated ratio; collect up front
+        # and pause the collector for the measurement (timeit-style).
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            results = fn()
+            return time.perf_counter() - start, results
+        finally:
+            gc.enable()
+
+    try:
+        with _scoped_env({"REPRO_TRACE_STORE_DIR": root}):
+            with _scoped_env({"REPRO_TRACE_STORE": "1"}):
+                tracestore._STORES.clear()
+                cold_s, cold_results = timed(lambda: run_plan(plan))
+            # Best-of-3 for the gated passes, with warm and off rounds
+            # *interleaved* so machine drift (a CI runner warming up,
+            # background load) hits both sides of the ratio equally;
+            # taking the minimum of both sides is conservative (it
+            # lowers the numerator as much as the denominator).
+            warm_times: list[float] = []
+            off_times: list[float] = []
+            warm_results = off_results = None
+            for _ in range(3):
+                with _scoped_env({"REPRO_TRACE_STORE": "1"}):
+                    elapsed, results = timed(lambda: run_plan(plan))
+                    warm_times.append(elapsed)
+                    warm_results = warm_results or results
+                with _scoped_env({"REPRO_TRACE_STORE": "0"}):
+                    elapsed, results = timed(lambda: run_plan(plan))
+                    off_times.append(elapsed)
+                    off_results = off_results or results
+            warm_s, off_s = min(warm_times), min(off_times)
+        identical = all(
+            a.to_dict() == b.to_dict() == c.to_dict()
+            for a, b, c in zip(off_results, cold_results, warm_results)
+        )
+    finally:
+        tracestore._STORES.clear()
+        shutil.rmtree(root, ignore_errors=True)
+    report = {
+        "n_cells": len(plan),
+        "unique_streams": n_streams,
+        "workloads": list(TRACE_SWEEP_WORKLOADS),
+        "store_off_s": round(off_s, 4),
+        "store_cold_s": round(cold_s, 4),
+        "store_warm_s": round(warm_s, 4),
+        "cold_speedup_vs_off": round(off_s / cold_s, 2) if cold_s else 0.0,
+        "warm_speedup_vs_off": round(off_s / warm_s, 2) if warm_s else 0.0,
+        "results_identical": identical,
+    }
+    if not smoke:
+        report["extra_workloads"] = {
+            workload: _measure_trace_workload(workload)
+            for workload in TRACE_SWEEP_EXTRA_WORKLOADS
+        }
+    return report
+
+
+def _measure_trace_workload(workload: str) -> dict:
+    """Ungated off/warm ratio of one extra workload's scheme-axis grid."""
+    import shutil
+    import tempfile
+
+    from repro.experiments import run_plan
+    from repro.sim import tracestore
+
+    plan, _ = _trace_sweep_plan((workload,))
+    root = tempfile.mkdtemp(prefix="repro-trace-bench-")
+    try:
+        with _scoped_env({"REPRO_TRACE_STORE_DIR": root,
+                          "REPRO_TRACE_STORE": "1"}):
+            tracestore._STORES.clear()
+            run_plan(plan)
+            start = time.perf_counter()
+            run_plan(plan)
+            warm_s = time.perf_counter() - start
+        with _scoped_env({"REPRO_TRACE_STORE": "0"}):
+            start = time.perf_counter()
+            run_plan(plan)
+            off_s = time.perf_counter() - start
+    finally:
+        tracestore._STORES.clear()
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "store_off_s": round(off_s, 4),
+        "store_warm_s": round(warm_s, 4),
+        "warm_speedup_vs_off": round(off_s / warm_s, 2) if warm_s else 0.0,
+    }
+
+
+def _measure_pool_reuse() -> dict:
+    """Cold-spawn vs reused wall-clock of a pooled plan run.
+
+    Measures what the persistent :class:`SweepPool` removes from every
+    plan after the first: the second ``run_plan`` reuses the live
+    workers.  The trace store is pinned off so only pool lifecycle
+    differs between the passes.  Informational (no ``--check`` gate):
+    spawn cost is machine- and start-method-dependent.
+    """
+    from repro.experiments import run_plan
+    from repro.experiments.run import SweepPool
+
+    plan, _ = _trace_sweep_plan()
+    with _scoped_env({"REPRO_TRACE_STORE": "0"}):
+        SweepPool.shutdown()
+        start = time.perf_counter()
+        run_plan(plan, workers=2)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        run_plan(plan, workers=2)
+        warm_s = time.perf_counter() - start
+        SweepPool.shutdown()
+    return {
+        "n_cells": len(plan),
+        "workers": 2,
+        "cold_spawn_s": round(cold_s, 4),
+        "reused_s": round(warm_s, 4),
+        "reuse_speedup": round(cold_s / warm_s, 2) if warm_s else 0.0,
+    }
+
+
 def run_bench(smoke: bool = False, repeats: int = 3) -> dict:
     """Measure all engines; return the JSON-ready report."""
     from repro.report.schema import ARRIVAL_SEED, SCHEMA_VERSION
@@ -133,29 +349,36 @@ def run_bench(smoke: bool = False, repeats: int = 3) -> dict:
         },
         "schemes": {},
     }
-    for scheme in schemes:
-        scalar_s, accesses = _measure("scalar", scheme, repeats)
-        batched_s, _ = _measure("batched", scheme, repeats)
-        seed_s = _measure_seed_path(scheme, 1 if smoke else 2)
-        report["schemes"][scheme] = {
-            "accesses": accesses,
-            "scalar_s": round(scalar_s, 4),
-            "batched_s": round(batched_s, 4),
-            "seed_path_s": round(seed_s, 4),
-            "scalar_accesses_per_s": round(accesses / scalar_s),
-            "batched_accesses_per_s": round(accesses / batched_s),
-            "speedup_vs_scalar": round(scalar_s / batched_s, 2),
-            "speedup_vs_seed_path": round(seed_s / batched_s, 2),
-        }
-    if not smoke:
-        start = time.perf_counter()
-        sweep(
-            workloads=MINI_SWEEP_WORKLOADS,
-            schemes=MINI_SWEEP_SCHEMES,
-            engine="batched",
-        )
-        report["fig8_mini_sweep_s"] = round(time.perf_counter() - start, 3)
-    report["sweep_cache"] = _measure_cache_speedup()
+    with _scoped_env({"REPRO_TRACE_STORE": "0"}):
+        # Engine + result-cache sections run store-off so their numbers
+        # stay comparable with the PR-1/PR-3 trajectory.
+        for scheme in schemes:
+            scalar_s, accesses = _measure("scalar", scheme, repeats)
+            batched_s, _ = _measure("batched", scheme, repeats)
+            seed_s = _measure_seed_path(scheme, 1 if smoke else 2)
+            report["schemes"][scheme] = {
+                "accesses": accesses,
+                "scalar_s": round(scalar_s, 4),
+                "batched_s": round(batched_s, 4),
+                "seed_path_s": round(seed_s, 4),
+                "scalar_accesses_per_s": round(accesses / scalar_s),
+                "batched_accesses_per_s": round(accesses / batched_s),
+                "speedup_vs_scalar": round(scalar_s / batched_s, 2),
+                "speedup_vs_seed_path": round(seed_s / batched_s, 2),
+            }
+        if not smoke:
+            start = time.perf_counter()
+            sweep(
+                workloads=MINI_SWEEP_WORKLOADS,
+                schemes=MINI_SWEEP_SCHEMES,
+                engine="batched",
+            )
+            report["fig8_mini_sweep_s"] = round(
+                time.perf_counter() - start, 3
+            )
+        report["sweep_cache"] = _measure_cache_speedup()
+    report["trace_sweep"] = _measure_trace_sweep(smoke)
+    report["sweep_pool"] = _measure_pool_reuse()
     return report
 
 
@@ -213,7 +436,11 @@ def main(argv: list[str] | None = None) -> int:
     report = run_bench(smoke=args.smoke, repeats=args.repeats)
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / "BENCH_perf.json"
-    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    payload = json.dumps(report, indent=2) + "\n"
+    out.write_text(payload, encoding="utf-8")
+    # Repo-root copy, committed so the perf trajectory is reviewable
+    # across PRs without digging through CI artifacts.
+    (REPO_ROOT / "BENCH_perf.json").write_text(payload, encoding="utf-8")
 
     print(f"== engine throughput on {report['workload']} ==")
     for scheme, row in report["schemes"].items():
@@ -232,7 +459,22 @@ def main(argv: list[str] | None = None) -> int:
         f"{cache_row['n_cells']} cells, identical="
         f"{cache_row['warm_results_identical']})"
     )
-    print(f"wrote {out}")
+    trace = report["trace_sweep"]
+    print(
+        f"trace sweep ({trace['n_cells']} cells over "
+        f"{trace['unique_streams']} stream(s)): store-off "
+        f"{trace['store_off_s']} s, cold-store {trace['store_cold_s']} s "
+        f"({trace['cold_speedup_vs_off']}x), warm-store "
+        f"{trace['store_warm_s']} s ({trace['warm_speedup_vs_off']}x), "
+        f"identical={trace['results_identical']}"
+    )
+    pool = report["sweep_pool"]
+    print(
+        f"sweep pool ({pool['n_cells']} cells, {pool['workers']} workers): "
+        f"cold spawn {pool['cold_spawn_s']} s -> reused "
+        f"{pool['reused_s']} s ({pool['reuse_speedup']}x)"
+    )
+    print(f"wrote {out} (+ repo-root copy)")
 
     if args.check:
         speedup = report["schemes"]["drcat"]["speedup_vs_scalar"]
@@ -253,6 +495,20 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
         print(f"check ok: sweep-cache warm speedup {cache_row['speedup']}x")
+        if not trace["results_identical"]:
+            print("FAIL: trace-store results differ from store-off run")
+            return 1
+        if trace["warm_speedup_vs_off"] < CHECK_MIN_TRACE_SPEEDUP:
+            print(
+                f"FAIL: trace-store warm sweep speedup "
+                f"{trace['warm_speedup_vs_off']}x is below the "
+                f"{CHECK_MIN_TRACE_SPEEDUP}x floor"
+            )
+            return 1
+        print(
+            f"check ok: trace-store warm sweep speedup "
+            f"{trace['warm_speedup_vs_off']}x"
+        )
     return 0
 
 

@@ -113,10 +113,13 @@ class Session:
         self.spec = spec
         self.sim = TraceDrivenSimulator(spec)
         plan = self.sim.stream_plan()
+        key_doc = self.sim.trace_key_doc()
         if _core_state is None:
-            self._core = SessionCore(self.sim, *plan)
+            self._core = SessionCore(self.sim, *plan, trace_key_doc=key_doc)
         else:
-            self._core = SessionCore.from_state(self.sim, *plan, _core_state)
+            self._core = SessionCore.from_state(
+                self.sim, *plan, _core_state, trace_key_doc=key_doc
+            )
         self._epoch_taps: list[Callable[[EpochEvent], None]] = []
         self._mitigation_taps: list[Callable[[MitigationEvent], None]] = []
         # Baseline totals as of the last epoch boundary, updated on

@@ -13,6 +13,7 @@ Subcommands::
     python -m repro plan --example
     python -m repro list {workloads,schemes,attacks}
     python -m repro verify [--fidelity ci|smoke|full] [--session checkpoint]
+    python -m repro cache stats|clear [--results] [--traces]
     python -m repro workloads
     python -m repro hardware [--counters 64]
 
@@ -405,6 +406,137 @@ def cmd_verify(args: argparse.Namespace) -> int:
     )
 
 
+def _result_store_root(args: argparse.Namespace):
+    """The sweep-cell result-cache root the benches would use."""
+    import os
+    from pathlib import Path
+
+    from repro.report.verify import default_benchmarks_dir
+
+    if args.cache_dir:
+        return Path(args.cache_dir)
+    env_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    if env_dir:
+        return Path(env_dir)
+    bench_dir = default_benchmarks_dir()
+    if bench_dir is None:
+        return None
+    return bench_dir / "results" / "sweep_cache"
+
+
+def _result_store_stats(root) -> dict:
+    """Entry/byte/partition counts of the sweep-cell result store."""
+    from repro.experiments.cache import CACHE_VERSION, code_fingerprint
+
+    active = f"{CACHE_VERSION}-{code_fingerprint()}"
+    stats = {"root": str(root) if root else None, "entries": 0,
+             "bytes": 0, "partitions": 0, "stale_partitions": 0}
+    if root is None or not root.is_dir():
+        return stats
+    for partition in root.iterdir():
+        # The trace store nests under this root by default; it reports
+        # separately.
+        if not partition.is_dir() or partition.name == "traces":
+            continue
+        stats["partitions"] += 1
+        if partition.name != active:
+            stats["stale_partitions"] += 1
+        for path in partition.rglob("*"):
+            try:
+                stats["bytes"] += path.stat().st_size
+            except OSError:
+                continue
+            if partition.name == active and path.suffix == ".json":
+                stats["entries"] += 1
+    return stats
+
+
+def _trace_store_stats(parent, store) -> dict:
+    """Active-partition stats plus stale-partition accounting."""
+    stats = store.stats()
+    stats["partitions"] = 0
+    stats["stale_partitions"] = 0
+    if parent.is_dir():
+        active = store.root.name
+        for partition in parent.iterdir():
+            if not partition.is_dir():
+                continue
+            stats["partitions"] += 1
+            if partition.name != active:
+                stats["stale_partitions"] += 1
+                for path in partition.rglob("*"):
+                    try:
+                        stats["bytes"] += path.stat().st_size
+                    except OSError:
+                        continue
+    return stats
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache``: sweep-cell + trace-store maintenance."""
+    import shutil
+    from pathlib import Path
+
+    from repro.sim.tracestore import TraceStore, default_root
+
+    trace_parent = Path(args.trace_dir) if args.trace_dir else default_root()
+    trace_store = TraceStore(trace_parent)
+    result_root = _result_store_root(args)
+
+    if args.action == "clear":
+        both = not args.results and not args.traces
+        cleared = []
+        if args.results or both:
+            stats = _result_store_stats(result_root)
+            if result_root is not None and result_root.is_dir():
+                for partition in list(result_root.iterdir()):
+                    if partition.is_dir() and partition.name != "traces":
+                        shutil.rmtree(partition, ignore_errors=True)
+            cleared.append(f"results: {stats['entries']} entr(ies) "
+                           f"({stats['partitions']} partition(s)) removed "
+                           f"from {stats['root']}")
+        if args.traces or both:
+            stats = _trace_store_stats(trace_parent, trace_store)
+            trace_store._ram.clear()
+            shutil.rmtree(trace_parent, ignore_errors=True)
+            cleared.append(
+                f"traces: {stats['entries']} entr(ies) "
+                f"({stats['partitions']} partition(s)) removed from "
+                f"{trace_parent}"
+            )
+        for line in cleared:
+            print(line)
+        return 0
+
+    result_stats = _result_store_stats(result_root)
+    trace_stats = _trace_store_stats(trace_parent, trace_store)
+    if args.json:
+        print(json.dumps({"results": result_stats, "traces": trace_stats},
+                         indent=2))
+        return 0
+    rows = [
+        {
+            "store": "results",
+            "entries": result_stats["entries"],
+            "MiB": round(result_stats["bytes"] / 2**20, 2),
+            "root": result_stats["root"] or "(no benchmarks dir)",
+        },
+        {
+            "store": "traces",
+            "entries": trace_stats["entries"],
+            "MiB": round(trace_stats["bytes"] / 2**20, 2),
+            "root": trace_stats["root"],
+        },
+    ]
+    print(format_table(rows, ["store", "entries", "MiB", "root"]))
+    for kind, stats in (("result", result_stats), ("trace", trace_stats)):
+        if stats["stale_partitions"]:
+            print(f"note: {stats['stale_partitions']} stale {kind} "
+                  f"partition(s) from older code (repro cache clear "
+                  f"--{'results' if kind == 'result' else 'traces'})")
+    return 0
+
+
 def cmd_workloads(_args: argparse.Namespace) -> int:
     """``repro workloads``: list the 18 workload models."""
     rows = []
@@ -587,6 +719,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument("--list", action="store_true",
                        help="list registered bench modules and exit")
     p_ver.set_defaults(func=cmd_verify)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the sweep-cell result cache and the "
+             "activation-trace store",
+    )
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("--results", action="store_true",
+                         help="clear: only the sweep-cell result store")
+    p_cache.add_argument("--traces", action="store_true",
+                         help="clear: only the activation-trace store")
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="result-store root (default: "
+                              "REPRO_BENCH_CACHE_DIR or "
+                              "benchmarks/results/sweep_cache)")
+    p_cache.add_argument("--trace-dir", default=None,
+                         help="trace-store root (default: "
+                              "REPRO_TRACE_STORE_DIR or "
+                              "<result store>/traces)")
+    p_cache.add_argument("--json", action="store_true",
+                         help="machine-readable stats")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_wl = sub.add_parser("workloads", help="list the 18 workload models")
     p_wl.set_defaults(func=cmd_workloads)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import MitigationScheme, RefreshCommand
-from repro.core.batch import BATCH_WINDOW, check_rows, find_first_event
+from repro.core.batch import check_rows
 
 
 class SCAScheme(MitigationScheme):
@@ -56,47 +56,47 @@ class SCAScheme(MitigationScheme):
     def access_batch(
         self, rows: np.ndarray
     ) -> list[tuple[int, list[RefreshCommand]]]:
-        """Vectorized exact batch: bincount between threshold events.
+        """Vectorized exact batch: analytic event positions, one pass.
 
-        Group membership is static, so the chunk maps to counters with a
-        single integer division; only the rare threshold-crossing access
-        (which resets its counter and emits the group refresh) replays
-        through the scalar :meth:`access`.
+        SCA's counters are *independent* and the row → group map is
+        static, so — unlike the tree schemes, whose structure mutates at
+        events — every threshold crossing of a whole batch is computable
+        up front: counter ``c`` starting at ``s`` with ``t`` hits crosses
+        ``k = (s + t) // T`` times, at its ``(T - s)``-th, ``(2T - s)``-th,
+        … occurrence, and finishes at ``s + t - kT``.  One bincount
+        resolves the common no-event batch; only crossing counters pay
+        an occurrence scan (once per counter, not once per event).
         """
         n = len(rows)
         if n == 0:
             return []
         check_rows(rows, self.n_rows)
+        threshold = self.refresh_threshold
         groups = rows // self.group_size
+        counts = np.bincount(groups, minlength=self.n_counters)
+        start = np.asarray(self._counts, dtype=np.int64)
+        total = start + counts
+        crossings = total // threshold
         events: list[tuple[int, list[RefreshCommand]]] = []
-        scalar_calls = 0
-        base = 0
-        while base < n:
-            ids = groups[base : base + BATCH_WINDOW]
-            i = 0
-            while i < len(ids):
-                headroom = self.refresh_threshold - np.asarray(
-                    self._counts, dtype=np.int64
+        n_events = int(crossings.sum())
+        if n_events:
+            for c in np.flatnonzero(crossings).tolist():
+                occurrences = np.flatnonzero(groups == c)
+                first = threshold - int(start[c])  # 1-based hit index
+                picks = np.arange(first - 1, len(occurrences), threshold)
+                low = c * self.group_size
+                cmd = RefreshCommand(
+                    low - 1, low + self.group_size, reason="threshold"
                 )
-                counts, position = find_first_event(
-                    ids[i:], headroom, self.n_counters
+                self.stats.rows_refreshed += (
+                    len(picks) * cmd.row_count(self.n_rows)
                 )
-                if position is None:
-                    prefix = len(ids) - i
-                else:
-                    prefix = position
-                    counts = np.bincount(ids[i : i + prefix], minlength=self.n_counters)
-                for c in np.flatnonzero(counts).tolist():
-                    self._counts[c] += int(counts[c])
-                i += prefix
-                if i < len(ids):
-                    cmds = self.access(int(rows[base + i]))
-                    scalar_calls += 1
-                    if cmds:
-                        events.append((base + i, cmds))
-                    i += 1
-            base += len(ids)
-        self.stats.activations += n - scalar_calls
+                for position in occurrences[picks].tolist():
+                    events.append((position, [cmd]))
+            events.sort(key=lambda event: event[0])
+            self.stats.refresh_commands += n_events
+        self._counts = (total - crossings * threshold).tolist()
+        self.stats.activations += n
         return events
 
     def counter_value(self, group: int) -> int:

@@ -39,6 +39,101 @@ from repro.dram.config import DRAMTimings
 #: Backlog (rows) beyond which the controller blocks demand to catch up.
 BACKLOG_ESCALATION_ROWS = 1 << 17
 
+#: First vectorized drain-probe size (elements); grows 4x while probes
+#: consume fully, so long drain stretches amortize to a handful of
+#: vector ops while an early regime end bounds the wasted compute.
+DRAIN_VECTOR_PROBE = 1024
+
+#: Below this backlog the drain is over within a few accesses, so the
+#: per-access scalar loop beats the vector path's fixed numpy overhead
+#: (a PRA neighbour refresh enqueues 2 rows; an SCA_32 group refresh
+#: enqueues ~1k and drains over hundreds of accesses).
+DRAIN_VECTOR_MIN_BACKLOG = 64
+
+
+def _drain_run(
+    quanta: np.ndarray,
+    start: int,
+    cap: int,
+    free_q: int,
+    backlog: int,
+    p_q: int,
+    r_q: int,
+) -> tuple[int, int, int, int, int]:
+    """Closed-form prefix of the drain phase (bursts + partial drains).
+
+    Works in integer quarter-ns quanta (``p_q``/``r_q`` are
+    ``row_refresh_ns``/``t_rc`` in quanta).  Three exact invariants make
+    the mixed burst/partial-drain recurrence vectorizable:
+
+    1. While the backlog stays nonempty the bank is *never idle* — every
+       arrival gap fills with row-ops — so the virtual completion clock
+       ``V = F + backlog*p_q`` advances by exactly ``r_q`` per access in
+       both branches.  The full-drain branch triggers exactly when
+       ``A_k >= V_{k-1}``, i.e. at the first ``A_k - k*r_q >= V_0``.
+    2. ``F mod p_q`` also advances by ``r_q`` per access in both
+       branches, so an idle access's horizon is a *direct* function of
+       its arrival and position:
+       ``C_k = A_k + r_q + ((mu_k - A_k - r_q - 1) mod p_q) + 1`` with
+       ``mu_k = (F_0 + (k+1) r_q) mod p_q`` — and the true horizon obeys
+       the max-plus recurrence ``F_k = max(F_{k-1} + r_q, C_k)``, which
+       collapses to one ``np.maximum.accumulate`` over ``C_k - k*r_q``.
+    3. Refresh work is time accounting: ``D_k = F_k - F_0 - (k+1) r_q``
+       is the row-op time completed so far (an exact multiple of
+       ``p_q``), giving the backlog, busy and exhaustion point
+       (``backlog hits 0  <=>  F_k == V_0 + (k+1) r_q``) for free.
+
+    The one case the max-plus form cannot express is an arrival exactly
+    equal to the horizon whose residual formula lands on ``p_q`` (a
+    burst in the scalar oracle, but ``C_k = F_{k-1} + r_q + p_q`` would
+    contaminate the running max); such collisions — and the full-drain
+    access itself — are detected vectorized, the prefix truncates just
+    before them, and the caller replays that single access through the
+    scalar branch.
+
+    Exactness: every scalar float operation in the drain loop acts on
+    exact quarter-ns grid values (sums/products below 2**53 quanta, and
+    ``int(gap / t_op)`` equals exact integer division for gaps below
+    2**52 quanta), so this integer closed form reproduces the float
+    recurrence bit-for-bit.  The caller verifies grid alignment before
+    engaging.
+
+    Returns ``(applied, free_q, backlog, busy_q, stall_q)`` with the
+    busy/stall *deltas* in quanta; ``applied == 0`` means the very next
+    access is a terminal (full drain or collision) for the scalar
+    branch to serve.
+    """
+    seg = quanta[start:start + cap]
+    m = len(seg)
+    idx = np.arange(m, dtype=np.int64)
+    # 1. Full-drain boundary via the virtual completion clock.
+    anchored = seg - idx * r_q
+    full = anchored >= free_q + backlog * p_q
+    stop_full = int(np.argmax(full)) if full.any() else m
+    # 2. Max-plus horizon from per-access idle candidates.
+    mu = (free_q + (idx + 1) * r_q) % p_q
+    residual = (mu - seg - r_q - 1) % p_q + 1
+    candidates = seg + r_q + residual - idx * r_q
+    horizon = np.maximum.accumulate(
+        np.maximum(candidates, free_q + r_q)
+    ) + idx * r_q
+    prev = np.empty(m, dtype=np.int64)
+    prev[0] = free_q
+    prev[1:] = horizon[:-1]
+    collide = seg == prev
+    stop_collide = int(np.argmax(collide)) if collide.any() else m
+    # 3. Exhaustion: backlog reaches exactly zero after access k.
+    empty = horizon == free_q + backlog * p_q + (idx + 1) * r_q
+    stop_empty = int(np.argmax(empty)) if empty.any() else m
+    take = min(stop_full, stop_collide, stop_empty + 1, m)
+    if take == 0:
+        return 0, free_q, backlog, 0, 0
+    final = int(horizon[take - 1])
+    drained_q = final - free_q - take * r_q
+    idle = seg[:take] > prev[:take]
+    stall_q = int(residual[:take][idle].sum())
+    return take, final, backlog - drained_q // p_q, drained_q, stall_q
+
 
 @dataclass
 class BankState:
@@ -104,10 +199,13 @@ class BankState:
         """Serve ``arrivals`` (sorted, float64 ns) with no refreshes between.
 
         Exact batch equivalent of calling :meth:`serve_access` per
-        element.  While a refresh backlog is pending, drains step through
-        :meth:`serve_access` (each step retires at least one row-op) and
-        back-to-back bursts — during which nothing drains — are skipped
-        in bulk.  Once the backlog is clear, the busy-horizon recurrence
+        element.  While a refresh backlog is pending, the mixed
+        burst/partial-drain stretch applies in closed form on the
+        integer quarter-ns grid (:func:`_drain_run`); only its terminal
+        accesses (a full drain, or an arrival landing exactly on the
+        horizon) replay through the scalar branch, and off-grid timings
+        or arrivals fall back to the per-access loop wholesale.  Once
+        the backlog is clear, the busy-horizon recurrence
         ``f = max(arrival, f) + tRC`` collapses to a running max, and
         only the final horizon and the activation count remain
         observable, so the whole stretch applies in O(n) vector ops.
@@ -118,43 +216,99 @@ class BankState:
         t_rc = self.timings.t_rc
         i = 0
         if self.refresh_backlog_rows > 0:
-            # Drain phase: per-access logic inlined from serve_access /
-            # _drain_until (identical expressions on identical floats,
-            # so the arithmetic is bit-equal), with state in locals and
-            # arrivals pulled through small tolist() buffers to avoid
-            # per-access numpy scalar extraction.
+            # Drain phase: closed-form fast path on the integer grid
+            # (:func:`_drain_run`), falling back to per-access logic
+            # inlined from serve_access / _drain_until (identical
+            # expressions on identical floats, so the arithmetic is
+            # bit-equal) for terminal accesses and off-grid inputs.
             t_op = self.timings.row_refresh_ns
             f = self.free_at_ns
             backlog = self.refresh_backlog_rows
             busy = self.mitigation_busy_ns
             stall = self.stall_ns
-            buffer: list[float] = []
-            buffer_start = buffer_end = 0
-            while i < n and backlog > 0:
-                if i >= buffer_end:
-                    buffer = arrivals[i : i + 1024].tolist()
-                    buffer_start = i
-                    buffer_end = i + len(buffer)
-                a = buffer[i - buffer_start]
-                if a > f:
-                    # Idle gap: row-ops fit before the access starts.
-                    gap = a - f
-                    ops_fit = int(gap / t_op)
-                    if ops_fit >= backlog:
-                        busy += backlog * t_op
-                        backlog = 0
-                        f = a + t_rc
+            p_q4 = t_op * 4.0
+            r_q4 = t_rc * 4.0
+            fast = (
+                backlog >= DRAIN_VECTOR_MIN_BACKLOG
+                and p_q4.is_integer() and r_q4.is_integer()
+                and (f * 4.0).is_integer()
+            )
+            if fast:
+                scaled = arrivals * 4.0
+                quanta = scaled.astype(np.int64)
+                fast = bool((quanta == scaled).all())
+            if fast:
+                p_q, r_q = int(p_q4), int(r_q4)
+                free_q = int(f * 4.0)
+                probe = DRAIN_VECTOR_PROBE
+                while i < n and backlog > 0:
+                    cap = max(probe, 4 * backlog)
+                    applied, free_q, backlog, busy_q, stall_q = _drain_run(
+                        quanta, i, cap, free_q, backlog, p_q, r_q
+                    )
+                    if applied:
+                        busy += busy_q * 0.25
+                        stall += stall_q * 0.25
+                        i += applied
+                        probe = probe * 4 if applied == cap else \
+                            DRAIN_VECTOR_PROBE
+                        continue
+                    # Terminal access: full drain or an arrival exactly
+                    # on the horizon — serve it through the scalar
+                    # oracle branch (grid arithmetic keeps free_q exact).
+                    a = float(arrivals[i])
+                    f = free_q * 0.25
+                    if a > f:
+                        gap = a - f
+                        ops_fit = int(gap / t_op)
+                        if ops_fit >= backlog:
+                            busy += backlog * t_op
+                            backlog = 0
+                            f = a + t_rc
+                        else:
+                            completed = ops_fit + 1
+                            busy += completed * t_op
+                            backlog -= completed
+                            residual = t_op - (gap - ops_fit * t_op)
+                            stall += residual
+                            f = a + residual + t_rc
                     else:
-                        completed = ops_fit + 1
-                        busy += completed * t_op
-                        backlog -= completed
-                        residual = t_op - (gap - ops_fit * t_op)
-                        stall += residual
-                        f = a + residual + t_rc
-                else:
-                    # Burst: nothing drains, the horizon advances tRC.
-                    f = f + t_rc
-                i += 1
+                        f = f + t_rc
+                    free_q = int(f * 4.0)
+                    i += 1
+                f = free_q * 0.25
+            else:
+                # Off-grid timings or arrivals: the per-access scalar
+                # loop (identical expressions on identical floats), with
+                # arrivals pulled through small tolist() buffers to
+                # avoid per-access numpy scalar extraction.
+                buffer: list[float] = []
+                buffer_start = buffer_end = 0
+                while i < n and backlog > 0:
+                    if i >= buffer_end:
+                        buffer = arrivals[i : i + 1024].tolist()
+                        buffer_start = i
+                        buffer_end = i + len(buffer)
+                    a = buffer[i - buffer_start]
+                    if a > f:
+                        # Idle gap: row-ops fit before the access starts.
+                        gap = a - f
+                        ops_fit = int(gap / t_op)
+                        if ops_fit >= backlog:
+                            busy += backlog * t_op
+                            backlog = 0
+                            f = a + t_rc
+                        else:
+                            completed = ops_fit + 1
+                            busy += completed * t_op
+                            backlog -= completed
+                            residual = t_op - (gap - ops_fit * t_op)
+                            stall += residual
+                            f = a + residual + t_rc
+                    else:
+                        # Burst: nothing drains, the horizon advances tRC.
+                        f = f + t_rc
+                    i += 1
             self.free_at_ns = f
             self.refresh_backlog_rows = backlog
             self.mitigation_busy_ns = busy

@@ -82,7 +82,7 @@ class MemorySystem:
         done = bank_state.serve_access(time_ns)
         if scheme is not None:
             for cmd in scheme.access(row):
-                self._apply_refresh(bank_state, done, cmd, bank=bank)
+                self.apply_refresh(bank_state, done, cmd, bank=bank)
         self.last_completion_ns = max(self.last_completion_ns, bank_state.free_at_ns)
         return done
 
@@ -97,13 +97,21 @@ class MemorySystem:
 
         run_batched(self, times_ns, banks, rows)
 
-    def _apply_refresh(
+    def apply_refresh(
         self,
         bank_state: BankState,
         time_ns: float,
         cmd: RefreshCommand,
         bank: int,
     ) -> None:
+        """Apply one scheme-emitted refresh command to a bank.
+
+        Part of the public surface: the batched engine
+        (:mod:`repro.sim.engine`) replays scheme events through this
+        exact path, so it must stay in lock-step with :meth:`access`'s
+        scalar behaviour (backlog accounting, totals, the
+        ``on_refresh`` tap).
+        """
         rows = cmd.row_count(self.config.rows_per_bank)
         bank_state.serve_refresh(time_ns, rows)
         self.total_refresh_commands += 1

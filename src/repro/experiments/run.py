@@ -14,12 +14,20 @@ All three paths are bit-identical by construction; the knob exists so
 CI can prove it stays that way.  The sweep-cell result cache is bypassed
 for the non-direct modes — a cache hit would silently skip the very
 code path being exercised.
+
+Pool fan-out goes through the process-wide persistent :class:`SweepPool`
+(created on first use, grown on demand, reused by every plan in the
+process) with chunked cell scheduling; each chunk carries the parent's
+current session/trace/cache environment so a long-lived pool never acts
+on stale worker-side settings.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import json
+import math
 import os
 from collections.abc import Iterable
 
@@ -60,6 +68,97 @@ def _pool_cell(spec: ExperimentSpec):
     return run_spec(spec)
 
 
+#: Environment knobs a worker must re-read per chunk: a *persistent*
+#: pool outlives environment changes in the parent (``repro verify``
+#: scopes REPRO_SESSION_MODE per run; benches toggle the trace store),
+#: so every chunk carries the parent's current values instead of
+#: trusting whatever the worker inherited at spawn time.
+_POOL_ENV_KEYS = (
+    "REPRO_SESSION_MODE",
+    "REPRO_TRACE_STORE",
+    "REPRO_TRACE_STORE_DIR",
+    "REPRO_BENCH_CACHE_DIR",
+)
+
+#: Target chunks per worker: large enough to amortize per-task spec
+#: pickling and IPC, small enough to keep the pool load-balanced.
+_CHUNKS_PER_WORKER = 4
+
+
+def _pool_env() -> dict[str, str | None]:
+    """The parent-side values of :data:`_POOL_ENV_KEYS` (None = unset)."""
+    return {key: os.environ.get(key) for key in _POOL_ENV_KEYS}
+
+
+def _pool_run_chunk(specs: list, env: dict):
+    """Worker-side: apply the parent's env, then run one spec chunk."""
+    for key, value in env.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    return [run_spec(spec) for spec in specs]
+
+
+class SweepPool:
+    """The process-wide persistent worker pool behind :func:`run_plan`.
+
+    Historically every plan cold-started (and tore down) its own
+    ``ProcessPoolExecutor``; a multi-plan invocation — ``repro verify``
+    runs 14 bench modules, several with multiple plans — paid the spawn
+    cost over and over.  This pool is created on first use, grows when
+    a wider plan asks for more workers, and is reused by every
+    subsequent plan in the process; :func:`atexit` tears it down.
+
+    Workers attach to trace-store memmaps lazily (each worker opens its
+    own :class:`~repro.sim.tracestore.TraceStore` singleton on first
+    cell), so all workers of all plans share one OS page-cache copy of
+    every generated stream.
+    """
+
+    _executor: concurrent.futures.ProcessPoolExecutor | None = None
+    _width = 0
+
+    @classmethod
+    def get(cls, workers: int) -> concurrent.futures.ProcessPoolExecutor:
+        """The shared executor, (re)built with at least ``workers``."""
+        if cls._executor is None or cls._width < workers:
+            cls.shutdown()
+            cls._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            )
+            cls._width = workers
+        return cls._executor
+
+    @classmethod
+    def width(cls) -> int:
+        """Current worker count (0 = no pool spawned yet)."""
+        return cls._width
+
+    @classmethod
+    def shutdown(cls) -> None:
+        """Tear the pool down (next :meth:`get` cold-starts a fresh one)."""
+        if cls._executor is not None:
+            cls._executor.shutdown()
+            cls._executor = None
+            cls._width = 0
+
+    @classmethod
+    def map_chunked(cls, specs: list, workers: int) -> list:
+        """Run ``specs`` on the pool in pickling-amortized chunks."""
+        pool = cls.get(workers)
+        size = max(1, math.ceil(len(specs) / (workers * _CHUNKS_PER_WORKER)))
+        env = _pool_env()
+        futures = [
+            pool.submit(_pool_run_chunk, specs[i:i + size], env)
+            for i in range(0, len(specs), size)
+        ]
+        return [result for f in futures for result in f.result()]
+
+
+atexit.register(SweepPool.shutdown)
+
+
 def run_plan(
     plan: Plan | Iterable[ExperimentSpec],
     *,
@@ -92,10 +191,9 @@ def run_plan(
     if miss_indices:
         miss_specs = [specs[i] for i in miss_indices]
         if workers > 1 and len(miss_specs) > 1:
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(workers, len(miss_specs))
-            ) as pool:
-                fresh = list(pool.map(_pool_cell, miss_specs))
+            fresh = SweepPool.map_chunked(
+                miss_specs, min(workers, len(miss_specs))
+            )
         else:
             fresh = [_pool_cell(spec) for spec in miss_specs]
         for i, spec, result in zip(miss_indices, miss_specs, fresh):

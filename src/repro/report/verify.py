@@ -192,10 +192,13 @@ def run_verify(
                 f"{', '.join(pruned)}\n")
         return EXIT_OK
 
+    from repro.sim.tracestore import store_enabled
+
     failures = 0
     say(f"\n== repro verify — fidelity={fidelity} "
         f"engine={engine or 'batched'} "
-        f"session={session or 'direct'} ==\n")
+        f"session={session or 'direct'} "
+        f"trace-store={'on' if store_enabled() else 'off'} ==\n")
     for stem, arts in collected:
         for artifact in arts:
             golden_path = store / f"{artifact.name}.json"

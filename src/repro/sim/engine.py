@@ -68,12 +68,24 @@ def run_batched(
         if end == start:
             memory._advance_epochs(float(times[start]))
             continue
+        # Group the chunk by bank with one stable argsort: equal keys
+        # keep their (time-sorted) order, so each bank's gathered
+        # sub-stream is exactly the per-bank mask of before — without a
+        # full-chunk boolean scan per present bank.
         segment_banks = banks[start:end]
-        present = np.bincount(segment_banks, minlength=len(memory.banks))
-        for bank in present.nonzero()[0].tolist():
-            mask = segment_banks == bank
+        order = np.argsort(segment_banks, kind="stable")
+        grouped = segment_banks[order]
+        present = np.unique(grouped)
+        starts = np.searchsorted(grouped, present, side="left")
+        ends = np.append(starts[1:], len(grouped))
+        seg_times = times[start:end]
+        seg_rows = rows[start:end]
+        for bank, lo, hi in zip(
+            present.tolist(), starts.tolist(), ends.tolist()
+        ):
+            picks = order[lo:hi]
             _run_bank_segment(
-                memory, bank, times[start:end][mask], rows[start:end][mask]
+                memory, bank, seg_times[picks], seg_rows[picks]
             )
         start = end
 
@@ -163,7 +175,7 @@ def _run_bank_segment(
         bank_state.serve_accesses_batch(times[prev:position])
         done = bank_state.serve_access(float(times[position]))
         for cmd in commands:
-            memory._apply_refresh(bank_state, done, cmd, bank=bank)
+            memory.apply_refresh(bank_state, done, cmd, bank=bank)
         prev = position + 1
     bank_state.serve_accesses_batch(times[prev:])
     memory.last_completion_ns = max(

@@ -24,6 +24,14 @@ Streams are generated lazily, one interval at a time, consuming the
 arrival RNG in exactly the order the historical loop did (per bank, in
 bank order, per interval), so a core that is never paused produces the
 byte-identical result history.
+
+Generation itself is de-duplicated through the content-addressed
+:mod:`trace store <repro.sim.tracestore>`: before generating an
+interval the core consults the store, and a hit hands back zero-copy
+memory-mapped views of the byte-exact arrays a previous generation pass
+produced — restoring the arrival RNG to its recorded post-generation
+state so the consumption order above is preserved.  All N cells of a
+scheme-axis grid therefore share one generation pass.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ import numpy as np
 from repro.dram.memory_system import MemorySystem
 from repro.sim.engine import advance_batched_streams, quantize_times_ns
 from repro.sim.metrics import RunTotals
+from repro.sim.tracestore import open_store, stream_key
 from repro.workloads.synthetic import interarrival_times_ns
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -79,6 +88,12 @@ class SessionCore:
     label, full_intensity, rows_fn:
         One stream plan from
         :meth:`~repro.sim.simulator.TraceDrivenSimulator.stream_plan`.
+    trace_key_doc:
+        The stream-identity document
+        (:func:`~repro.sim.tracestore.stream_key_doc`) describing what
+        ``rows_fn`` generates, or None when the plan is not
+        content-addressable (off-registry attack kernels); None also
+        results when the store is disabled.
     """
 
     def __init__(
@@ -87,6 +102,7 @@ class SessionCore:
         label: str,
         full_intensity: float,
         rows_fn: Callable[[int, int], np.ndarray],
+        trace_key_doc: dict | None = None,
     ) -> None:
         self.sim = sim
         self.label = label
@@ -122,6 +138,15 @@ class SessionCore:
         # Position floor carried across snapshot/restore (cursors reset
         # to zero on restore, so served history is otherwise invisible).
         self._position_floor = 0.0
+        # Content-addressed generation sharing (None = always generate).
+        self._trace_store = None
+        self._trace_key: str | None = None
+        self._trace_key_doc = trace_key_doc
+        if trace_key_doc is not None:
+            store = open_store()
+            if store is not None:
+                self._trace_store = store
+                self._trace_key = stream_key(trace_key_doc)
 
     # -- interval loading --------------------------------------------------
 
@@ -140,6 +165,35 @@ class SessionCore:
                 self.arrival_rng, len(rows), self.epoch_ns
             )
             per_bank.append((quantize_times_ns(times + base_ns), rows))
+        return per_bank
+
+    def _fetch_interval(self, interval: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        """One interval's streams: trace-store hit, or generate (+store).
+
+        A hit restores the arrival RNG to the entry's recorded
+        post-generation state, leaving the generator exactly where
+        generating would have left it — the chained per-interval states
+        are a pure function of the stream key, so hits and misses can
+        interleave freely (even across processes) without divergence.
+        """
+        store, key = self._trace_store, self._trace_key
+        if store is None or key is None:
+            return self._generate_interval(interval)
+        hit = store.get(key, self._trace_key_doc, interval, self.n_banks)
+        if hit is not None:
+            per_bank, rng_state = hit
+            try:
+                self.arrival_rng.bit_generator.state = rng_state
+            except (ValueError, KeyError, TypeError):
+                # A malformed recorded state must degrade to
+                # regeneration like any other corrupt entry (numpy
+                # validates before mutating, so the RNG is untouched).
+                store.drop(key, interval)
+            else:
+                return per_bank
+        per_bank = self._generate_interval(interval)
+        store.put(key, self._trace_key_doc, interval, per_bank,
+                  self.arrival_rng.bit_generator.state)
         return per_bank
 
     def _install_streams(
@@ -173,7 +227,7 @@ class SessionCore:
         if self.interval + 1 >= self.n_intervals:
             return False
         self.interval += 1
-        self._install_streams(self._generate_interval(self.interval))
+        self._install_streams(self._fetch_interval(self.interval))
         return True
 
     @property
@@ -406,9 +460,10 @@ class SessionCore:
         full_intensity: float,
         rows_fn: Callable[[int, int], np.ndarray],
         state: dict,
+        trace_key_doc: dict | None = None,
     ) -> "SessionCore":
         """Rebuild a core captured by :meth:`to_state` (same spec)."""
-        core = cls(sim, label, full_intensity, rows_fn)
+        core = cls(sim, label, full_intensity, rows_fn, trace_key_doc)
         if state["engine"] != core.engine:
             raise ValueError(
                 f"snapshot was taken on the {state['engine']!r} engine, "

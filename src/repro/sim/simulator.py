@@ -200,11 +200,18 @@ class TraceDrivenSimulator:
         label = f"{kernel.name}:{mode}:{benign.name}"
         return label, benign.intensity, rows_fn
 
+    def trace_key_doc(self, workload: WorkloadSpec | None = None) -> dict:
+        """Stream identity of :meth:`stream_plan` for the trace store."""
+        from repro.sim.tracestore import stream_key_doc
+
+        return stream_key_doc(self, workload)
+
     # -- main loop -----------------------------------------------------------
 
     def open_core(self, workload: WorkloadSpec | None = None) -> SessionCore:
         """A fresh re-entrant core over this spec's streams."""
-        return SessionCore(self, *self.stream_plan(workload))
+        return SessionCore(self, *self.stream_plan(workload),
+                           trace_key_doc=self.trace_key_doc(workload))
 
     def run(self, workload: WorkloadSpec | None = None) -> SimulationResult:
         """Simulate the spec's experiment; return metrics at paper scale.
@@ -223,7 +230,11 @@ class TraceDrivenSimulator:
         mode: str,
         benign: WorkloadSpec,
     ) -> SimulationResult:
-        """Simulate an explicit attack-kernel mix (Figure 13)."""
+        """Simulate an explicit attack-kernel mix (Figure 13).
+
+        The kernel may be off-registry (unnameable in a spec), so this
+        path opens its core without a trace key — always generating.
+        """
         core = SessionCore(self, *self._attack_plan(kernel, mode, benign))
         core.advance()
         return self._finalize(core.totals())

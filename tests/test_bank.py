@@ -101,3 +101,79 @@ class TestEpochReset:
         assert bank.refresh_backlog_rows == 0
         # energy accounting unchanged: rows were commanded
         assert bank.rows_refreshed == 500
+
+
+class TestBatchDrainEquivalence:
+    """serve_accesses_batch == per-access serve_access, bit-for-bit.
+
+    The drain phase mixes three regimes — scalar idle/burst steps and
+    the vectorized closed-form idle-run fast path — and every mix must
+    reproduce the scalar oracle exactly.
+    """
+
+    def _assert_equivalent(self, arrivals, backlog, f0):
+        import numpy as np
+
+        oracle, batched = make_bank(), make_bank()
+        for bank in (oracle, batched):
+            bank.refresh_backlog_rows = backlog
+            bank.free_at_ns = f0
+        for arrival in arrivals.tolist():
+            oracle.serve_access(arrival)
+        batched.serve_accesses_batch(np.asarray(arrivals))
+        assert oracle.to_state() == batched.to_state()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_burst_dominated_streams(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(200, 2500))
+        gaps = rng.integers(1, 400, size=n)
+        arrivals = np.floor(np.cumsum(gaps).astype(np.float64)) * 0.25
+        self._assert_equivalent(
+            arrivals, int(rng.integers(1, 5000)),
+            float(rng.integers(0, 4000)) * 0.25,
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_idle_dominated_streams(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(1000 + seed)
+        n = int(rng.integers(200, 4000))
+        gaps = rng.integers(300, 4000, size=n)
+        bursts = rng.random(n) < 0.03
+        gaps[bursts] = rng.integers(1, 40, size=int(bursts.sum()))
+        mega = rng.random(n) < 0.002
+        gaps[mega] = rng.integers(10**6, 10**8, size=int(mega.sum()))
+        arrivals = np.cumsum(gaps).astype(np.float64) * 0.25
+        self._assert_equivalent(
+            arrivals, int(rng.integers(500, 200_000)),
+            float(rng.integers(0, 4000)) * 0.25,
+        )
+
+    def test_exact_backlog_exhaustion_mid_run(self):
+        import numpy as np
+
+        # Gaps drain exactly 3 row-ops per access: with backlog = 3k the
+        # run ends by exhaustion, not by a burst or full drain.
+        t_op = DRAMTimings().row_refresh_ns
+        arrivals = np.cumsum(
+            np.full(200, np.floor(3.2 * t_op * 4.0) * 0.25)
+        )
+        self._assert_equivalent(arrivals, 3 * 120, 0.0)
+
+    def test_off_grid_timings_fall_back_to_scalar(self):
+        import numpy as np
+
+        timings = DRAMTimings(t_rc=48.33)  # not a quarter-ns multiple
+        oracle = BankState(timings)
+        batched = BankState(timings)
+        for bank in (oracle, batched):
+            bank.refresh_backlog_rows = 4000
+        arrivals = np.cumsum(np.full(300, 400.0))
+        for arrival in arrivals.tolist():
+            oracle.serve_access(arrival)
+        batched.serve_accesses_batch(arrivals)
+        assert oracle.to_state() == batched.to_state()

@@ -128,3 +128,40 @@ class TestStreamingCommands:
     def test_resume_missing_file_is_error(self, capsys):
         assert main(["resume", "/nonexistent/snap.json"]) == 2
         assert "error" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_stats_reports_both_stores(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_TRACE_STORE_DIR", str(tmp_path / "traces"))
+        monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", str(tmp_path / "cells"))
+        assert main(["cache", "stats", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["results"]["entries"] == 0
+        assert doc["traces"]["entries"] == 0
+        assert str(tmp_path) in doc["traces"]["root"]
+
+    def test_clear_removes_trace_entries(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.experiments import ExperimentSpec, SchemeSpec
+        from repro.sim import tracestore
+        from repro.sim.simulator import TraceDrivenSimulator
+
+        monkeypatch.setenv("REPRO_TRACE_STORE_DIR", str(tmp_path / "traces"))
+        monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", str(tmp_path / "cells"))
+        tracestore._STORES.clear()
+        TraceDrivenSimulator(ExperimentSpec(
+            scheme=SchemeSpec("sca"), workload="black",
+            scale=96.0, n_banks=1, n_intervals=1,
+        )).run()
+        assert main(["cache", "stats", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traces"]["entries"] == 1
+        assert main(["cache", "clear", "--traces"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traces"]["entries"] == 0
+        tracestore._STORES.clear()
