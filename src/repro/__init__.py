@@ -51,11 +51,19 @@ from repro.core import (
 )
 from repro.dram.config import DRAMTimings, SystemConfig
 from repro.energy.cmrpo import CMRPOBreakdown, compute_cmrpo
+from repro.errors import (
+    CellExecutionError,
+    CellFailure,
+    FatalError,
+    ReproError,
+    RetryableError,
+)
 from repro.experiments import (
     ExperimentSpec,
     Plan,
     ResultCache,
     SchemeSpec,
+    SweepReport,
     run_plan,
     run_spec,
 )
@@ -91,6 +99,12 @@ __all__ = [
     "ResultCache",
     "run_spec",
     "run_plan",
+    "SweepReport",
+    "ReproError",
+    "RetryableError",
+    "FatalError",
+    "CellFailure",
+    "CellExecutionError",
     "simulate_workload",
     "sweep",
     "Session",

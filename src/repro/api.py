@@ -429,13 +429,32 @@ class Session:
         return cls(snapshot["spec"], _core_state=snapshot["core"])
 
     def save(self, path) -> Path:
-        """Write :meth:`snapshot` as JSON; returns the path."""
+        """Write :meth:`snapshot` as JSON; returns the path.
+
+        The write is atomic (temp file + rename): a process killed
+        mid-save can leave stale ``*.tmp`` residue but never a torn
+        snapshot at the destination — the previous snapshot, if any,
+        survives intact.
+        """
+        import os
+        import tempfile
+
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps(self.snapshot(), separators=(",", ":")) + "\n",
-            encoding="utf-8",
+        text = json.dumps(self.snapshot(), separators=(",", ":")) + "\n"
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
         )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
 
     @classmethod

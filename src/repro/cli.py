@@ -144,6 +144,77 @@ def _print_result(args: argparse.Namespace, label: str, result,
     return 0
 
 
+def _add_robust_flags(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags shared by ``sweep`` and ``plan --run``."""
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="extra attempts per retryably-failing cell "
+                             "(default 2; 0 disables retries)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="S",
+                        help="wall-clock budget per cell in seconds; a "
+                             "hung chunk fails retryably and its workers "
+                             "are terminated (default: no timeout)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="finish every cell even if some fail "
+                             "permanently; failed cells are reported in "
+                             "a summary table and the exit code is "
+                             "nonzero iff any cell permanently failed")
+    parser.add_argument("--report", default=None, metavar="FILE",
+                        help="write the SweepReport JSON (per-cell "
+                             "status, attempts, timings, failures) to "
+                             "FILE")
+
+
+def _run_plan_cli(plan, args):
+    """Execute a plan under the CLI's robustness flags.
+
+    Returns ``(results, report, exit_code)``: ``results`` aligns with
+    ``plan.specs`` (None for failed cells); ``report`` is None only on
+    the plain fast path (no ``--keep-going``/``--report``, no failure).
+    """
+    from repro.errors import CellExecutionError
+    from repro.experiments import SweepReport
+
+    want_report = args.keep_going or bool(args.report)
+    try:
+        out = run_plan(
+            plan,
+            workers=args.workers,
+            cache=args.cache_dir or None,
+            keep_going=want_report,
+            max_retries=args.max_retries,
+            cell_timeout=args.cell_timeout,
+        )
+    except CellExecutionError as exc:
+        results = (exc.report.results if exc.report is not None
+                   else [None] * len(plan.specs))
+        return results, exc.report, 1
+    if isinstance(out, SweepReport):
+        return out.results, out, (0 if out.ok else 1)
+    return out, None, 0
+
+
+def _finish_report(args, report) -> None:
+    """Failed-cell summary table + optional ``--report`` JSON file."""
+    if report is None:
+        return
+    rows = report.failure_rows()
+    if rows and not args.json:
+        print("\nfailed cells:")
+        print(format_table(
+            rows, ["cell", "label", "attempts", "error", "message"]
+        ))
+    if args.report:
+        from pathlib import Path
+
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=1) + "\n",
+            encoding="utf-8",
+        )
+        if not args.json:
+            print(f"sweep report -> {args.report}")
+
+
 def _stream_taps(session) -> None:
     """Wire the ``--stream`` per-epoch progress printer onto a session."""
     @session.on_epoch
@@ -265,23 +336,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         workload=workloads,
         scheme=[_scheme_spec(s, args) for s in args.schemes],
     )
-    results = dict(zip(
-        plan.keys(),
-        run_plan(plan, workers=args.workers, cache=args.cache_dir or None),
-    ))
+    cells, report, code = _run_plan_cli(plan, args)
+    results = dict(zip(plan.keys(), cells))
     if args.json:
+        _finish_report(args, report)
         print(json.dumps(
-            {f"{workload}/{scheme}": result.to_dict()
+            {f"{workload}/{scheme}":
+                 (result.to_dict() if result is not None else None)
              for (workload, scheme), result in results.items()},
             indent=2,
         ))
-        return 0
+        return code
     rows = [
         _result_row(f"{workload}/{scheme}", result)
         for (workload, scheme), result in results.items()
+        if result is not None
     ]
     print(format_table(rows, ["scheme", "CMRPO %", "ETO %", "rows/interval"]))
-    return 0
+    _finish_report(args, report)
+    return code
 
 
 EXAMPLE_PLAN = {
@@ -320,22 +393,26 @@ def cmd_plan(args: argparse.Namespace) -> int:
         return 2
     plan = load_plan(args.spec)
     if args.run:
-        results = run_plan(plan, workers=args.workers,
-                           cache=args.cache_dir or None)
+        results, report, code = _run_plan_cli(plan, args)
         if args.json:
+            _finish_report(args, report)
             print(json.dumps(
-                [{"spec": spec.to_dict(), "result": result.to_dict()}
+                [{"spec": spec.to_dict(),
+                  "result": (result.to_dict() if result is not None
+                             else None)}
                  for spec, result in zip(plan.specs, results)],
                 indent=2,
             ))
-            return 0
+            return code
         rows = [
             _result_row(f"{w}/{s}", result)
             for (w, s), result in zip(plan.keys(), results)
+            if result is not None
         ]
         print(format_table(rows, ["scheme", "CMRPO %", "ETO %",
                                   "rows/interval"]))
-        return 0
+        _finish_report(args, report)
+        return code
     if args.json:
         print(json.dumps([spec.to_dict() for spec in plan.specs], indent=2))
         return 0
@@ -479,13 +556,21 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
     from repro.sim.tracestore import TraceStore, default_root
 
+    from repro.experiments.cache import sweep_orphan_tmp
+
     trace_parent = Path(args.trace_dir) if args.trace_dir else default_root()
     trace_store = TraceStore(trace_parent)
     result_root = _result_store_root(args)
 
+    # Orphaned *.tmp files are leftovers of atomic writes interrupted
+    # mid-rename (crash, kill -9); both stats and clear sweep them.
+    tmp_removed = sweep_orphan_tmp(result_root) + sweep_orphan_tmp(trace_parent)
+
     if args.action == "clear":
         both = not args.results and not args.traces
         cleared = []
+        if tmp_removed:
+            cleared.append(f"tmp: {tmp_removed} orphaned .tmp file(s) swept")
         if args.results or both:
             stats = _result_store_stats(result_root)
             if result_root is not None and result_root.is_dir():
@@ -511,7 +596,8 @@ def cmd_cache(args: argparse.Namespace) -> int:
     result_stats = _result_store_stats(result_root)
     trace_stats = _trace_store_stats(trace_parent, trace_store)
     if args.json:
-        print(json.dumps({"results": result_stats, "traces": trace_stats},
+        print(json.dumps({"results": result_stats, "traces": trace_stats,
+                          "tmp_removed": tmp_removed},
                          indent=2))
         return 0
     rows = [
@@ -534,6 +620,9 @@ def cmd_cache(args: argparse.Namespace) -> int:
             print(f"note: {stats['stale_partitions']} stale {kind} "
                   f"partition(s) from older code (repro cache clear "
                   f"--{'results' if kind == 'result' else 'traces'})")
+    if tmp_removed:
+        print(f"note: swept {tmp_removed} orphaned .tmp file(s) left by "
+              "interrupted atomic writes")
     return 0
 
 
@@ -659,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sweep-cell result cache directory "
                               "(default: off for the CLI)")
     _add_sim_flags(p_sweep)
+    _add_robust_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_plan = sub.add_parser(
@@ -678,6 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print an example plan document and exit")
     p_plan.add_argument("--json", action="store_true",
                         help="machine-readable output")
+    _add_robust_flags(p_plan)
     p_plan.set_defaults(func=cmd_plan)
 
     p_list = sub.add_parser(

@@ -20,7 +20,7 @@ from repro.experiments.spec import (
     coerce_scheme,
     load_spec,
 )
-from repro.experiments.run import run_plan, run_spec
+from repro.experiments.run import SweepPool, SweepReport, run_plan, run_spec
 
 __all__ = [
     "SPEC_VERSION",
@@ -37,4 +37,6 @@ __all__ = [
     "code_fingerprint",
     "run_spec",
     "run_plan",
+    "SweepPool",
+    "SweepReport",
 ]

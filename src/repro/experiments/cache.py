@@ -24,6 +24,7 @@ import tempfile
 from pathlib import Path
 
 from repro.experiments.spec import ExperimentSpec
+from repro.testing.faults import corrupting, fault_point
 
 #: Manual salt: bump when cached-result semantics change in a way the
 #: code fingerprint cannot see (e.g. an external data file).
@@ -98,18 +99,30 @@ class ResultCache:
         return result
 
     def put(self, spec: ExperimentSpec, result) -> Path:
-        """Persist one result (atomic rename; concurrent writers safe)."""
-        doc = {"spec": spec.to_dict(), "result": result.to_dict()}
-        return self._write(self.path_for(spec), doc)
+        """Persist one result (atomic rename; concurrent writers safe).
 
-    def _write(self, path: Path, doc: dict) -> Path:
+        Instrumented as the ``cache.put`` fault-injection site: the
+        ``raise`` kind fails the write (the sweep scheduler retries
+        it), the ``corrupt`` kind tears the stored document so a later
+        :meth:`get` must detect it and recompute.
+        """
+        fault_point("cache.put")
+        doc = {"spec": spec.to_dict(), "result": result.to_dict()}
+        return self._write(self.path_for(spec), doc,
+                           corrupt_site="cache.put")
+
+    def _write(self, path: Path, doc: dict,
+               corrupt_site: str | None = None) -> Path:
+        text = json.dumps(doc, indent=1)
+        if corrupt_site is not None:
+            text = corrupting(corrupt_site, text)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=path.stem, suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(doc, handle, indent=1)
+                handle.write(text)
             os.replace(tmp, path)
         except OSError:
             try:
@@ -162,3 +175,30 @@ class ResultCache:
         """Persist one partial-run snapshot (atomic, like :meth:`put`)."""
         doc = {"spec": spec.to_dict(), "snapshot": snapshot}
         return self._write(self.snapshot_path(spec, tag), doc)
+
+
+def sweep_orphan_tmp(root: "Path | str | None") -> int:
+    """Delete ``*.tmp`` residue under ``root``; returns the count removed.
+
+    Every store write in the repro stack goes ``tempfile.mkstemp`` →
+    write → ``os.replace``; a writer killed between the first two steps
+    leaves an orphaned ``*.tmp`` file that nothing will ever read or
+    rename.  ``repro cache stats``/``clear`` call this over the result
+    and trace partitions so killed sweeps don't leak disk forever.
+    Files a live writer still owns are safe: losing a tmp file only
+    makes that writer's ``os.replace`` fail, which every store already
+    treats as an ignorable write failure.
+    """
+    if root is None:
+        return 0
+    root = Path(root)
+    if not root.is_dir():
+        return 0
+    removed = 0
+    for path in root.rglob("*.tmp"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            continue
+    return removed

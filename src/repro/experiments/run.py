@@ -1,4 +1,4 @@
-"""Executing specs and plans, with caching and process-pool fan-out.
+"""Executing specs and plans, with caching, fan-out and fault tolerance.
 
 ``REPRO_SESSION_MODE`` selects the execution path every spec takes:
 
@@ -18,23 +18,69 @@ code path being exercised.
 Pool fan-out goes through the process-wide persistent :class:`SweepPool`
 (created on first use, grown on demand, reused by every plan in the
 process) with chunked cell scheduling; each chunk carries the parent's
-current session/trace/cache environment so a long-lived pool never acts
-on stale worker-side settings.
+current session/trace/cache/fault environment so a long-lived pool
+never acts on stale worker-side settings.
+
+Fault tolerance
+---------------
+:func:`run_plan` is built to survive operational failure without
+corrupting results:
+
+* **Per-cell isolation** — every cell runs under its own try/except,
+  in workers and in the serial path alike; one poisoned cell produces a
+  structured :class:`~repro.errors.CellFailure` instead of taking its
+  chunk (or the plan) down with it.
+* **Bounded retries** — cells whose failure is classified retryable
+  (:func:`repro.errors.is_retryable`) are re-run with exponential
+  backoff plus deterministic jitter, up to ``max_retries`` extra
+  attempts.  Deterministic failures are never retried.
+* **Pool recovery** — a ``BrokenProcessPool`` (an OOM-killed or crashed
+  worker takes the whole executor down) marks only the *unfinished*
+  chunks as retryable, tears the executor down, and the next round
+  cold-starts a fresh pool; results that had already landed are kept.
+  A chunk that exceeds its ``cell_timeout`` budget is treated the same
+  way, with the hung workers terminated.
+* **Crash-safe resume** — completed cells flush to the
+  :class:`ResultCache` *as they land*, so a killed sweep re-run against
+  the same cache recomputes only the missing/failed cells.  SIGINT and
+  SIGTERM drain already-completed futures into the cache before the
+  pool is torn down.
+* **keep_going** — ``run_plan(..., keep_going=True)`` returns a
+  :class:`SweepReport` (per-cell status, attempts, timings, failures)
+  instead of raising on the first permanently failed cell.
+
+The deterministic fault-injection harness
+(:mod:`repro.testing.faults`, armed via ``REPRO_FAULTS``) drives each
+of these paths on demand; the fault-injection test suite asserts sweeps
+converge to bit-identical results with the harness armed.
 """
 
 from __future__ import annotations
 
 import atexit
 import concurrent.futures
+import contextlib
 import json
 import math
 import os
+import random
+import time
 from collections.abc import Iterable
+from dataclasses import dataclass, field
 
+from repro.errors import (
+    CellExecutionError,
+    CellFailure,
+    CellStatus,
+    CellTimeout,
+)
 from repro.experiments.cache import ResultCache
 from repro.experiments.plan import Plan
 from repro.experiments.spec import ExperimentSpec
 from repro.report.config import SESSION_MODES, env_choice
+from repro.testing.faults import ENV_VAR as FAULTS_ENV_VAR
+from repro.testing.faults import ROUND_VAR as FAULTS_ROUND_VAR
+from repro.testing.faults import fault_point
 
 
 def session_mode() -> str:
@@ -70,19 +116,31 @@ def _pool_cell(spec: ExperimentSpec):
 
 #: Environment knobs a worker must re-read per chunk: a *persistent*
 #: pool outlives environment changes in the parent (``repro verify``
-#: scopes REPRO_SESSION_MODE per run; benches toggle the trace store),
-#: so every chunk carries the parent's current values instead of
-#: trusting whatever the worker inherited at spawn time.
+#: scopes REPRO_SESSION_MODE per run; benches toggle the trace store;
+#: the scheduler advances the fault-injection round), so every chunk
+#: carries the parent's current values instead of trusting whatever the
+#: worker inherited at spawn time.
 _POOL_ENV_KEYS = (
     "REPRO_SESSION_MODE",
     "REPRO_TRACE_STORE",
     "REPRO_TRACE_STORE_DIR",
     "REPRO_BENCH_CACHE_DIR",
+    FAULTS_ENV_VAR,
+    FAULTS_ROUND_VAR,
 )
 
 #: Target chunks per worker: large enough to amortize per-task spec
 #: pickling and IPC, small enough to keep the pool load-balanced.
 _CHUNKS_PER_WORKER = 4
+
+#: Retry backoff: ``base * 2**(round-1)`` seconds, capped, with a
+#: deterministic jitter factor in [0.5, 1.5).
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 2.0
+
+#: Grace added to ``cell_timeout * chunk_size`` before a chunk future
+#: is declared hung (covers worker spawn and result IPC).
+_TIMEOUT_GRACE_S = 5.0
 
 
 def _pool_env() -> dict[str, str | None]:
@@ -90,14 +148,34 @@ def _pool_env() -> dict[str, str | None]:
     return {key: os.environ.get(key) for key in _POOL_ENV_KEYS}
 
 
-def _pool_run_chunk(specs: list, env: dict):
-    """Worker-side: apply the parent's env, then run one spec chunk."""
+def _pool_run_chunk(specs: list, env: dict, attempt: int = 1) -> list[dict]:
+    """Worker-side: apply the parent's env, run one chunk cell by cell.
+
+    Each cell is isolated: the return value is one outcome dict per
+    spec — ``{"ok": True, "result": ...}`` or ``{"ok": False,
+    "failure": <CellFailure dict>}`` — so a poisoned cell cannot void
+    its chunk-mates' completed work.  Failures travel as plain dicts
+    (tracebacks captured worker-side) because exception objects pickle
+    unreliably.
+    """
     for key, value in env.items():
         if value is None:
             os.environ.pop(key, None)
         else:
             os.environ[key] = value
-    return [run_spec(spec) for spec in specs]
+    outcomes: list[dict] = []
+    for spec in specs:
+        try:
+            fault_point("pool.worker")
+            outcomes.append({"ok": True, "result": run_spec(spec)})
+        except Exception as exc:
+            outcomes.append({
+                "ok": False,
+                "failure": CellFailure.from_exception(
+                    spec, attempt, exc
+                ).to_dict(),
+            })
+    return outcomes
 
 
 class SweepPool:
@@ -136,16 +214,49 @@ class SweepPool:
         return cls._width
 
     @classmethod
-    def shutdown(cls) -> None:
-        """Tear the pool down (next :meth:`get` cold-starts a fresh one)."""
+    def shutdown(cls, cancel_futures: bool = True) -> None:
+        """Tear the pool down (next :meth:`get` cold-starts a fresh one).
+
+        Queued-but-unstarted chunks are cancelled by default: the
+        :func:`atexit` teardown must never block interpreter exit
+        behind a backlog of work nobody will collect.  Running chunks
+        are still awaited (a mid-write kill could tear store entries);
+        use :meth:`kill` when workers are known to be hung.
+        """
         if cls._executor is not None:
-            cls._executor.shutdown()
+            cls._executor.shutdown(cancel_futures=cancel_futures)
             cls._executor = None
             cls._width = 0
 
     @classmethod
+    def kill(cls) -> None:
+        """Terminate worker processes outright and discard the executor.
+
+        The recovery path for *hung* chunks: ``shutdown`` would wait on
+        them forever.  Store writes stay safe under termination because
+        every store publish is an atomic rename.
+        """
+        executor = cls._executor
+        if executor is None:
+            return
+        cls._executor = None
+        cls._width = 0
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except (OSError, AttributeError):
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    @classmethod
     def map_chunked(cls, specs: list, workers: int) -> list:
-        """Run ``specs`` on the pool in pickling-amortized chunks."""
+        """Run ``specs`` on the pool in pickling-amortized chunks.
+
+        The strict legacy surface: results in order, first cell failure
+        re-raised as :class:`~repro.errors.CellExecutionError`.  The
+        fault-tolerant scheduler in :func:`run_plan` supersedes this
+        for plan execution.
+        """
         pool = cls.get(workers)
         size = max(1, math.ceil(len(specs) / (workers * _CHUNKS_PER_WORKER)))
         env = _pool_env()
@@ -153,10 +264,250 @@ class SweepPool:
             pool.submit(_pool_run_chunk, specs[i:i + size], env)
             for i in range(0, len(specs), size)
         ]
-        return [result for f in futures for result in f.result()]
+        results = []
+        for future in futures:
+            for outcome in future.result():
+                if outcome["ok"]:
+                    results.append(outcome["result"])
+                else:
+                    raise CellExecutionError(
+                        [CellFailure.from_dict(outcome["failure"])]
+                    )
+        return results
 
 
 atexit.register(SweepPool.shutdown)
+
+
+@dataclass
+class SweepReport:
+    """What one fault-tolerant sweep actually did, cell by cell.
+
+    ``results`` holds the per-cell
+    :class:`~repro.sim.metrics.SimulationResult` objects in plan order
+    (``None`` for permanently failed cells); ``cells`` carries the
+    matching :class:`~repro.errors.CellStatus` records (status,
+    attempts, wall time, failure history).
+    """
+
+    cells: list[CellStatus] = field(default_factory=list)
+    results: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell completed (simulated or cached)."""
+        return not self.failed
+
+    @property
+    def failed(self) -> list[CellStatus]:
+        """Cells whose retry budget ran out."""
+        return [c for c in self.cells if c.status == "failed"]
+
+    def counts(self) -> dict[str, int]:
+        """Cell counts by final status."""
+        out: dict[str, int] = {}
+        for cell in self.cells:
+            out[cell.status] = out.get(cell.status, 0) + 1
+        return out
+
+    def total_attempts(self) -> int:
+        return sum(c.attempts for c in self.cells)
+
+    def to_dict(self) -> dict:
+        """JSON-able execution record (results travel separately)."""
+        return {
+            "kind": "repro-sweep-report",
+            "report_version": 1,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "total_attempts": self.total_attempts(),
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+    def failure_rows(self) -> list[dict]:
+        """Failed-cell summary rows for CLI tables."""
+        rows = []
+        for cell in self.failed:
+            last = cell.failures[-1] if cell.failures else None
+            rows.append({
+                "cell": cell.index,
+                "label": cell.label,
+                "attempts": cell.attempts,
+                "error": last.error_type if last else "?",
+                "message": (last.message[:60] if last else ""),
+            })
+        return rows
+
+
+def _backoff_s(round_no: int, salt: int = 0) -> float:
+    """Exponential backoff with deterministic jitter for one round."""
+    base = min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * (2 ** (round_no - 1)))
+    jitter = random.Random((round_no << 16) ^ salt).random()
+    return base * (0.5 + jitter)
+
+
+def _flush_cell(cache: ResultCache | None, spec, result) -> bool:
+    """Persist one completed cell immediately (crash-safe resume).
+
+    A failed write is retried once (covers transient store trouble and
+    the injected ``cache.put`` fault) and then dropped: the in-memory
+    result is intact either way, the cache is an optimization.
+    """
+    if cache is None:
+        return True
+    for attempt in range(2):
+        try:
+            cache.put(spec, result)
+            return True
+        except Exception:
+            if attempt:
+                return False
+            time.sleep(0.01)
+    return False
+
+
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Deliver SIGTERM as KeyboardInterrupt for the scheduler's scope.
+
+    Both signals then share one drain path: completed futures flush to
+    the cache, the pool tears down cleanly, and the interrupt
+    propagates.  Outside the main thread (or without signal support)
+    this is a no-op.
+    """
+    import signal
+    import threading
+
+    installed = False
+    previous = None
+    owner_pid = os.getpid()
+    if threading.current_thread() is threading.main_thread():
+        def _handler(signum, frame):
+            if os.getpid() != owner_pid:
+                # A forked pool worker inherited this handler; dying
+                # loudly with KeyboardInterrupt would spray tracebacks
+                # on every SweepPool.kill().  Die like SIG_DFL instead.
+                signal.signal(signal.SIGTERM, signal.SIG_DFL)
+                os.kill(os.getpid(), signal.SIGTERM)
+                return
+            raise KeyboardInterrupt("SIGTERM")
+
+        try:
+            previous = signal.getsignal(signal.SIGTERM)
+            signal.signal(signal.SIGTERM, _handler)
+            installed = True
+        except (ValueError, OSError):
+            installed = False
+    try:
+        yield
+    finally:
+        if installed:
+            signal.signal(signal.SIGTERM, previous)
+
+
+def _run_round_serial(specs, pending, attempt, on_ok, on_fail) -> None:
+    """One retry round, in-process: per-cell isolation, no pool."""
+    for i in pending:
+        t0 = time.perf_counter()
+        try:
+            result = _pool_cell(specs[i])
+        except Exception as exc:
+            on_fail(
+                i,
+                CellFailure.from_exception(specs[i], attempt, exc),
+                time.perf_counter() - t0,
+            )
+        else:
+            on_ok(i, result, time.perf_counter() - t0)
+
+
+def _run_round_pooled(
+    specs, pending, workers, cell_timeout, attempt, on_ok, on_fail
+) -> None:
+    """One retry round on the process pool, chunked.
+
+    Every pending index receives exactly one ``on_ok``/``on_fail``
+    callback.  A broken pool fails only the chunks that had not
+    finished; a chunk exceeding its time budget fails retryably and the
+    hung workers are terminated so the next round gets a live pool.
+    """
+    width = min(workers, len(pending))
+    pool = SweepPool.get(width)
+    size = max(1, math.ceil(len(pending) / (width * _CHUNKS_PER_WORKER)))
+    env = _pool_env()
+    futures = [
+        (
+            pool.submit(
+                _pool_run_chunk,
+                [specs[i] for i in pending[j:j + size]],
+                env,
+                attempt,
+            ),
+            pending[j:j + size],
+        )
+        for j in range(0, len(pending), size)
+    ]
+    broken = False
+    hung = False
+    try:
+        for future, chunk in futures:
+            budget = (
+                None if cell_timeout is None
+                else cell_timeout * len(chunk) + _TIMEOUT_GRACE_S
+            )
+            t0 = time.perf_counter()
+            try:
+                outcomes = future.result(timeout=budget)
+            except concurrent.futures.TimeoutError:
+                future.cancel()
+                hung = True
+                per = (time.perf_counter() - t0) / len(chunk)
+                for i in chunk:
+                    on_fail(i, CellFailure.from_exception(
+                        specs[i], attempt,
+                        CellTimeout(
+                            f"chunk exceeded its {budget:.1f}s budget "
+                            f"({cell_timeout}s/cell)"
+                        ),
+                    ), per)
+                continue
+            except concurrent.futures.BrokenExecutor as exc:
+                broken = True
+                per = (time.perf_counter() - t0) / len(chunk)
+                for i in chunk:
+                    on_fail(i, CellFailure.from_exception(
+                        specs[i], attempt, exc
+                    ), per)
+                continue
+            per = (time.perf_counter() - t0) / max(1, len(chunk))
+            for i, outcome in zip(chunk, outcomes):
+                if outcome["ok"]:
+                    on_ok(i, outcome["result"], per)
+                else:
+                    on_fail(
+                        i, CellFailure.from_dict(outcome["failure"]), per
+                    )
+    except (KeyboardInterrupt, SystemExit):
+        # Drain: deliver every chunk that did finish (flushing its
+        # cells to the cache via on_ok), cancel the rest, tear the
+        # pool down, and let the interrupt propagate.
+        for future, chunk in futures:
+            if future.done() and not future.cancelled():
+                try:
+                    outcomes = future.result(timeout=0)
+                except Exception:
+                    continue
+                for i, outcome in zip(chunk, outcomes):
+                    if outcome["ok"]:
+                        on_ok(i, outcome["result"], 0.0)
+            else:
+                future.cancel()
+        SweepPool.shutdown(cancel_futures=True)
+        raise
+    if hung:
+        SweepPool.kill()
+    elif broken:
+        SweepPool.shutdown(cancel_futures=True)
 
 
 def run_plan(
@@ -164,40 +515,120 @@ def run_plan(
     *,
     workers: int = 1,
     cache: "ResultCache | str | None" = None,
-) -> list:
-    """Run every cell of a plan; returns results in plan order.
+    keep_going: bool = False,
+    max_retries: int = 2,
+    cell_timeout: float | None = None,
+):
+    """Run every cell of a plan, fault-tolerantly; results in plan order.
 
     ``cache`` (a :class:`ResultCache`, a directory path, or None) is
     consulted per cell by spec content hash: hits skip the simulation
     entirely, misses run — serially or on a process pool when
-    ``workers > 1`` — and are written back.  Per-cell seeding makes
-    results identical at any worker count and any hit/miss split.
+    ``workers > 1`` — and flush back *as each cell completes*, so a
+    killed sweep resumes from its completed cells.  Per-cell seeding
+    makes results identical at any worker count, any hit/miss split,
+    and any retry history.
+
+    ``max_retries`` bounds the *extra* attempts a retryably failing
+    cell gets (exponential backoff + deterministic jitter between
+    rounds); deterministic failures are never retried.
+    ``cell_timeout`` (seconds per cell) bounds each pooled chunk's wall
+    time; a hung chunk fails retryably and its workers are terminated.
+
+    Returns the list of per-cell results.  On a permanent cell failure
+    this raises :class:`~repro.errors.CellExecutionError` (carrying the
+    failure records and the partial :class:`SweepReport`) — unless
+    ``keep_going=True``, in which case the full :class:`SweepReport`
+    is returned instead, with ``None`` results for failed cells.
     """
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
     specs = tuple(plan.specs if isinstance(plan, Plan) else plan)
     cache = ResultCache.coerce(cache)
     if cache is not None and session_mode() != "direct":
         # A cache hit would skip the session/checkpoint path entirely,
         # making the equivalence gate vacuous; always simulate.
         cache = None
+    cells = [
+        CellStatus(
+            index=i,
+            spec_hash=spec.content_hash(),
+            label=f"{spec.workload_label}/{spec.scheme.display_label}",
+            status="pending",
+        )
+        for i, spec in enumerate(specs)
+    ]
     results: list = [None] * len(specs)
-    miss_indices: list[int] = []
+    pending: list[int] = []
     for i, spec in enumerate(specs):
         if cache is not None:
             hit = cache.get(spec)
             if hit is not None:
                 results[i] = hit
+                cells[i].status = "cached"
                 continue
-        miss_indices.append(i)
-    if miss_indices:
-        miss_specs = [specs[i] for i in miss_indices]
-        if workers > 1 and len(miss_specs) > 1:
-            fresh = SweepPool.map_chunked(
-                miss_specs, min(workers, len(miss_specs))
-            )
+        pending.append(i)
+
+    def on_ok(i: int, result, elapsed: float) -> None:
+        results[i] = result
+        cells[i].status = "ok"
+        cells[i].elapsed_s += elapsed
+        _flush_cell(cache, specs[i], result)
+
+    faults_on = bool(os.environ.get(FAULTS_ENV_VAR))
+    saved_round = os.environ.get(FAULTS_ROUND_VAR)
+    try:
+        with _sigterm_as_interrupt():
+            round_no = 0
+            while pending and round_no <= max_retries:
+                if round_no:
+                    time.sleep(_backoff_s(round_no, salt=len(pending)))
+                if faults_on:
+                    # Injected faults hold fire past round zero so every
+                    # armed failure is transient by construction; the
+                    # chunk env threads the round to pool workers.
+                    os.environ[FAULTS_ROUND_VAR] = str(round_no)
+                attempt = round_no + 1
+                retry_budget_left = round_no < max_retries
+                next_pending: list[int] = []
+
+                def on_fail(i: int, failure: CellFailure,
+                            elapsed: float) -> None:
+                    cells[i].failures.append(failure)
+                    cells[i].elapsed_s += elapsed
+                    if failure.retryable and retry_budget_left:
+                        next_pending.append(i)
+                    else:
+                        cells[i].status = "failed"
+
+                def tick(i: int) -> None:
+                    cells[i].attempts = attempt
+
+                for i in pending:
+                    tick(i)
+                if workers > 1 and len(pending) > 1:
+                    _run_round_pooled(
+                        specs, pending, workers, cell_timeout, attempt,
+                        on_ok, on_fail,
+                    )
+                else:
+                    _run_round_serial(
+                        specs, pending, attempt, on_ok, on_fail
+                    )
+                pending = next_pending
+                round_no += 1
+    finally:
+        if saved_round is None:
+            os.environ.pop(FAULTS_ROUND_VAR, None)
         else:
-            fresh = [_pool_cell(spec) for spec in miss_specs]
-        for i, spec, result in zip(miss_indices, miss_specs, fresh):
-            results[i] = result
-            if cache is not None:
-                cache.put(spec, result)
+            os.environ[FAULTS_ROUND_VAR] = saved_round
+
+    report = SweepReport(cells=cells, results=results)
+    if keep_going:
+        return report
+    failed = report.failed
+    if failed:
+        raise CellExecutionError(
+            [c.failures[-1] for c in failed if c.failures], report
+        )
     return results

@@ -193,12 +193,14 @@ def run_verify(
         return EXIT_OK
 
     from repro.sim.tracestore import store_enabled
+    from repro.testing.faults import faults_summary
 
     failures = 0
     say(f"\n== repro verify — fidelity={fidelity} "
         f"engine={engine or 'batched'} "
         f"session={session or 'direct'} "
-        f"trace-store={'on' if store_enabled() else 'off'} ==\n")
+        f"trace-store={'on' if store_enabled() else 'off'} "
+        f"faults={faults_summary()} ==\n")
     for stem, arts in collected:
         for artifact in arts:
             golden_path = store / f"{artifact.name}.json"

@@ -45,6 +45,7 @@ from repro.dram.memory_system import MemorySystem
 from repro.sim.engine import advance_batched_streams, quantize_times_ns
 from repro.sim.metrics import RunTotals
 from repro.sim.tracestore import open_store, stream_key
+from repro.testing.faults import fault_point
 from repro.workloads.synthetic import interarrival_times_ns
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -251,6 +252,7 @@ class SessionCore:
         bounds the number served in this call.  Pausing at any point and
         continuing later yields the bit-identical final state.
         """
+        fault_point("session.advance")
         served = 0
         while True:
             if self._interval_exhausted():

@@ -62,6 +62,7 @@ import numpy as np
 
 from repro.experiments.cache import CACHE_VERSION, code_fingerprint
 from repro.report.config import env_bool
+from repro.testing.faults import corrupting, fault_point
 
 #: On-disk entry layout version (bump on incompatible changes; part of
 #: every stream key, so old entries simply stop matching).
@@ -202,6 +203,7 @@ class TraceStore:
         document that does not match ``key_doc`` (hash collision or
         hand-edited entry) — drops the entry and reports a miss.
         """
+        fault_point("tracestore.read")
         cached = self._ram.get((key, interval))
         if cached is not None:
             per_bank, rng_state, cached_doc = cached
@@ -213,7 +215,13 @@ class TraceStore:
             self._ram.pop((key, interval), None)
         meta_path = self._meta_path(key, interval)
         try:
-            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            # The injected ``corrupt`` fault garbles the loaded sidecar
+            # exactly like a torn concurrent read would; the checks
+            # below must degrade it to a regenerating miss.
+            meta = json.loads(
+                corrupting("tracestore.read",
+                           meta_path.read_text(encoding="utf-8"))
+            )
             if meta["key"] != key_doc:
                 raise ValueError("trace entry key mismatch")
             offsets = meta["offsets"]
@@ -278,6 +286,7 @@ class TraceStore:
         CI cache, full disk) is silently a no-op — the store is an
         optimization, never a requirement.
         """
+        fault_point("tracestore.write")
         offsets = [0]
         for times, _ in per_bank:
             offsets.append(offsets[-1] + len(times))
@@ -302,7 +311,8 @@ class TraceStore:
                             all_times.astype(np.float64, copy=False))
             self._write_npy(self._rows_path(key, interval), all_rows)
             self._write_text(self._meta_path(key, interval),
-                             json.dumps(meta))
+                             corrupting("tracestore.write",
+                                        json.dumps(meta)))
         except OSError:
             return
         self._remember(key, interval,

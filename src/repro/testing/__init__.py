@@ -1,0 +1,31 @@
+"""Deterministic test harnesses (fault injection, failure drills).
+
+Nothing in this package affects production behaviour unless explicitly
+armed through the environment; see :mod:`repro.testing.faults`.
+"""
+
+from repro.testing.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultConfigError,
+    FaultSpec,
+    corrupting,
+    fault_point,
+    faults_armed,
+    faults_summary,
+    parse_faults,
+    reset_faults,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultConfigError",
+    "FaultSpec",
+    "corrupting",
+    "fault_point",
+    "faults_armed",
+    "faults_summary",
+    "parse_faults",
+    "reset_faults",
+]

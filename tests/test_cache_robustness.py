@@ -1,0 +1,183 @@
+"""Tests for store robustness: corrupt entries, orphaned tmp residue,
+and atomic snapshot writes."""
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.experiments import ExperimentSpec, ResultCache, SchemeSpec
+from repro.experiments.cache import sweep_orphan_tmp
+from repro.experiments.run import run_spec
+from repro.testing.faults import ENV_VAR, ROUND_VAR, reset_faults
+
+FAST = dict(scale=128.0, n_banks=1, n_intervals=1)
+
+
+def fast_spec(**overrides):
+    fields = dict(scheme=SchemeSpec("drcat"), workload="libq", **FAST)
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    monkeypatch.delenv(ROUND_VAR, raising=False)
+    reset_faults()
+    yield
+    reset_faults()
+
+
+@pytest.fixture(scope="module")
+def one_result():
+    return run_spec(fast_spec())
+
+
+class TestCorruptResultEntries:
+    @pytest.mark.parametrize("mangle", [
+        lambda text: text[: len(text) // 2],          # truncated write
+        lambda text: "not json at all {{{",           # garbage
+        lambda text: "",                              # empty file
+        lambda text: json.dumps({"result": None}),    # missing spec
+    ])
+    def test_corrupt_entry_is_a_miss_and_dropped(
+        self, tmp_path, one_result, mangle
+    ):
+        spec = fast_spec()
+        cache = ResultCache(tmp_path)
+        path = cache.put(spec, one_result)
+        path.write_text(mangle(path.read_text(encoding="utf-8")),
+                        encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(spec) is None
+        assert fresh.misses == 1 and fresh.hits == 0
+        assert not path.exists()  # dropped, so the next put heals it
+
+    def test_injected_corrupt_put_degrades_to_cold_start(
+        self, tmp_path, one_result, monkeypatch
+    ):
+        spec = fast_spec()
+        cache = ResultCache(tmp_path)
+        monkeypatch.setenv(ENV_VAR, "cache.put:corrupt:5")
+        reset_faults()
+        path = cache.put(spec, one_result)
+        assert path.exists()
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(spec) is None  # detected, not served
+
+
+class TestCorruptSnapshots:
+    @pytest.mark.parametrize("mangle", [
+        lambda text: text[: len(text) // 2],
+        lambda text: "\x00\x01\x02",
+        lambda text: json.dumps({"snapshot": {}}),    # missing spec
+    ])
+    def test_corrupt_snapshot_is_a_miss_never_an_error(
+        self, tmp_path, mangle
+    ):
+        spec = fast_spec()
+        cache = ResultCache(tmp_path)
+        session = Session(spec)
+        session.advance(session.total_ns / 4)
+        path = cache.put_snapshot(spec, "quarter", session.snapshot())
+        path.write_text(mangle(path.read_text(encoding="utf-8")),
+                        encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        assert fresh.get_snapshot(spec, "quarter") is None
+        assert fresh.misses == 1
+        assert not path.exists()
+
+    def test_snapshot_for_other_spec_is_a_miss(self, tmp_path):
+        spec = fast_spec()
+        other = fast_spec(workload="black")
+        cache = ResultCache(tmp_path)
+        session = Session(spec)
+        session.advance(session.total_ns / 4)
+        good = cache.put_snapshot(spec, "q", session.snapshot())
+        # Simulate a hash collision / hand-copied entry: the stored doc
+        # claims a different producing spec.
+        doc = json.loads(good.read_text(encoding="utf-8"))
+        doc["spec"] = other.to_dict()
+        good.write_text(json.dumps(doc), encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        assert fresh.get_snapshot(spec, "q") is None
+
+    def test_intact_snapshot_round_trips(self, tmp_path):
+        spec = fast_spec()
+        cache = ResultCache(tmp_path)
+        session = Session(spec)
+        session.advance(session.total_ns / 2)
+        snapshot = json.loads(json.dumps(session.snapshot()))
+        cache.put_snapshot(spec, "half", snapshot)
+        fresh = ResultCache(tmp_path)
+        restored = fresh.get_snapshot(spec, "half")
+        assert restored == snapshot
+        assert Session.restore(restored).result().to_dict() == \
+            Session(spec).result().to_dict()
+
+
+class TestOrphanTmpSweep:
+    def test_sweeps_nested_tmp_and_keeps_entries(self, tmp_path):
+        (tmp_path / "v1-abc").mkdir()
+        keep = tmp_path / "v1-abc" / "deadbeef.json"
+        keep.write_text("{}", encoding="utf-8")
+        (tmp_path / "v1-abc" / "deadbeefab12.tmp").write_text("torn")
+        (tmp_path / "traces").mkdir()
+        (tmp_path / "traces" / "k-i0.rows.abc.tmp").write_bytes(b"\x93")
+        assert sweep_orphan_tmp(tmp_path) == 2
+        assert keep.exists()
+        assert sweep_orphan_tmp(tmp_path) == 0  # idempotent
+
+    def test_missing_or_none_root_is_zero(self, tmp_path):
+        assert sweep_orphan_tmp(None) == 0
+        assert sweep_orphan_tmp(tmp_path / "nope") == 0
+
+    def test_cli_cache_stats_reports_sweep(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        result_root = tmp_path / "results"
+        result_root.mkdir()
+        (result_root / "orphan-xyz.tmp").write_text("torn")
+        monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", str(result_root))
+        trace_root = tmp_path / "traces"
+        assert main(["cache", "stats", "--trace-dir", str(trace_root),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tmp_removed"] == 1
+        assert not (result_root / "orphan-xyz.tmp").exists()
+
+
+class TestAtomicSessionSave:
+    def test_save_leaves_no_tmp_residue(self, tmp_path):
+        spec = fast_spec()
+        session = Session(spec)
+        session.advance(session.total_ns / 4)
+        path = session.save(tmp_path / "snap.json")
+        assert path.is_file()
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert Session.load(path).result().to_dict() == \
+            Session(spec).result().to_dict()
+
+    def test_failed_save_preserves_previous_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        import os as os_mod
+
+        spec = fast_spec()
+        session = Session(spec)
+        target = tmp_path / "snap.json"
+        session.save(target)
+        before = target.read_text(encoding="utf-8")
+
+        def broken_replace(src, dst):
+            raise OSError("no rename for you")
+
+        monkeypatch.setattr(os_mod, "replace", broken_replace)
+        with pytest.raises(OSError):
+            session.save(target)
+        monkeypatch.undo()
+        assert target.read_text(encoding="utf-8") == before
+        assert list(tmp_path.glob("*.tmp")) == []

@@ -165,3 +165,101 @@ class TestCacheCommand:
         doc = json.loads(capsys.readouterr().out)
         assert doc["traces"]["entries"] == 0
         tracestore._STORES.clear()
+
+
+class TestRobustnessFlags:
+    """--max-retries / --cell-timeout / --keep-going / --report."""
+
+    @pytest.fixture(autouse=True)
+    def clean_faults(self, monkeypatch):
+        from repro.testing.faults import ENV_VAR, ROUND_VAR, reset_faults
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        monkeypatch.delenv(ROUND_VAR, raising=False)
+        reset_faults()
+        yield
+        reset_faults()
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.max_retries == 2
+        assert args.cell_timeout is None
+        assert args.keep_going is False
+        assert args.report is None
+        args = build_parser().parse_args(
+            ["plan", "--run", "--keep-going", "--max-retries", "0",
+             "--cell-timeout", "30"]
+        )
+        assert args.keep_going and args.max_retries == 0
+        assert args.cell_timeout == 30.0
+
+    def test_injected_fault_retried_transparently(self, capsys,
+                                                  monkeypatch):
+        from repro.testing.faults import ENV_VAR, reset_faults
+
+        monkeypatch.setenv(ENV_VAR, "session.advance:raise:51")
+        reset_faults()
+        assert main(["sweep", "--workloads", "libq",
+                     "--schemes", "sca", "drcat", *FAST]) == 0
+        assert "libq/drcat" in capsys.readouterr().out
+
+    def test_permanent_failure_exits_nonzero_with_summary(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        from repro.testing.faults import ENV_VAR, reset_faults
+
+        monkeypatch.setenv(ENV_VAR, "session.advance:raise:52")
+        reset_faults()
+        report_path = tmp_path / "report.json"
+        assert main(["sweep", "--workloads", "libq",
+                     "--schemes", "sca", "drcat", *FAST,
+                     "--keep-going", "--max-retries", "0",
+                     "--report", str(report_path)]) == 1
+        out = capsys.readouterr().out
+        assert "failed cells:" in out
+        assert "InjectedFault" in out
+        doc = json.loads(report_path.read_text(encoding="utf-8"))
+        assert doc["ok"] is False
+        assert doc["counts"] == {"ok": 1, "failed": 1}
+
+    def test_keep_going_report_on_success(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert main(["sweep", "--workloads", "libq", "--schemes", "sca",
+                     *FAST, "--keep-going", "--report", str(report_path),
+                     "--json"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["libq/sca"] is not None
+        doc = json.loads(report_path.read_text(encoding="utf-8"))
+        assert doc["ok"] is True and doc["counts"] == {"ok": 1}
+
+    def test_plan_run_keep_going(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.testing.faults import ENV_VAR, reset_faults
+
+        plan_doc = {
+            "kind": "repro-experiment-plan",
+            "plan_version": 1,
+            "base": {
+                "scheme": {"kind": "drcat", "params": {}, "label": None},
+                "workload": "libq", "scale": 128.0, "n_banks": 1,
+                "n_intervals": 1,
+            },
+            "axes": [["scheme", [
+                {"kind": "sca", "params": {}, "label": None},
+                {"kind": "drcat", "params": {}, "label": None},
+            ]]],
+        }
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(plan_doc), encoding="utf-8")
+        monkeypatch.setenv(ENV_VAR, "session.advance:raise:53")
+        reset_faults()
+        assert main(["plan", "--spec", str(plan_path), "--run",
+                     "--keep-going", "--max-retries", "0", "--json"]) == 1
+        out = capsys.readouterr().out
+        cells = json.loads(out)
+        assert [c["result"] is None for c in cells] == [True, False]
