@@ -198,6 +198,11 @@ def emit(
 ) -> Artifact:
     """Render, print, and persist one paper-style table.
 
+    New figure?  Emitting the artifact is step 1 of 5 — see "Adding a
+    new figure" in DESIGN.md for the full checklist (bench → register
+    in BENCH_MODULES → bless goldens → renderer in
+    src/repro/figures/paper.py → docs/REPORT.md entry).
+
     Writes the text table to ``results/<name>.txt`` and the schema
     artifact to ``results/<name>.json``; returns the artifact so bench
     ``artifacts()`` entry points can hand it to ``repro verify``.

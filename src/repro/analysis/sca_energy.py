@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.dram.config import ROW_REFRESH_ENERGY_NJ
+from repro.dram.config import REFRESH_INTERVAL_S, ROW_REFRESH_ENERGY_NJ
 from repro.energy.hardware_model import scheme_hardware
 
 #: Figure 2's x-axis: counters per bank.
@@ -130,6 +130,53 @@ def counter_cache_energy_nj(
         )
     equivalent_m = COUNTER_CACHE_SIZES[cache_label]
     return counter_energy_nj(equivalent_m, accesses_per_interval, refresh_threshold)
+
+
+def mitigation_energy_nj(total_mw: float) -> float:
+    """Mitigation energy of one 64 ms refresh interval (nJ).
+
+    Converts a CMRPO-style mitigation *power* (mW per bank, see
+    :class:`repro.energy.cmrpo.CMRPOBreakdown`) into the per-interval
+    *energy* the Figure 2-style plots use: ``P[mW] × 64 ms`` (1 mW over
+    an interval is 6.4e4 nJ).
+
+    Parameters
+    ----------
+    total_mw:
+        Mitigation power in mW per bank (must be >= 0).
+
+    Returns
+    -------
+    float
+        Energy spent over one refresh interval, in nJ.
+    """
+    if total_mw < 0:
+        raise ValueError("total_mw must be non-negative")
+    return total_mw * 1e-3 * REFRESH_INTERVAL_S * 1e9
+
+
+def energy_savings_pct(baseline_nj: float, scheme_nj: float) -> float:
+    """Per-interval mitigation-energy saving vs a baseline (percent).
+
+    Positive when the scheme spends less energy than the baseline;
+    negative when it spends more (PRA vs a cheap counter scheme).  100%
+    means free; 0% means parity.
+
+    Parameters
+    ----------
+    baseline_nj:
+        Baseline scheme's per-interval energy in nJ (must be > 0).
+    scheme_nj:
+        Compared scheme's per-interval energy in nJ.
+
+    Returns
+    -------
+    float
+        ``100 × (1 − scheme/baseline)``.
+    """
+    if baseline_nj <= 0:
+        raise ValueError("baseline_nj must be positive")
+    return 100.0 * (1.0 - scheme_nj / baseline_nj)
 
 
 def energy_crossover_m(points: list[SCAEnergyPoint]) -> int:

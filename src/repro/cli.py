@@ -13,6 +13,7 @@ Subcommands::
     python -m repro plan --example
     python -m repro list {workloads,schemes,attacks}
     python -m repro verify [--fidelity ci|smoke|full] [--session checkpoint]
+    python -m repro figures [--html] [--golden-overlay] [--from DIR] [--out DIR]
     python -m repro cache stats|clear [--results] [--traces]
     python -m repro workloads
     python -m repro hardware [--counters 64]
@@ -483,6 +484,73 @@ def cmd_verify(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_figures(args: argparse.Namespace) -> int:
+    """``repro figures``: render artifact JSON to SVG figures + HTML."""
+    from pathlib import Path
+
+    from repro.figures import render_directory
+    from repro.report.verify import default_benchmarks_dir
+
+    bench_dir = default_benchmarks_dir()
+    if args.source:
+        results_dir = Path(args.source)
+    elif bench_dir is not None:
+        results_dir = bench_dir / "results"
+    else:
+        print("error: no benchmarks/ directory found; pass --from DIR")
+        return 2
+    if not results_dir.is_dir():
+        print(f"error: no such artifact directory: {results_dir}")
+        return 2
+    out_dir = Path(args.out) if args.out else results_dir / "figures"
+
+    golden_dir = None
+    if args.golden_overlay:
+        if args.golden_dir:
+            golden_dir = Path(args.golden_dir)
+        elif bench_dir is not None:
+            golden_dir = bench_dir / "golden" / args.fidelity
+        else:
+            print("error: --golden-overlay needs --golden-dir DIR "
+                  "(no benchmarks/ directory found)")
+            return 2
+        if not golden_dir.is_dir():
+            print(f"error: no such golden directory: {golden_dir}")
+            return 2
+
+    perf_path = None
+    if args.perf:
+        perf_path = Path(args.perf)
+    elif bench_dir is not None:
+        candidate = bench_dir.parent / "BENCH_perf.json"
+        if candidate.is_file():
+            perf_path = candidate
+
+    report = render_directory(
+        results_dir,
+        out_dir,
+        golden_dir=golden_dir,
+        html=args.html,
+        only=args.only or None,
+        perf_path=perf_path,
+        png=args.png,
+    )
+    for name, reason in report.skipped:
+        print(f"skip {name}: {reason}")
+    for name, reason in report.errors:
+        print(f"ERROR {name}: {reason}")
+    diffs = sum(1 for f in report.rendered if f.golden_status == "diff")
+    overlay_note = f", {diffs} differ from golden" if golden_dir else ""
+    print(f"rendered {len(report.rendered)} figure(s) to {out_dir} "
+          f"in {report.elapsed_s:.2f}s{overlay_note}")
+    if report.index_path is not None:
+        print(f"index -> {report.index_path}")
+    if not report.rendered and not report.skipped and not report.errors:
+        print(f"error: no figure artifacts found under {results_dir}")
+        return 2
+    return 0 if report.ok else 1
+
+
 def _result_store_root(args: argparse.Namespace):
     """The sweep-cell result-cache root the benches would use."""
     import os
@@ -810,6 +878,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument("--list", action="store_true",
                        help="list registered bench modules and exit")
     p_ver.set_defaults(func=cmd_verify)
+
+    p_fig = sub.add_parser(
+        "figures",
+        help="render figure artifacts (results/*.json) to SVG + an "
+             "HTML index with golden overlays",
+    )
+    p_fig.add_argument("--from", dest="source", default=None, metavar="DIR",
+                       help="artifact directory (default benchmarks/results; "
+                            "a golden store works too)")
+    p_fig.add_argument("--out", default=None, metavar="DIR",
+                       help="output directory (default <from>/figures)")
+    p_fig.add_argument("--html", action="store_true",
+                       help="also write index.html (summary table, inline "
+                            "SVGs, verdicts, tolerance annotations)")
+    p_fig.add_argument("--golden-overlay", action="store_true",
+                       help="overlay golden values on each figure and "
+                            "attach the verify comparator's verdict")
+    p_fig.add_argument("--fidelity", choices=list(FIDELITIES), default="ci",
+                       help="golden store fidelity for --golden-overlay "
+                            "(default ci)")
+    p_fig.add_argument("--golden-dir", default=None, metavar="DIR",
+                       help="explicit golden store root (default "
+                            "benchmarks/golden/<fidelity>)")
+    p_fig.add_argument("--only", nargs="*", default=None, metavar="NAME",
+                       help="restrict to the named artifacts")
+    p_fig.add_argument("--perf", default=None, metavar="FILE",
+                       help="perf report to chart (default: repo-root "
+                            "BENCH_perf.json when present)")
+    p_fig.add_argument("--png", action="store_true",
+                       help="also rasterise PNGs when an SVG converter "
+                            "is installed (best-effort; SVG is canonical)")
+    p_fig.set_defaults(func=cmd_figures)
 
     p_cache = sub.add_parser(
         "cache",

@@ -90,6 +90,39 @@ class CMRPOBreakdown:
         )
 
 
+def mean_breakdown(breakdowns) -> CMRPOBreakdown:
+    """Component-wise arithmetic mean of several breakdowns.
+
+    The power-comparison figures report a scheme's 18-workload average
+    per component; averaging component-wise keeps the identity
+    ``mean.total_mw == mean of totals`` exact (the components are
+    linear).  All inputs must share one reference power.
+
+    Parameters
+    ----------
+    breakdowns:
+        Iterable of :class:`CMRPOBreakdown` (at least one).
+
+    Returns
+    -------
+    CMRPOBreakdown
+        The per-component mean, under the common reference power.
+    """
+    items = list(breakdowns)
+    if not items:
+        raise ValueError("mean_breakdown needs at least one breakdown")
+    reference = items[0].reference_mw
+    if any(b.reference_mw != reference for b in items):
+        raise ValueError("breakdowns use different reference powers")
+    n = len(items)
+    return CMRPOBreakdown(
+        dynamic_mw=sum(b.dynamic_mw for b in items) / n,
+        static_mw=sum(b.static_mw for b in items) / n,
+        refresh_mw=sum(b.refresh_mw for b in items) / n,
+        reference_mw=reference,
+    )
+
+
 def compute_cmrpo(
     scheme: str,
     accesses_per_interval: float,

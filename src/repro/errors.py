@@ -109,10 +109,12 @@ class CellFailure:
         )
 
     def to_dict(self) -> dict:
+        """Flat JSON-ready record of this failure."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, doc: dict) -> "CellFailure":
+        """Rebuild a failure record serialized by :meth:`to_dict`."""
         return cls(**doc)
 
 
@@ -158,6 +160,7 @@ class CellStatus:
     failures: list[CellFailure] = field(default_factory=list)
 
     def to_dict(self) -> dict:
+        """JSON-ready record, failures serialized recursively."""
         doc = asdict(self)
         doc["failures"] = [f.to_dict() for f in self.failures]
         return doc

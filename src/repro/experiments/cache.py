@@ -66,6 +66,7 @@ class ResultCache:
         return cls(cache)
 
     def path_for(self, spec: ExperimentSpec) -> Path:
+        """The store path for ``spec`` (keyed by its content hash)."""
         return self.root / f"{spec.content_hash()}.json"
 
     def get(self, spec: ExperimentSpec):

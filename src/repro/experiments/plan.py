@@ -158,6 +158,7 @@ class Plan:
     # -- serialization ----------------------------------------------------
 
     def to_dict(self) -> dict:
+        """JSON-ready plan document (grid form when one is known)."""
         doc: dict = {"kind": PLAN_KIND, "plan_version": PLAN_VERSION}
         if self.source is not None and "concat" not in self.source:
             doc.update(self.source)
@@ -167,6 +168,7 @@ class Plan:
 
     @classmethod
     def from_dict(cls, doc: dict) -> "Plan":
+        """Validate and expand a plan document (grid or spec list)."""
         if not isinstance(doc, dict) or doc.get("kind") != PLAN_KIND:
             raise SpecError(
                 f"not a {PLAN_KIND!r} document (run `repro plan --example` "
@@ -199,6 +201,7 @@ class Plan:
         return cls.grid(base, **axes)
 
     def to_json(self) -> str:
+        """The :meth:`to_dict` document as indented JSON text."""
         return json.dumps(self.to_dict(), indent=2) + "\n"
 
 

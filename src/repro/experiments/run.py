@@ -311,6 +311,7 @@ class SweepReport:
         return out
 
     def total_attempts(self) -> int:
+        """Execution attempts summed over all cells (retries included)."""
         return sum(c.attempts for c in self.cells)
 
     def to_dict(self) -> dict:

@@ -140,6 +140,7 @@ class SchemeSpec:
         return self.label or self.kind
 
     def to_dict(self) -> dict:
+        """JSON-ready form: kind, params dict, optional label."""
         return {
             "kind": self.kind,
             "params": params_to_dict(self.params),
@@ -148,6 +149,7 @@ class SchemeSpec:
 
     @classmethod
     def from_dict(cls, doc: dict) -> "SchemeSpec":
+        """Rebuild a scheme spec serialized by :meth:`to_dict`."""
         try:
             kind = doc["kind"]
         except (TypeError, KeyError):
@@ -340,6 +342,7 @@ class ExperimentSpec:
             raise SpecError(f"invalid spec document: {exc}") from None
 
     def to_json(self) -> str:
+        """The :meth:`to_dict` document as indented JSON text."""
         return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
 
     def canonical_dict(self) -> dict:

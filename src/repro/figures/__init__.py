@@ -1,0 +1,43 @@
+"""Figure/report rendering layer: JSON artifacts → SVG figures + HTML.
+
+The last mile of the reproduction pipeline.  Benches emit versioned
+JSON artifacts (:mod:`repro.report.schema`), ``repro verify`` gates
+them against goldens, and this package makes them *visible*: a renderer
+registry maps every artifact kind to a deterministic SVG figure
+(:mod:`repro.figures.paper` via :mod:`repro.figures.registry`), and
+``repro figures [--html]`` renders a whole directory into an
+index page with golden-vs-current overlays, tolerance annotations, and
+the perf trajectory (:mod:`repro.figures.render`,
+:mod:`repro.figures.html`, :mod:`repro.figures.perf`).
+
+Everything here is standard-library only (see
+:mod:`repro.figures.svg`); optional rasterisers are gated, never
+required.  See DESIGN.md "The reporting layer" and docs/REPORT.md for
+the rendered gallery.
+"""
+
+from repro.figures.registry import (
+    RenderContext,
+    register,
+    registered_patterns,
+    renderer_for,
+    resolve,
+)
+from repro.figures.render import (
+    RenderedFigure,
+    RenderReport,
+    render_artifact,
+    render_directory,
+)
+
+__all__ = [
+    "RenderContext",
+    "RenderReport",
+    "RenderedFigure",
+    "register",
+    "registered_patterns",
+    "render_artifact",
+    "render_directory",
+    "renderer_for",
+    "resolve",
+]

@@ -1,0 +1,151 @@
+"""Self-contained HTML index for a rendered figure set.
+
+One page, zero external assets: every figure's SVG is inlined, so the
+file can be opened from a CI artifact bundle or e-mailed around without
+a web server.  The page is deterministic (no timestamps) for the same
+reason the SVGs are — rendering the same artifacts twice must produce
+identical bytes.
+
+Layout:
+
+* a summary table — one row per artifact (name, title, golden verdict,
+  declared tolerances) linking to its section — which is also the
+  machine-checkable completeness surface the docs CI job asserts on
+  (``id="summary"``, one ``data-artifact`` row per input);
+* one section per figure: the inline SVG, the golden-vs-current verdict
+  with per-cell differences when a golden was compared, and the
+  tolerance-policy annotations that explain how much drift ``repro
+  verify`` would accept;
+* skipped-input warnings (unknown artifact kinds, stray JSON);
+* the perf-trajectory panel from ``BENCH_perf.json`` when available.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+_STYLE = """
+body { font-family: ui-sans-serif, 'Helvetica Neue', Arial, sans-serif;
+       margin: 2rem auto; max-width: 960px; color: #222; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2.5rem; }
+table.summary { border-collapse: collapse; width: 100%; font-size: 0.9rem; }
+table.summary th, table.summary td { border-bottom: 1px solid #ddd;
+       text-align: left; padding: 0.3rem 0.6rem; }
+.badge { padding: 0.1rem 0.5rem; border-radius: 0.6rem; font-size: 0.8rem; }
+.badge.match { background: #d9efd9; color: #145214; }
+.badge.diff { background: #f6d5d5; color: #7a1212; }
+.badge.no-golden { background: #eee8d0; color: #6b5b10; }
+.badge.off { background: #e8e8e8; color: #555; }
+.tolerance { color: #6b5b10; font-size: 0.85rem; }
+.diffs { color: #7a1212; font-size: 0.85rem; white-space: pre-wrap; }
+.warnings { color: #6b5b10; font-size: 0.9rem; }
+.errors { color: #7a1212; font-size: 0.9rem; }
+figure { margin: 1rem 0; } figure svg { max-width: 100%; height: auto; }
+.meta { color: #666; font-size: 0.85rem; }
+"""
+
+_BADGE_TEXT = {
+    "match": "matches golden",
+    "diff": "DIFFERS from golden",
+    "no-golden": "no golden found",
+    "off": "no overlay",
+}
+
+
+def _badge(status: str) -> str:
+    return (f'<span class="badge {escape(status)}">'
+            f"{escape(_BADGE_TEXT.get(status, status))}</span>")
+
+
+def _tolerance_note(figure) -> str:
+    if not figure.tolerances:
+        return ""
+    items = "; ".join(f"{escape(col)}: {escape(bound)}"
+                      for col, bound in sorted(figure.tolerances.items()))
+    return (f'<p class="tolerance">declared verify tolerances — {items} '
+            "(all other metrics gate exactly)</p>")
+
+
+def _diff_block(figure) -> str:
+    diff = figure.diff
+    if diff is None or diff.ok:
+        return ""
+    lines = "\n".join(escape(d.render()) for d in diff.differences)
+    return (f'<p class="diffs">{len(diff.differences)} difference(s) vs '
+            f"golden:\n{lines}</p>")
+
+
+def build_index(
+    rendered: list,
+    *,
+    skipped: list[tuple[str, str]] | None = None,
+    errors: list[tuple[str, str]] | None = None,
+    perf=None,
+    source: str = "",
+    overlay: bool = False,
+) -> str:
+    """Assemble the index page (returns full HTML text).
+
+    ``rendered`` is the :class:`~repro.figures.render.RenderedFigure`
+    list in render order; ``perf`` an optional perf-trajectory figure;
+    ``skipped``/``errors`` the non-fatal and fatal problem lists from
+    the :class:`~repro.figures.render.RenderReport`.
+    """
+    skipped = skipped or []
+    errors = errors or []
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8"/>',
+        "<title>repro figure index</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        "<h1>repro figure index</h1>",
+        f'<p class="meta">rendered from <code>{escape(source)}</code> — '
+        f"{len(rendered)} figure(s)"
+        + (", golden overlay on" if overlay else "")
+        + "</p>",
+    ]
+
+    parts.append('<table class="summary" id="summary">')
+    parts.append("<tr><th>artifact</th><th>title</th><th>golden</th>"
+                 "<th>tolerances</th></tr>")
+    for figure in rendered:
+        tol = ", ".join(sorted(figure.tolerances)) or "exact"
+        parts.append(
+            f'<tr data-artifact="{escape(figure.name)}">'
+            f'<td><a href="#{escape(figure.name)}">'
+            f"{escape(figure.name)}</a></td>"
+            f"<td>{escape(figure.title)}</td>"
+            f"<td>{_badge(figure.golden_status)}</td>"
+            f"<td>{escape(tol)}</td></tr>"
+        )
+    parts.append("</table>")
+
+    if errors:
+        parts.append('<div class="errors"><p>render errors:</p><ul>')
+        for name, reason in errors:
+            parts.append(f"<li><code>{escape(name)}</code>: "
+                         f"{escape(reason)}</li>")
+        parts.append("</ul></div>")
+    if skipped:
+        parts.append('<div class="warnings"><p>skipped inputs:</p><ul>')
+        for name, reason in skipped:
+            parts.append(f"<li><code>{escape(name)}</code>: "
+                         f"{escape(reason)}</li>")
+        parts.append("</ul></div>")
+
+    for figure in rendered:
+        parts.append(f'<h2 id="{escape(figure.name)}">'
+                     f"{escape(figure.name)}</h2>")
+        parts.append(f'<p class="meta">{escape(figure.title)} '
+                     f"{_badge(figure.golden_status)}</p>")
+        parts.append(_tolerance_note(figure))
+        parts.append(_diff_block(figure))
+        parts.append(f"<figure>{figure.svg}</figure>")
+
+    if perf is not None:
+        parts.append('<h2 id="bench_perf">performance trajectory</h2>')
+        parts.append(f'<p class="meta">{escape(perf.title)}</p>')
+        parts.append(f"<figure>{perf.svg}</figure>")
+
+    parts.append("</body></html>")
+    return "\n".join(p for p in parts if p) + "\n"

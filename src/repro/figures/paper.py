@@ -1,0 +1,221 @@
+"""Built-in renderers: one per checked-in paper figure/table artifact.
+
+Each renderer re-creates the *shape* of the corresponding figure in the
+paper from the JSON artifact alone — no simulation, no benchmarks
+import — so any ``results/*.json`` (or a golden store directly) renders
+the same way.  Renderers register themselves by artifact-name pattern
+(:mod:`repro.figures.registry`); the coverage test in
+``tests/test_figures.py`` proves every golden artifact kind resolves to
+one of these.
+
+Conventions:
+
+* numeric-looking string cells (several benches emit ``"1.42e-04"``)
+  are coerced through :meth:`repro.figures.svg.Series.make`;
+* a golden artifact in the :class:`~repro.figures.registry.RenderContext`
+  becomes overlay marks (bar ticks / dashed lines) drawn from the same
+  columns as the current series;
+* CMRPO/ETO-style per-workload figures render categories in artifact row
+  order, which matches the paper's workload order.
+"""
+
+from __future__ import annotations
+
+from repro.figures.registry import RenderContext, register
+from repro.figures.svg import Series, grouped_bar_chart, line_chart, table_figure
+from repro.report.schema import Artifact
+
+
+def _numeric_columns(artifact: Artifact) -> list[str]:
+    """The artifact columns holding at least one numeric-coercible cell."""
+    out = []
+    for column in artifact.columns:
+        series = Series.make(column, [r.get(column) for r in artifact.rows])
+        if any(v is not None for v in series.values):
+            out.append(column)
+    return out
+
+
+def _column_series(artifact: Artifact | None, columns: list[str],
+                   rows=None) -> list[Series]:
+    """One series per column over ``rows`` (default: artifact rows)."""
+    if artifact is None:
+        return []
+    rows = artifact.rows if rows is None else rows
+    return [Series.make(c, [r.get(c) for r in rows]) for c in columns]
+
+
+def _bar_figure(artifact: Artifact, ctx: RenderContext,
+                category_column: str, value_columns: list[str],
+                y_label: str, y_log: bool = False,
+                categories: list[str] | None = None) -> str:
+    """Shared grouped-bars path: current series + aligned golden ticks."""
+    if categories is None:
+        categories = [str(r.get(category_column)) for r in artifact.rows]
+    series = _column_series(artifact, value_columns)
+    golden = None
+    if ctx.golden is not None and len(ctx.golden.rows) == len(artifact.rows):
+        golden = _column_series(ctx.golden, value_columns)
+    return grouped_bar_chart(artifact.title, categories, series,
+                             y_label=y_label, y_log=y_log, golden=golden)
+
+
+@register("fig8_cmrpo_t*")
+def fig8_cmrpo(artifact: Artifact, ctx: RenderContext) -> str:
+    """Figure 8: CMRPO (%) per workload, one bar group per workload."""
+    schemes = [c for c in artifact.columns if c != "workload"]
+    return _bar_figure(artifact, ctx, "workload", schemes, "CMRPO (%)")
+
+
+@register("fig9_eto_t*")
+def fig9_eto(artifact: Artifact, ctx: RenderContext) -> str:
+    """Figure 9: ETO (%) per workload, one bar group per workload."""
+    schemes = [c for c in artifact.columns if c != "workload"]
+    return _bar_figure(artifact, ctx, "workload", schemes, "ETO (%)")
+
+
+@register("fig10_sweep_t*")
+def fig10_sweep(artifact: Artifact, ctx: RenderContext) -> str:
+    """Figure 10: mean CMRPO vs counters M across CAT depth limits."""
+    schemes = [c for c in artifact.columns if c != "M"]
+    return _bar_figure(artifact, ctx, "M", schemes, "mean CMRPO (%)")
+
+
+@register("fig11_mapping_t*")
+def fig11_mapping(artifact: Artifact, ctx: RenderContext) -> str:
+    """Figure 11: CMRPO per system configuration / mapping policy."""
+    schemes = [c for c in artifact.columns if c != "config"]
+    return _bar_figure(artifact, ctx, "config", schemes, "CMRPO (%)")
+
+
+@register("fig12_thresholds")
+def fig12_thresholds(artifact: Artifact, ctx: RenderContext) -> str:
+    """Figure 12: mean CMRPO vs refresh threshold at iso-area."""
+    schemes = [c for c in artifact.columns if c != "T"]
+    return _bar_figure(artifact, ctx, "T", schemes, "mean CMRPO (%)")
+
+
+@register("fig13_attacks")
+def fig13_attacks(artifact: Artifact, ctx: RenderContext) -> str:
+    """Figure 13: mean ETO under kernel attacks per (T, intensity)."""
+    schemes = [c for c in artifact.columns if c not in ("T", "mode")]
+    categories = [f"{r.get('T')}/{r.get('mode')}" for r in artifact.rows]
+    return _bar_figure(artifact, ctx, "", schemes, "mean ETO (%)",
+                       categories=categories)
+
+
+@register("fig1_unsurvivability")
+def fig1_unsurvivability(artifact: Artifact, ctx: RenderContext) -> str:
+    """Figure 1: PRA 5-year unsurvivability vs threshold, log-y lines."""
+    p_columns = [c for c in artifact.columns if c.startswith("p=")]
+    xs = []
+    for row in artifact.rows:
+        label = str(row.get("T", "0")).lower().rstrip("k")
+        try:
+            xs.append(float(label))
+        except ValueError:
+            xs.append(None)
+    series = _column_series(artifact, p_columns)
+    golden = None
+    if ctx.golden is not None and len(ctx.golden.rows) == len(artifact.rows):
+        golden = _column_series(ctx.golden, p_columns)
+    return line_chart(artifact.title, xs, series,
+                      x_label="refresh threshold T (K rows)",
+                      y_label="unsurvivability", y_log=True,
+                      golden=golden,
+                      ref_lines=[("Chipkill 1e-4", 1e-4)])
+
+
+@register("fig1_lfsr_study")
+def fig1_lfsr_study(artifact: Artifact, ctx: RenderContext) -> str:
+    """Section III-A: LFSR vs TRNG window failure rates, log-y bars."""
+    return _bar_figure(artifact, ctx, "source", ["failure_rate"],
+                       "window failure rate", y_log=True)
+
+
+@register("fig2_sca_energy")
+def fig2_sca_energy(artifact: Artifact, ctx: RenderContext) -> str:
+    """Figure 2: SCA energy vs M, log-log lines + cache reference lines."""
+    sweep_rows = [r for r in artifact.rows
+                  if isinstance(r.get("M"), (int, float))]
+    xs = [float(r["M"]) for r in sweep_rows]
+    columns = ["counter_nJ", "refresh_nJ", "total_nJ"]
+    series = _column_series(artifact, columns, rows=sweep_rows)
+    refs = []
+    for row in artifact.rows:
+        if isinstance(row.get("M"), str) and row.get("total_nJ") is not None:
+            try:
+                refs.append((str(row["M"]), float(row["total_nJ"])))
+            except ValueError:
+                continue
+    golden = None
+    if ctx.golden is not None:
+        golden_rows = [r for r in ctx.golden.rows
+                       if isinstance(r.get("M"), (int, float))]
+        if len(golden_rows) == len(sweep_rows):
+            golden = _column_series(ctx.golden, columns, rows=golden_rows)
+    return line_chart(artifact.title, xs, series,
+                      x_label="counters per bank M",
+                      y_label="nJ per interval",
+                      x_log=True, y_log=True, golden=golden, ref_lines=refs)
+
+
+@register("fig3_row_frequency")
+def fig3_row_frequency(artifact: Artifact, ctx: RenderContext) -> str:
+    """Figure 3: access concentration per workload (log-y bar groups)."""
+    columns = [c for c in artifact.columns if c != "workload"]
+    return _bar_figure(artifact, ctx, "workload", columns,
+                       "count / share (log)", y_log=True)
+
+
+@register("counter_cache")
+def counter_cache(artifact: Artifact, ctx: RenderContext) -> str:
+    """Counter-cache comparison: victim rows per scheme per workload."""
+    columns = [c for c in _numeric_columns(artifact) if c != "workload"]
+    return _bar_figure(artifact, ctx, "workload", columns,
+                       "per-interval magnitude (log)", y_log=True)
+
+
+@register("ablation_presplit")
+def ablation_presplit(artifact: Artifact, ctx: RenderContext) -> str:
+    """Ablation: pre-split depth λ vs SRAM reads / refreshes / depth."""
+    columns = [c for c in artifact.columns if c != "lambda"]
+    categories = [f"λ={r.get('lambda')}" for r in artifact.rows]
+    return _bar_figure(artifact, ctx, "", columns, "magnitude (log)",
+                       y_log=True, categories=categories)
+
+
+@register("ablation_thresholds")
+def ablation_thresholds(artifact: Artifact, ctx: RenderContext) -> str:
+    """Ablation: split-threshold schedule strategies, log-y bar groups."""
+    columns = [c for c in artifact.columns if c != "strategy"]
+    return _bar_figure(artifact, ctx, "strategy", columns,
+                       "CMRPO (%) / rows (log)", y_log=True)
+
+
+@register("table1_config")
+@register("table2_hardware")
+@register("table2_prng")
+def tables(artifact: Artifact, ctx: RenderContext) -> str:
+    """Tables I/II: monospaced table cards (no chart shape to re-create)."""
+    return table_figure(artifact.title, list(artifact.columns),
+                        [dict(r) for r in artifact.rows])
+
+
+@register("power_breakdown")
+def power_breakdown(artifact: Artifact, ctx: RenderContext) -> str:
+    """Power figure: CMRPO component breakdown per scheme (log-y bars)."""
+    columns = ["dynamic_mw", "static_mw", "refresh_mw", "total_mw"]
+    categories = [f"{r.get('scheme')}@{r.get('T')}" for r in artifact.rows]
+    return _bar_figure(artifact, ctx, "", columns,
+                       "power (mW per bank, log)", y_log=True,
+                       categories=categories)
+
+
+@register("energy_savings")
+def energy_savings(artifact: Artifact, ctx: RenderContext) -> str:
+    """Energy figure: per-scheme mitigation energy saving vs baselines."""
+    columns = [c for c in artifact.columns if c.startswith("savings_")]
+    categories = [f"{r.get('scheme')}@{r.get('T')}" for r in artifact.rows]
+    return _bar_figure(artifact, ctx, "", columns, "energy saving (%)",
+                       categories=categories)

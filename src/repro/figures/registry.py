@@ -1,0 +1,93 @@
+"""Renderer registry: artifact kinds → figure renderers.
+
+Every ``repro-figure-artifact`` kind a bench emits (see
+``repro.report.verify.BENCH_MODULES``) registers exactly one renderer —
+a callable turning the validated :class:`~repro.report.schema.Artifact`
+into SVG text.  Registration is by ``fnmatch`` pattern so one renderer
+can cover a per-threshold family (``fig8_cmrpo_t*``); the first
+matching pattern wins, in registration order.
+
+The registry is the introspection point the rest of the layer builds
+on: ``repro figures`` resolves renderers through :func:`renderer_for`
+(unknown artifact kinds are *skipped with a warning*, never fatal), and
+the coverage test walks :func:`registered_patterns` against the golden
+store to prove no checked-in artifact kind is unrenderable.
+
+To add a figure, decorate a renderer in :mod:`repro.figures.paper`::
+
+    @register("fig42_roofline*")
+    def fig42(artifact, ctx):
+        return grouped_bar_chart(artifact.title, ...)
+
+and follow the "Adding a new figure" checklist in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Callable, Optional
+
+from repro.report.schema import Artifact
+
+
+@dataclass(frozen=True)
+class RenderContext:
+    """Per-render inputs beyond the artifact itself.
+
+    ``golden`` carries the matching golden-store artifact when the
+    caller asked for an overlay (None otherwise); ``tolerances`` maps
+    column name → human-readable declared tolerance bound for this
+    artifact (from the verify tolerance policy), used for overlay
+    annotations in the HTML index.
+    """
+
+    golden: Optional[Artifact] = None
+    tolerances: dict = field(default_factory=dict)
+
+
+#: A renderer maps (artifact, context) → standalone SVG text.
+Renderer = Callable[[Artifact, RenderContext], str]
+
+#: Ordered (pattern, renderer) pairs; first fnmatch wins.
+_RENDERERS: list[tuple[str, Renderer]] = []
+
+
+def register(pattern: str) -> Callable[[Renderer], Renderer]:
+    """Class the decorated callable as the renderer for ``pattern``.
+
+    ``pattern`` is an ``fnmatch`` glob over artifact names.  Returns the
+    callable unchanged so renderers stay plain functions.
+    """
+    def wrap(fn: Renderer) -> Renderer:
+        _RENDERERS.append((pattern, fn))
+        return fn
+    return wrap
+
+
+def renderer_for(name: str) -> Renderer | None:
+    """The registered renderer for one artifact name (None = unknown)."""
+    for pattern, fn in _RENDERERS:
+        if fnmatchcase(name, pattern):
+            return fn
+    return None
+
+
+def registered_patterns() -> tuple[str, ...]:
+    """All registered patterns, in match-priority order."""
+    _ensure_loaded()
+    return tuple(pattern for pattern, _ in _RENDERERS)
+
+
+def _ensure_loaded() -> None:
+    """Import the built-in renderer module exactly once."""
+    # paper.py registers at import time; importing it here (not at module
+    # top) keeps registry importable without the chart stack and avoids
+    # a circular import (paper imports `register` from this module).
+    from repro.figures import paper  # noqa: F401
+
+
+def resolve(name: str) -> Renderer | None:
+    """Public lookup: load built-ins, then match ``name``."""
+    _ensure_loaded()
+    return renderer_for(name)

@@ -1,0 +1,232 @@
+"""Directory-level figure rendering: ``results/*.json`` → SVG + HTML.
+
+This is the engine behind ``repro figures``: walk a directory of
+``repro-figure-artifact`` JSON documents (a bench ``results/`` dir or a
+golden store), resolve each artifact's renderer through the registry,
+and write one deterministic SVG per figure plus an optional HTML index
+(:mod:`repro.figures.html`) with golden-vs-current overlays and
+tolerance annotations.
+
+Failure policy mirrors the rest of the reporting layer:
+
+* an artifact whose *kind* has no registered renderer is **skipped with
+  a warning** (new benches may land before their renderer — the docs CI
+  job's completeness check catches a registry gap on the golden store);
+* an unreadable/invalid JSON document is skipped with a warning too
+  (stray files live next to artifacts in ``results/``);
+* a renderer *crash* is an error: it is reported per-figure and the run
+  exits nonzero, because it means a registered renderer cannot handle
+  an artifact it claims.
+
+PNG output is best-effort and gated on optional dependencies (see
+:func:`write_png`); SVG is the canonical, committed, diffable form.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.figures.registry import RenderContext, resolve
+from repro.report.compare import compare_artifacts, declared_tolerances
+from repro.report.schema import Artifact, SchemaError, load_artifact
+
+
+@dataclass(frozen=True)
+class RenderedFigure:
+    """One successfully rendered artifact."""
+
+    name: str
+    title: str
+    svg: str
+    #: source JSON path (None when rendered from an in-memory artifact)
+    source: Path | None = None
+    #: "match" / "diff" / "no-golden" / "off" (overlay not requested)
+    golden_status: str = "off"
+    #: comparator outcome when a golden was found (None otherwise)
+    diff: object = None
+    #: column -> human-readable declared tolerance bound
+    tolerances: dict = field(default_factory=dict)
+
+
+@dataclass
+class RenderReport:
+    """Outcome of one directory render run."""
+
+    rendered: list[RenderedFigure] = field(default_factory=list)
+    #: (artifact name or file name, reason) — non-fatal
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+    #: (artifact name, error message) — fatal for the run's exit code
+    errors: list[tuple[str, str]] = field(default_factory=list)
+    written: list[Path] = field(default_factory=list)
+    index_path: Path | None = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when no registered renderer crashed."""
+        return not self.errors
+
+
+def render_artifact(
+    artifact: Artifact,
+    golden: Artifact | None = None,
+    *,
+    source: Path | None = None,
+) -> RenderedFigure | None:
+    """Render one artifact through the registry (None = no renderer).
+
+    When ``golden`` is given, the figure gets overlay marks and the
+    comparator verdict (PASS/FAIL plus per-cell differences) is attached
+    for the HTML index; tolerance annotations come from the verify
+    tolerance policy either way.
+    """
+    renderer = resolve(artifact.name)
+    if renderer is None:
+        return None
+    tolerances = declared_tolerances(artifact.name, artifact.columns)
+    ctx = RenderContext(golden=golden, tolerances=tolerances)
+    svg = renderer(artifact, ctx)
+    status, diff = "off", None
+    if golden is not None:
+        diff = compare_artifacts(golden, artifact)
+        status = "match" if diff.ok else "diff"
+    return RenderedFigure(
+        name=artifact.name,
+        title=artifact.title,
+        svg=svg,
+        source=source,
+        golden_status=status,
+        diff=diff,
+        tolerances=tolerances,
+    )
+
+
+def iter_artifact_paths(directory: Path) -> list[Path]:
+    """The artifact JSON candidates of one directory, sorted by name."""
+    return sorted(p for p in directory.glob("*.json") if p.is_file())
+
+
+def write_png(svg_path: Path) -> Path | None:
+    """Best-effort SVG → PNG next to ``svg_path`` (None = unavailable).
+
+    Rasterisation needs a converter the core install does not require;
+    ``cairosvg`` is used when importable.  Absence is not an error —
+    SVG is the canonical output — the caller reports it once.
+    """
+    try:
+        import cairosvg  # type: ignore[import-not-found]
+    except ImportError:
+        return None
+    png_path = svg_path.with_suffix(".png")
+    cairosvg.svg2png(url=str(svg_path), write_to=str(png_path))
+    return png_path
+
+
+def render_directory(
+    results_dir: str | Path,
+    out_dir: str | Path,
+    *,
+    golden_dir: str | Path | None = None,
+    html: bool = False,
+    only: list[str] | None = None,
+    perf_path: str | Path | None = None,
+    png: bool = False,
+) -> RenderReport:
+    """Render every artifact JSON under ``results_dir`` into ``out_dir``.
+
+    ``golden_dir`` switches on golden-vs-current overlays (marks in the
+    SVGs, verdicts in the index).  ``only`` restricts to the named
+    artifacts.  ``html`` additionally writes ``index.html``;
+    ``perf_path`` names a ``BENCH_perf.json`` whose trajectory chart is
+    appended to the index.  Returns a :class:`RenderReport`; the caller
+    maps ``report.ok`` / warnings onto exit codes.
+    """
+    from repro.figures.perf import render_perf_report
+
+    t0 = time.perf_counter()
+    results_dir = Path(results_dir)
+    out_dir = Path(out_dir)
+    golden_root = Path(golden_dir) if golden_dir is not None else None
+    report = RenderReport()
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    png_missing_noted = False
+    for path in iter_artifact_paths(results_dir):
+        try:
+            artifact = load_artifact(path)
+        except SchemaError as exc:
+            report.skipped.append((path.name, f"not a figure artifact: {exc}"))
+            continue
+        if only and artifact.name not in only:
+            continue
+        golden = None
+        if golden_root is not None:
+            golden_path = golden_root / f"{artifact.name}.json"
+            if golden_path.is_file():
+                try:
+                    golden = load_artifact(golden_path)
+                except SchemaError as exc:
+                    report.skipped.append(
+                        (artifact.name, f"unreadable golden: {exc}"))
+        try:
+            figure = render_artifact(artifact, golden, source=path)
+        except Exception as exc:  # a registered renderer crashed
+            report.errors.append((artifact.name, f"{type(exc).__name__}: {exc}"))
+            continue
+        if figure is None:
+            report.skipped.append(
+                (artifact.name,
+                 "no renderer registered for this artifact kind"))
+            continue
+        if golden_root is not None and golden is None and \
+                figure.golden_status == "off":
+            figure = RenderedFigure(
+                name=figure.name, title=figure.title, svg=figure.svg,
+                source=figure.source, golden_status="no-golden",
+                diff=None, tolerances=figure.tolerances,
+            )
+        svg_path = out_dir / f"{figure.name}.svg"
+        svg_path.write_text(figure.svg, encoding="utf-8")
+        report.written.append(svg_path)
+        if png:
+            png_path = write_png(svg_path)
+            if png_path is not None:
+                report.written.append(png_path)
+            elif not png_missing_noted:
+                report.skipped.append(
+                    ("*.png", "no SVG rasteriser installed (cairosvg); "
+                              "SVG output is canonical"))
+                png_missing_noted = True
+        report.rendered.append(figure)
+
+    perf_figure = None
+    if perf_path is not None and Path(perf_path).is_file():
+        try:
+            perf_figure = render_perf_report(Path(perf_path))
+        except (ValueError, KeyError, OSError) as exc:
+            report.skipped.append(
+                (str(perf_path), f"perf report unreadable: {exc}"))
+    if perf_figure is not None:
+        perf_svg = out_dir / "bench_perf.svg"
+        perf_svg.write_text(perf_figure.svg, encoding="utf-8")
+        report.written.append(perf_svg)
+
+    if html:
+        from repro.figures.html import build_index
+
+        index = build_index(
+            report.rendered,
+            skipped=report.skipped,
+            errors=report.errors,
+            perf=perf_figure,
+            source=str(results_dir),
+            overlay=golden_root is not None,
+        )
+        index_path = out_dir / "index.html"
+        index_path.write_text(index, encoding="utf-8")
+        report.written.append(index_path)
+        report.index_path = index_path
+    report.elapsed_s = time.perf_counter() - t0
+    return report

@@ -1,0 +1,476 @@
+"""Deterministic, dependency-free SVG chart backend.
+
+The rendering layer must work in any environment the simulator works in
+(CI runners, containers without a display or matplotlib), and its output
+must be byte-for-byte reproducible so rendered figures can be committed
+and diffed like the JSON artifacts they come from.  This module is that
+backend: a small plot kit written against nothing but the standard
+library, emitting stable SVG text — fixed float formatting, no
+timestamps, no randomness, element order fixed by input order.
+
+Three chart forms cover every paper figure (see
+:mod:`repro.figures.paper`):
+
+* :func:`grouped_bar_chart` — categorical x-axis, one bar group per
+  category (Figures 8-13, the ablations, the attack tables);
+* :func:`line_chart` — numeric x-axis with optional log scales
+  (Figure 2's energy sweep, Figure 1's unsurvivability curves);
+* :func:`table_figure` — monospaced table card (Tables I/II).
+
+Golden-overlay marks: bar charts accept per-series *golden* values and
+draw them as horizontal tick marks over the bars; line charts draw the
+golden series dashed.  Differences beyond the verify tolerance are the
+comparator's business (:mod:`repro.report.compare`); the overlay is a
+visual aid, not a gate.
+
+When matplotlib is installed the rendered SVG can additionally be
+rasterised to PNG (see :func:`repro.figures.render.write_png`); nothing
+in this module imports it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from xml.sax.saxutils import escape
+
+#: Categorical series palette (colour-blind-safe Okabe-Ito order).
+PALETTE = (
+    "#0072B2",  # blue
+    "#E69F00",  # orange
+    "#009E73",  # green
+    "#CC79A7",  # magenta
+    "#56B4E9",  # sky
+    "#D55E00",  # vermillion
+    "#F0E442",  # yellow
+    "#999999",  # grey
+)
+
+#: Overlay mark colour (golden reference ticks / dashed lines).
+GOLDEN_COLOR = "#222222"
+
+_FONT = "ui-sans-serif, 'Helvetica Neue', Arial, sans-serif"
+_MONO = "ui-monospace, 'SF Mono', Menlo, Consolas, monospace"
+
+
+def fmt(value: float) -> str:
+    """Deterministic short decimal form for SVG coordinates."""
+    text = f"{value:.2f}"
+    if text == "-0.00":
+        text = "0.00"
+    return text
+
+
+def fmt_tick(value: float) -> str:
+    """Deterministic human tick label (3 significant digits, SI-free)."""
+    if value == 0:
+        return "0"
+    mag = abs(value)
+    if mag >= 1e5 or mag < 1e-3:
+        return f"{value:.1e}"
+    if mag >= 100:
+        return f"{value:.0f}"
+    if mag >= 1:
+        return f"{value:g}" if value == round(value, 2) else f"{value:.2f}"
+    return f"{value:.3f}".rstrip("0").rstrip(".")
+
+
+def nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """~n 'nice' linear tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(1, n)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = mult * mag
+        if span / step <= n:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-9 * span:
+        ticks.append(0.0 if abs(t) < step * 1e-9 else t)
+        t += step
+    return ticks
+
+
+def log_ticks(lo: float, hi: float, n: int = 10) -> list[float]:
+    """Decade tick positions covering [lo, hi] (both must be > 0).
+
+    Wide ranges (Figure 1 spans ~75 decades) are strided so at most
+    ~``n`` labels render; the stride is a whole number of decades, so
+    every tick stays an exact power of ten.
+    """
+    lo_exp = math.floor(math.log10(lo))
+    hi_exp = math.ceil(math.log10(hi))
+    stride = max(1, math.ceil((hi_exp - lo_exp + 1) / n))
+    first = stride * math.ceil(lo_exp / stride)
+    return [10.0 ** e for e in range(first, hi_exp + 1, stride)]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named value series of a chart."""
+
+    label: str
+    values: tuple
+    color: str = ""
+
+    @staticmethod
+    def make(label: str, values, color: str = "") -> "Series":
+        """Build a series, tolerating None/str cells (coerced or dropped)."""
+        coerced = []
+        for v in values:
+            if isinstance(v, bool):
+                coerced.append(None)
+            elif isinstance(v, (int, float)):
+                coerced.append(float(v))
+            elif isinstance(v, str):
+                try:
+                    coerced.append(float(v))
+                except ValueError:
+                    coerced.append(None)
+            else:
+                coerced.append(None)
+        return Series(label, tuple(coerced), color)
+
+
+@dataclass
+class SvgDoc:
+    """An SVG document under construction (append-only element list)."""
+
+    width: int
+    height: int
+    parts: list = field(default_factory=list)
+
+    def line(self, x1, y1, x2, y2, stroke="#333", width=1.0, dash=""):
+        """Append one line segment."""
+        d = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<line x1="{fmt(x1)}" y1="{fmt(y1)}" x2="{fmt(x2)}" '
+            f'y2="{fmt(y2)}" stroke="{stroke}" stroke-width="{width:g}"{d}/>'
+        )
+
+    def rect(self, x, y, w, h, fill, stroke="none", opacity=1.0, title=""):
+        """Append one rectangle (optionally with a hover tooltip)."""
+        tip = f"<title>{escape(title)}</title>" if title else ""
+        op = f' fill-opacity="{opacity:g}"' if opacity != 1.0 else ""
+        self.parts.append(
+            f'<rect x="{fmt(x)}" y="{fmt(y)}" width="{fmt(w)}" '
+            f'height="{fmt(h)}" fill="{fill}" stroke="{stroke}"{op}>'
+            f"{tip}</rect>"
+        )
+
+    def circle(self, cx, cy, r, fill, title=""):
+        """Append one dot marker."""
+        tip = f"<title>{escape(title)}</title>" if title else ""
+        self.parts.append(
+            f'<circle cx="{fmt(cx)}" cy="{fmt(cy)}" r="{r:g}" '
+            f'fill="{fill}">{tip}</circle>'
+        )
+
+    def polyline(self, points, stroke, width=2.0, dash=""):
+        """Append one open polyline through ``points`` [(x, y), ...]."""
+        if not points:
+            return
+        coords = " ".join(f"{fmt(x)},{fmt(y)}" for x, y in points)
+        d = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width:g}"{d}/>'
+        )
+
+    def text(self, x, y, content, size=12, anchor="start", color="#222",
+             mono=False, rotate=None, bold=False):
+        """Append one text element."""
+        family = _MONO if mono else _FONT
+        extra = ' font-weight="600"' if bold else ""
+        if rotate is not None:
+            extra += f' transform="rotate({rotate:g} {fmt(x)} {fmt(y)})"'
+        self.parts.append(
+            f'<text x="{fmt(x)}" y="{fmt(y)}" font-family="{family}" '
+            f'font-size="{size:g}" text-anchor="{anchor}" '
+            f'fill="{color}"{extra}>{escape(str(content))}</text>'
+        )
+
+    def tostring(self) -> str:
+        """Serialise the document to standalone SVG text."""
+        head = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}" role="img">'
+        )
+        background = (
+            f'<rect x="0" y="0" width="{self.width}" '
+            f'height="{self.height}" fill="#ffffff"/>'
+        )
+        return "\n".join([head, background, *self.parts, "</svg>"]) + "\n"
+
+
+class _Scale:
+    """Map one data axis onto a pixel interval (linear or log10)."""
+
+    def __init__(self, lo: float, hi: float, px_lo: float, px_hi: float,
+                 log: bool = False):
+        if log:
+            lo = max(lo, 1e-300)
+            hi = max(hi, lo * 10.0)
+            self._lo, self._hi = math.log10(lo), math.log10(hi)
+        else:
+            if hi <= lo:
+                hi = lo + 1.0
+            self._lo, self._hi = lo, hi
+        self._px_lo, self._px_hi = px_lo, px_hi
+        self.log = log
+
+    def __call__(self, value: float) -> float:
+        v = math.log10(max(value, 1e-300)) if self.log else value
+        frac = (v - self._lo) / (self._hi - self._lo)
+        return self._px_lo + frac * (self._px_hi - self._px_lo)
+
+
+def _series_colors(series: list[Series]) -> list[str]:
+    return [s.color or PALETTE[i % len(PALETTE)]
+            for i, s in enumerate(series)]
+
+
+def _finite(series: list[Series]) -> list[float]:
+    return [v for s in series for v in s.values
+            if v is not None and math.isfinite(v)]
+
+
+def _legend(doc: SvgDoc, series: list[Series], colors: list[str],
+            x: float, y: float) -> None:
+    """One-row legend of colour swatches starting at (x, y)."""
+    cx = x
+    for s, color in zip(series, colors):
+        doc.rect(cx, y - 9, 10, 10, fill=color)
+        doc.text(cx + 14, y, s.label, size=11)
+        cx += 24 + 7 * len(s.label)
+
+
+def _frame(doc: SvgDoc, title: str, left: float, right: float,
+           top: float, bottom: float) -> None:
+    """Title plus the two axis lines of the plot frame."""
+    doc.text(10, 20, title, size=13, bold=True)
+    doc.line(left, top, left, bottom)
+    doc.line(left, bottom, right, bottom)
+
+
+def _y_axis(doc: SvgDoc, scale: _Scale, lo: float, hi: float,
+            left: float, right: float, y_log: bool, label: str) -> None:
+    """Horizontal gridlines + tick labels on the y axis."""
+    ticks = log_ticks(lo, hi) if y_log else nice_ticks(lo, hi)
+    for t in ticks:
+        py = scale(t)
+        doc.line(left, py, right, py, stroke="#dddddd", width=0.5)
+        doc.text(left - 6, py + 4, fmt_tick(t), size=10, anchor="end",
+                 color="#555")
+    if label:
+        doc.text(12, 34, label, size=10, color="#555")
+
+
+def grouped_bar_chart(
+    title: str,
+    categories: list[str],
+    series: list[Series],
+    *,
+    y_label: str = "",
+    y_log: bool = False,
+    golden: list[Series] | None = None,
+    width: int = 720,
+    height: int = 360,
+) -> str:
+    """Render one grouped bar chart to SVG text.
+
+    ``categories`` labels the x axis (one bar group each); ``series``
+    supplies one bar per group per series.  ``golden`` (series aligned
+    with ``series``) draws reference tick marks at the golden values.
+    Non-finite / missing values simply render no bar.
+    """
+    left, right, top, bottom = 64, width - 16, 36, height - 64
+    doc = SvgDoc(width, height)
+    colors = _series_colors(series)
+
+    values = _finite(series) + (_finite(golden) if golden else [])
+    if y_log:
+        positives = [v for v in values if v > 0] or [1.0]
+        lo, hi = min(positives) / 1.5, max(positives) * 1.5
+    else:
+        lo = min(0.0, min(values, default=0.0))
+        hi = max(values, default=1.0) * 1.08 or 1.0
+    scale = _Scale(lo, hi, bottom, top, log=y_log)
+
+    _frame(doc, title, left, right, top, bottom)
+    _y_axis(doc, scale, lo, hi, left, right, y_log, y_label)
+
+    n_groups = max(1, len(categories))
+    n_series = max(1, len(series))
+    group_w = (right - left) / n_groups
+    bar_w = max(1.5, 0.8 * group_w / n_series)
+    base_py = scale(max(lo, 1e-300) if y_log else 0.0)
+
+    for gi, cat in enumerate(categories):
+        gx = left + gi * group_w
+        rotate = len(categories) > 8 or max(
+            (len(c) for c in categories), default=0) > 8
+        doc.text(gx + group_w / 2, bottom + (14 if not rotate else 10),
+                 cat, size=10, anchor="end" if rotate else "middle",
+                 rotate=-35 if rotate else None, color="#333")
+        for si, (s, color) in enumerate(zip(series, colors)):
+            v = s.values[gi] if gi < len(s.values) else None
+            bx = gx + group_w * 0.1 + si * bar_w
+            if v is not None and math.isfinite(v) and (v > 0 or not y_log):
+                py = scale(v)
+                y0, y1 = min(py, base_py), max(py, base_py)
+                doc.rect(bx, y0, bar_w * 0.92, max(y1 - y0, 0.75),
+                         fill=color, title=f"{cat} / {s.label}: {v:g}")
+            if golden and si < len(golden):
+                gv = (golden[si].values[gi]
+                      if gi < len(golden[si].values) else None)
+                if gv is not None and math.isfinite(gv) and \
+                        (gv > 0 or not y_log):
+                    gy = scale(gv)
+                    doc.line(bx - 1, gy, bx + bar_w * 0.92 + 1, gy,
+                             stroke=GOLDEN_COLOR, width=1.5)
+    _legend(doc, series, colors, left, height - 10)
+    if golden:
+        gx0 = left + sum(24 + 7 * len(s.label) for s in series)
+        doc.line(gx0, height - 14, gx0 + 12, height - 14,
+                 stroke=GOLDEN_COLOR, width=1.5)
+        doc.text(gx0 + 16, height - 10, "golden", size=11)
+    return doc.tostring()
+
+
+def line_chart(
+    title: str,
+    x_values: list[float],
+    series: list[Series],
+    *,
+    x_label: str = "",
+    y_label: str = "",
+    x_log: bool = False,
+    y_log: bool = False,
+    golden: list[Series] | None = None,
+    ref_lines: list[tuple[str, float]] | None = None,
+    width: int = 720,
+    height: int = 360,
+) -> str:
+    """Render one multi-series line chart to SVG text.
+
+    ``ref_lines`` draws labelled horizontal reference levels (Figure 2's
+    counter-cache lines).  ``golden`` series render dashed in the
+    overlay colour.  Points with missing values break the polyline.
+    """
+    left, right, top, bottom = 64, width - 16, 36, height - 64
+    doc = SvgDoc(width, height)
+    colors = _series_colors(series)
+
+    xs = [x for x in x_values if x is not None and math.isfinite(x)]
+    values = _finite(series) + (_finite(golden) if golden else [])
+    if ref_lines:
+        values += [v for _, v in ref_lines]
+    if y_log:
+        positives = [v for v in values if v > 0] or [1.0]
+        lo, hi = min(positives) / 1.5, max(positives) * 1.5
+    else:
+        lo = min(0.0, min(values, default=0.0))
+        hi = max(values, default=1.0) * 1.08 or 1.0
+    x_lo, x_hi = (min(xs, default=0.0), max(xs, default=1.0))
+    xscale = _Scale(x_lo, x_hi, left, right, log=x_log)
+    yscale = _Scale(lo, hi, bottom, top, log=y_log)
+
+    _frame(doc, title, left, right, top, bottom)
+    _y_axis(doc, yscale, lo, hi, left, right, y_log, y_label)
+    x_ticks = log_ticks(max(x_lo, 1e-300), max(x_hi, 1e-299)) if x_log \
+        else nice_ticks(x_lo, x_hi, 7)
+    for t in x_ticks:
+        px = xscale(t)
+        doc.line(px, bottom, px, bottom + 4)
+        doc.text(px, bottom + 16, fmt_tick(t), size=10, anchor="middle",
+                 color="#555")
+    if x_label:
+        doc.text((left + right) / 2, bottom + 32, x_label, size=10,
+                 anchor="middle", color="#555")
+
+    def draw(all_series, dash):
+        for s, color in zip(all_series, colors):
+            segment = []
+            markers = []
+            for x, v in zip(x_values, s.values):
+                usable = (x is not None and v is not None
+                          and math.isfinite(x) and math.isfinite(v)
+                          and (v > 0 or not y_log) and (x > 0 or not x_log))
+                if usable:
+                    px, py = xscale(x), yscale(v)
+                    segment.append((px, py))
+                    markers.append((px, py, x, v))
+                else:
+                    doc.polyline(segment, color, dash=dash)
+                    segment = []
+            doc.polyline(segment, color, dash=dash)
+            if not dash:
+                for px, py, x, v in markers:
+                    doc.circle(px, py, 2.5, color,
+                               title=f"{s.label}: x={x:g}, y={v:g}")
+
+    draw(series, dash="")
+    if golden:
+        draw(golden, dash="5,4")
+    for label, level in ref_lines or []:
+        py = yscale(level)
+        doc.line(left, py, right, py, stroke="#888888", width=1.0,
+                 dash="2,3")
+        doc.text(right - 4, py - 4, label, size=10, anchor="end",
+                 color="#666")
+    _legend(doc, series, colors, left, height - 10)
+    if golden:
+        gx0 = left + sum(24 + 7 * len(s.label) for s in series)
+        doc.line(gx0, height - 14, gx0 + 12, height - 14,
+                 stroke=GOLDEN_COLOR, width=1.5, dash="5,4")
+        doc.text(gx0 + 16, height - 10, "golden (dashed)", size=11)
+    return doc.tostring()
+
+
+def table_figure(
+    title: str,
+    columns: list[str],
+    rows: list[dict],
+    *,
+    width: int = 840,
+) -> str:
+    """Render one table artifact as a monospaced SVG card."""
+    col_w = {
+        c: max(len(c), *(len(_cell(r.get(c))) for r in rows), 1) if rows
+        else len(c)
+        for c in columns
+    }
+    line_h, pad = 20, 12
+    height = 64 + line_h * (len(rows) + 1) + pad
+    doc = SvgDoc(width, height)
+    doc.text(10, 20, title, size=13, bold=True)
+    x = 16
+    y = 48
+    xs = []
+    for c in columns:
+        xs.append(x)
+        doc.text(x, y, c, size=12, mono=True, bold=True)
+        x += 9 * (col_w[c] + 2)
+    doc.line(16, y + 6, min(x, width - 10), y + 6, stroke="#999")
+    for i, row in enumerate(rows):
+        ry = y + line_h * (i + 1)
+        if i % 2 == 1:
+            doc.rect(12, ry - 14, min(x, width - 10) - 10, line_h,
+                     fill="#f4f4f4")
+        for c, cx in zip(columns, xs):
+            doc.text(cx, ry, _cell(row.get(c)), size=12, mono=True)
+    return doc.tostring()
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)

@@ -35,6 +35,7 @@ class Tolerance:
     rel_tol: float = 0.0
 
     def accepts(self, expected: float, actual: float) -> bool:
+        """True when ``actual`` is within either bound of ``expected``."""
         if math.isnan(expected) or math.isnan(actual):
             return math.isnan(expected) and math.isnan(actual)
         return math.isclose(
@@ -42,6 +43,7 @@ class Tolerance:
         )
 
     def describe(self) -> str:
+        """Human-readable bound ("abs<=X or rel<=Y") for reports."""
         return f"abs<={self.abs_tol:g} or rel<={self.rel_tol:g}"
 
 
@@ -81,6 +83,25 @@ def tolerance_for(
     return None
 
 
+def declared_tolerances(
+    artifact_name: str,
+    columns,
+    policy: list[tuple[str, str, Tolerance]] | None = None,
+) -> dict[str, str]:
+    """Column → human-readable declared bound for one artifact.
+
+    The introspection surface the figure-rendering layer annotates its
+    HTML index with: only columns with a *declared* policy entry appear
+    (everything else gates exactly, see :data:`EXACT_FLOAT`).
+    """
+    out: dict[str, str] = {}
+    for column in columns:
+        tol = tolerance_for(artifact_name, column, policy)
+        if tol is not None:
+            out[column] = tol.describe()
+    return out
+
+
 @dataclass(frozen=True)
 class Difference:
     """One comparison failure inside an artifact."""
@@ -92,6 +113,7 @@ class Difference:
     detail: str = ""
 
     def render(self) -> str:
+        """One-line golden-vs-actual report for this difference."""
         line = (f"{self.where}: golden {self.expected!r} "
                 f"vs actual {self.actual!r}")
         return f"{line}  [{self.detail}]" if self.detail else line
@@ -108,6 +130,7 @@ class ArtifactDiff:
 
     @property
     def ok(self) -> bool:
+        """True when the artifact matched its golden everywhere."""
         return not self.differences
 
 

@@ -94,6 +94,7 @@ class Artifact:
         return doc
 
     def to_json(self) -> str:
+        """The :meth:`to_json_dict` document as indented JSON text."""
         return json.dumps(self.to_json_dict(), indent=2, allow_nan=False) + "\n"
 
 

@@ -44,6 +44,9 @@ BENCH_MODULES: tuple[str, ...] = (
     "bench_fig13_attacks",
     "bench_fig8_cmrpo",
     "bench_fig9_eto",
+    # Power/energy comparisons derive from the (now warm) fig8 sweep.
+    "bench_power_breakdown",
+    "bench_energy_savings",
 )
 
 #: Exit codes: comparison failures are 1, environment/usage problems 2.
@@ -60,6 +63,7 @@ def default_benchmarks_dir() -> Path | None:
 
 
 def default_golden_dir(benchmarks_dir: Path) -> Path:
+    """The golden-store root under one benchmarks directory."""
     return benchmarks_dir / "golden"
 
 
@@ -219,6 +223,11 @@ def run_verify(
             say(render_diff(diff) + "\n")
             if not diff.ok:
                 failures += 1
+                # Name the files on both sides so a failure is directly
+                # actionable (diff them, or review + re-bless).
+                actual_path = bench_dir / "results" / f"{artifact.name}.json"
+                say(f"  golden: {golden_path}\n"
+                    f"  actual: {actual_path}\n")
     orphans = 0
     if full_run and store.is_dir():
         for path in sorted(store.glob("*.json")):

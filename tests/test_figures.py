@@ -1,0 +1,246 @@
+"""Figure-rendering layer: registry coverage, determinism, CLI, HTML.
+
+The coverage tests walk the checked-in golden stores directly — every
+golden artifact kind must resolve to a registered renderer and render
+without error from both the ci and smoke stores — so a new bench whose
+renderer is missing fails here before it fails in the docs CI job.
+"""
+
+import hashlib
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.figures import (
+    render_artifact,
+    render_directory,
+    renderer_for,
+    resolve,
+)
+from repro.figures.html import build_index
+from repro.figures.perf import perf_speedup_rows, render_perf_report
+from repro.figures.svg import Series, grouped_bar_chart, line_chart, log_ticks
+from repro.report.schema import build_artifact, dump_artifact, load_artifact
+
+REPO = Path(__file__).resolve().parents[1]
+GOLDEN = REPO / "benchmarks" / "golden"
+CI_PATHS = sorted((GOLDEN / "ci").glob("*.json"))
+SMOKE_PATHS = sorted((GOLDEN / "smoke").glob("*.json"))
+
+
+def _ids(paths):
+    return [p.stem for p in paths]
+
+
+class TestRendererCoverage:
+    def test_golden_stores_are_populated(self):
+        assert len(CI_PATHS) >= 20
+        assert len(SMOKE_PATHS) >= 20
+
+    @pytest.mark.parametrize("path", CI_PATHS, ids=_ids(CI_PATHS))
+    def test_every_ci_golden_has_a_renderer(self, path):
+        assert resolve(path.stem) is not None, (
+            f"no renderer registered for artifact kind {path.stem!r}; "
+            "add one in src/repro/figures/paper.py (see DESIGN.md, "
+            "'Adding a new figure')"
+        )
+
+    @pytest.mark.parametrize("path", CI_PATHS + SMOKE_PATHS,
+                             ids=_ids(CI_PATHS) + [f"smoke-{s}" for s in
+                                                   _ids(SMOKE_PATHS)])
+    def test_renders_without_error(self, path):
+        artifact = load_artifact(path)
+        figure = render_artifact(artifact, source=path)
+        assert figure is not None
+        assert figure.svg.startswith("<svg ")
+        assert figure.svg.rstrip().endswith("</svg>")
+
+    def test_unknown_kind_resolves_to_none(self):
+        assert renderer_for("no_such_artifact_kind") is None
+
+
+class TestDeterminism:
+    def test_same_input_same_bytes(self, tmp_path):
+        out_a, out_b = tmp_path / "a", tmp_path / "b"
+        for out in (out_a, out_b):
+            report = render_directory(GOLDEN / "ci", out, html=True,
+                                      golden_dir=GOLDEN / "ci")
+            assert report.ok
+        hashes = {}
+        for out in (out_a, out_b):
+            for p in sorted(out.iterdir()):
+                digest = hashlib.sha256(p.read_bytes()).hexdigest()
+                hashes.setdefault(p.name, set()).add(digest)
+        assert hashes, "nothing rendered"
+        unstable = [n for n, d in hashes.items() if len(d) != 1]
+        assert not unstable, f"nondeterministic outputs: {unstable}"
+
+    def test_log_ticks_stride_wide_ranges(self):
+        ticks = log_ticks(1e-76, 1.0)
+        assert len(ticks) <= 12
+        assert all(t > 0 for t in ticks)
+        assert ticks == sorted(ticks)
+
+
+class TestDirectoryRender:
+    def test_renders_all_ci_goldens(self, tmp_path):
+        report = render_directory(GOLDEN / "ci", tmp_path, html=True,
+                                  golden_dir=GOLDEN / "ci")
+        assert report.ok
+        assert len(report.rendered) == len(CI_PATHS)
+        assert all(f.golden_status == "match" for f in report.rendered)
+        for path in CI_PATHS:
+            assert (tmp_path / f"{path.stem}.svg").is_file()
+
+    def test_html_index_lists_every_input(self, tmp_path):
+        report = render_directory(GOLDEN / "ci", tmp_path, html=True)
+        html = report.index_path.read_text(encoding="utf-8")
+        for path in CI_PATHS:
+            assert f'data-artifact="{path.stem}"' in html
+            assert f'id="{path.stem}"' in html
+
+    def test_unknown_kind_skips_with_warning(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        shutil.copy(CI_PATHS[0], src / CI_PATHS[0].name)
+        artifact = build_artifact(
+            "mystery_future_figure", "A figure from the future",
+            [{"x": 1}], ["x"], engine="batched", scale=24.0,
+        )
+        dump_artifact(artifact, src / "mystery_future_figure.json")
+        report = render_directory(src, tmp_path / "out", html=True)
+        assert report.ok  # unknown kind is a warning, not an error
+        assert len(report.rendered) == 1
+        assert any(name == "mystery_future_figure" and "no renderer" in why
+                   for name, why in report.skipped)
+
+    def test_stray_json_skips(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "notes.json").write_text('{"hello": "world"}',
+                                        encoding="utf-8")
+        report = render_directory(src, tmp_path / "out")
+        assert report.ok
+        assert not report.rendered
+        assert any(name == "notes.json" for name, _ in report.skipped)
+
+    def test_golden_overlay_flags_a_difference(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        doc = json.loads(CI_PATHS[0].read_text(encoding="utf-8"))
+        artifact = load_artifact(CI_PATHS[0])
+        first_numeric = next(
+            (i, c) for i, row in enumerate(doc["rows"])
+            for c in doc["columns"]
+            if isinstance(row.get(c), (int, float))
+            and not isinstance(row.get(c), bool)
+        )
+        i, column = first_numeric
+        doc["rows"][i][column] = 1e9
+        (src / CI_PATHS[0].name).write_text(json.dumps(doc),
+                                            encoding="utf-8")
+        report = render_directory(src, tmp_path / "out", html=True,
+                                  golden_dir=GOLDEN / "ci")
+        assert report.ok
+        [figure] = report.rendered
+        assert figure.golden_status == "diff"
+        assert not figure.diff.ok
+        assert artifact.name in report.index_path.read_text(
+            encoding="utf-8")
+
+
+class TestFiguresCli:
+    def test_cli_renders_golden_store(self, tmp_path, capsys):
+        code = main([
+            "figures", "--html", "--from", str(GOLDEN / "ci"),
+            "--out", str(tmp_path), "--golden-overlay",
+            "--golden-dir", str(GOLDEN / "ci"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (tmp_path / "index.html").is_file()
+        assert f"rendered {len(CI_PATHS)} figure(s)" in out
+
+    def test_cli_only_subset(self, tmp_path):
+        code = main([
+            "figures", "--from", str(GOLDEN / "ci"),
+            "--out", str(tmp_path), "--only", "fig8_cmrpo_t32k",
+        ])
+        assert code == 0
+        assert (tmp_path / "fig8_cmrpo_t32k.svg").is_file()
+        assert not (tmp_path / "fig9_eto_t32k.svg").is_file()
+
+    def test_cli_missing_dir_is_usage_error(self, tmp_path, capsys):
+        code = main(["figures", "--from", str(tmp_path / "nope"),
+                     "--out", str(tmp_path / "out")])
+        assert code == 2
+        assert "no such artifact directory" in capsys.readouterr().out
+
+    def test_cli_empty_dir_is_usage_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(["figures", "--from", str(empty),
+                     "--out", str(tmp_path / "out")])
+        assert code == 2
+        assert "no figure artifacts" in capsys.readouterr().out
+
+    def test_cli_renderer_crash_exits_nonzero(self, tmp_path, capsys,
+                                              monkeypatch):
+        import repro.figures.registry as registry
+
+        def boom(artifact, ctx):
+            raise RuntimeError("renderer exploded")
+
+        # paper.py is already imported, so _ensure_loaded() will not
+        # re-register over the patched list.
+        monkeypatch.setattr(
+            registry, "_RENDERERS", [("fig8_cmrpo_t*", boom)])
+        code = main([
+            "figures", "--from", str(GOLDEN / "ci"),
+            "--out", str(tmp_path), "--only", "fig8_cmrpo_t32k",
+        ])
+        assert code == 1
+        assert "renderer exploded" in capsys.readouterr().out
+
+
+class TestPerfFigure:
+    def test_repo_perf_report_renders(self):
+        perf_json = REPO / "BENCH_perf.json"
+        doc = json.loads(perf_json.read_text(encoding="utf-8"))
+        rows = perf_speedup_rows(doc)
+        assert rows, "BENCH_perf.json carries no speedups"
+        figure = render_perf_report(perf_json)
+        assert figure.name == "bench_perf"
+        assert "<svg " in figure.svg
+
+    def test_wrong_kind_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "something-else"}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            render_perf_report(bad)
+
+
+class TestHtmlIndex:
+    def test_index_escapes_and_badges(self):
+        artifact = load_artifact(CI_PATHS[0])
+        figure = render_artifact(artifact)
+        html = build_index([figure], skipped=[("x.json", "why <tag>")],
+                           source="results & co")
+        assert "results &amp; co" in html
+        assert "why &lt;tag&gt;" in html
+        assert 'class="badge off"' in html
+
+
+class TestSvgBackend:
+    def test_series_coercion(self):
+        s = Series.make("s", [1, 2.5, "3.5e0", "n/a", None, True])
+        assert s.values == (1.0, 2.5, 3.5, None, None, None)
+
+    def test_charts_handle_empty_series(self):
+        svg = grouped_bar_chart("t", ["a"], [Series.make("s", [None])])
+        assert svg.startswith("<svg ")
+        svg = line_chart("t", [1.0], [Series.make("s", [None])])
+        assert svg.startswith("<svg ")
