@@ -89,8 +89,9 @@ def _add_sim_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--intervals", type=int, default=2,
                         help="refresh intervals simulated (default 2)")
     parser.add_argument("--engine", choices=list(ENGINES), default="batched",
-                        help="simulation engine (default batched; both are "
-                             "event-exact and bit-identical)")
+                        help="simulation engine (default batched; all "
+                             "tiers are event-exact and bit-identical — "
+                             "jit compiles when numba is installed)")
     parser.add_argument("--json", action="store_true",
                         help="print full machine-readable results "
                              "(SimulationResult serialization) instead of "
@@ -446,6 +447,27 @@ def cmd_list(args: argparse.Namespace) -> int:
             for name in WORKLOAD_ORDER
         ]
         print(format_table(rows, ["name", "suite", "aliases"]))
+        return 0
+    if args.what == "engines":
+        from repro.core.jitkern import jit_tier_label
+
+        tier_status = {
+            "scalar": "always available (reference)",
+            "batched": "always available",
+            "jit": jit_tier_label(),
+        }
+        descriptions = {
+            "scalar": "per-event reference loop (the oracle)",
+            "batched": "vectorized numpy fast path, bit-identical",
+            "jit": "compiled SoA kernels (numba), bit-identical; "
+                   "runs un-jitted when numba is absent",
+        }
+        rows = [
+            {"engine": name, "status": tier_status[name],
+             "description": descriptions[name]}
+            for name in ENGINES
+        ]
+        print(format_table(rows, ["engine", "status", "description"]))
         return 0
     if args.what == "schemes":
         rows = []
@@ -840,10 +862,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.set_defaults(func=cmd_plan)
 
     p_list = sub.add_parser(
-        "list", help="list registered workloads / schemes / attacks"
+        "list",
+        help="list registered workloads / schemes / attacks / engines",
     )
     p_list.add_argument("what",
-                        choices=["workloads", "schemes", "attacks"])
+                        choices=["workloads", "schemes", "attacks",
+                                 "engines"])
     p_list.set_defaults(func=cmd_list)
 
     p_ver = sub.add_parser(
@@ -856,8 +880,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "golden store is per-fidelity (default ci)")
     p_ver.add_argument("--engine", choices=list(ENGINES), default=None,
                        help="override the engine (default batched; the "
-                            "golden store gates both engines because they "
-                            "are bit-identical)")
+                            "golden store gates every engine tier because "
+                            "they are bit-identical)")
     p_ver.add_argument("--session", choices=list(SESSION_MODES),
                        default=None,
                        help="spec execution path: 'session' runs every "

@@ -1,0 +1,224 @@
+"""Optionally-compiled kernels for the ``jit`` engine tier.
+
+The ``jit`` engine (see DESIGN.md, "The compiled tier") replaces the
+per-window numpy passes of the batched engine with sequential kernels
+over structure-of-arrays state.  When :mod:`numba` is importable every
+kernel below is compiled with ``@njit(cache=True)`` — the compile
+artifact lands in numba's on-disk cache, so the warm-up cost is paid
+once per machine, not once per process.  When numba is absent the
+*identical* function objects run as plain Python: the tier stays
+selectable everywhere, just without the speedup, and tier-1 never grows
+a hard dependency.
+
+Every kernel is written in the restricted style both executions share:
+typed numpy arrays in, scalar control flow, no Python objects.  The
+kernels mutate caller-provided arrays in place and return event
+positions; the Python drivers around them (``access_batch_jit`` on each
+scheme) own all object-level bookkeeping — command construction, stats,
+and conversion between the canonical list state and the SoA form
+(``to_arrays``/``from_arrays``) — so checkpointing and the SchemeState
+protocol are untouched by the tier.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    NUMBA_VERSION: "str | None" = _numba.__version__
+except ImportError:  # pragma: no cover - the tier-1 default
+    _numba = None
+    NUMBA_VERSION = None
+
+
+def numba_available() -> bool:
+    """True when the compiled tier actually compiles."""
+    return NUMBA_VERSION is not None
+
+
+def jit_tier_label() -> str:
+    """Human-readable tier status for CLI banners and bench metadata."""
+    if NUMBA_VERSION is not None:
+        return f"compiled (numba {NUMBA_VERSION})"
+    return "fallback (pure python)"
+
+
+def maybe_njit(func):
+    """``numba.njit(cache=True)`` when available, identity otherwise.
+
+    The fallback returns ``func`` itself — not a wrapper — so the pure
+    Python path executes the very same bytecode the compiled path was
+    built from.  Exactness arguments therefore cover both executions at
+    once.
+    """
+    if _numba is None:
+        return func
+    return _numba.njit(cache=True)(func)
+
+
+@maybe_njit
+def k_tree_scan(ids, start, headroom, hits):
+    """Fused count + first-event scan for the tree schemes.
+
+    Walks ``ids[start:]`` accumulating per-counter occurrence counts
+    into ``hits`` (int64, zeroed by the caller) and returns the index of
+    the first access at which some counter reaches its ``headroom``
+    (hits-until-next-event, taken at ``start``), or ``-1`` when the
+    remainder is event-free.  On an event, ``hits`` holds the counts of
+    the event-free prefix only — the event access itself is *not*
+    counted, exactly matching the prefix the batched engine applies via
+    ``apply_bulk_counts`` before replaying the event through scalar
+    ``access``.
+    """
+    for i in range(start, ids.shape[0]):
+        c = ids[i]
+        h = hits[c] + 1
+        if h >= headroom[c]:
+            return i
+        hits[c] = h
+    return -1
+
+
+@maybe_njit
+def k_sca_batch(groups, counts, threshold, event_pos):
+    """Sequential SCA counter scan: scalar ``access`` semantics exactly.
+
+    Increments ``counts[g]`` per access; a counter reaching
+    ``threshold`` resets to zero and records the access index in
+    ``event_pos``.  Returns the number of events recorded.  Positions
+    come out in stream order because the scan is sequential.
+    """
+    n_events = 0
+    for i in range(groups.shape[0]):
+        g = groups[i]
+        c = counts[g] + 1
+        if c < threshold:
+            counts[g] = c
+        else:
+            counts[g] = 0
+            event_pos[n_events] = i
+            n_events += 1
+    return n_events
+
+
+@maybe_njit
+def k_ccache_batch(
+    rows,
+    mem,
+    tags,
+    counts,
+    valid,
+    threshold,
+    n_ways,
+    line_width,
+    n_sets,
+    n_rows,
+    event_pos,
+    io,
+):
+    """Full set-associative counter-cache walk in SoA form.
+
+    State layout (all int64, mutated in place):
+
+    - ``mem[n_rows]`` — the DRAM backing counters;
+    - ``tags[n_sets, n_ways]`` — cached line tags, way 0 most recently
+      used;
+    - ``counts[n_sets, n_ways, line_width]`` — per-way counter lines;
+    - ``valid[n_sets]`` — number of occupied ways per set;
+    - ``io[3]`` — hit / miss / writeback deltas (accumulated).
+
+    Replicates ``CounterCacheScheme.access`` exactly: hit increments
+    move the way to MRU; misses fetch the line from ``mem`` (zero-padded
+    past the last row), evicting the LRU way with a write-back of its
+    in-range counters; a counter reaching ``threshold`` is zeroed in
+    both the (now-MRU) cached line and ``mem``, and the access index is
+    recorded in ``event_pos``.  Returns the number of events.
+    """
+    n_events = 0
+    for i in range(rows.shape[0]):
+        row = rows[i]
+        line = row // line_width
+        offset = row - line * line_width
+        s = line % n_sets
+        way = -1
+        for w in range(valid[s]):
+            if tags[s, w] == line:
+                way = w
+                break
+        if way >= 0:
+            io[0] += 1
+            count = counts[s, way, offset] + 1
+            counts[s, way, offset] = count
+            if way > 0:
+                # Move to MRU: rotate ways [0, way] down by one.
+                for k in range(line_width):
+                    scratch = counts[s, way, k]
+                    for w in range(way, 0, -1):
+                        counts[s, w, k] = counts[s, w - 1, k]
+                    counts[s, 0, k] = scratch
+                tag = tags[s, way]
+                for w in range(way, 0, -1):
+                    tags[s, w] = tags[s, w - 1]
+                tags[s, 0] = tag
+        else:
+            io[1] += 1
+            if valid[s] >= n_ways:
+                # Write the LRU victim's in-range counters back.
+                vbase = tags[s, n_ways - 1] * line_width
+                for k in range(line_width):
+                    if vbase + k < n_rows:
+                        mem[vbase + k] = counts[s, n_ways - 1, k]
+                io[2] += 1
+                valid[s] = n_ways - 1
+            # Shift the occupied ways down and fetch into way 0.
+            for w in range(valid[s], 0, -1):
+                tags[s, w] = tags[s, w - 1]
+                for k in range(line_width):
+                    counts[s, w, k] = counts[s, w - 1, k]
+            base = line * line_width
+            tags[s, 0] = line
+            for k in range(line_width):
+                if base + k < n_rows:
+                    counts[s, 0, k] = mem[base + k]
+                else:
+                    counts[s, 0, k] = 0
+            valid[s] += 1
+            count = counts[s, 0, offset] + 1
+            counts[s, 0, offset] = count
+        if count >= threshold:
+            # The touched line is at way 0 in both branches.
+            counts[s, 0, offset] = 0
+            mem[row] = 0
+            event_pos[n_events] = i
+            n_events += 1
+    return n_events
+
+
+def warm_kernels() -> None:
+    """Trigger (cached) compilation of every kernel on tiny inputs.
+
+    Benches call this before timing so first-run numbers measure steady
+    state, not the one-off compile; a no-op-priced call on the fallback
+    tier and on any process where numba's disk cache is already warm.
+    """
+    import numpy as np
+
+    ids = np.zeros(1, dtype=np.int64)
+    big = np.full(4, 2**30, dtype=np.int64)
+    k_tree_scan(ids, 0, big[:1], np.zeros(1, dtype=np.int64))
+    k_sca_batch(ids, np.zeros(1, dtype=np.int64), 2**30,
+                np.empty(1, dtype=np.int64))
+    k_ccache_batch(
+        ids,
+        np.zeros(4, dtype=np.int64),
+        np.full((1, 2), -1, dtype=np.int64),
+        np.zeros((1, 2, 2), dtype=np.int64),
+        np.zeros(1, dtype=np.int64),
+        2**30,
+        2,
+        2,
+        1,
+        4,
+        np.empty(1, dtype=np.int64),
+        np.zeros(3, dtype=np.int64),
+    )

@@ -77,7 +77,7 @@ from repro.errors import (
 from repro.experiments.cache import ResultCache
 from repro.experiments.plan import Plan
 from repro.experiments.spec import ExperimentSpec
-from repro.report.config import SESSION_MODES, env_choice
+from repro.report.config import SESSION_MODES, env_bool, env_choice
 from repro.testing.faults import ENV_VAR as FAULTS_ENV_VAR
 from repro.testing.faults import ROUND_VAR as FAULTS_ROUND_VAR
 from repro.testing.faults import fault_point
@@ -114,6 +114,129 @@ def _pool_cell(spec: ExperimentSpec):
     return run_spec(spec)
 
 
+#: The per-cell execution seam as defined by this module.  Fault and
+#: robustness tests monkeypatch ``run_spec``/``_pool_cell`` to poison
+#: individual cells; fused evaluation bypasses the per-cell call, so it
+#: steps aside whenever the seam is not pristine (see
+#: :func:`_run_fused_groups`).
+_UNPATCHED_CELL_SEAMS = (run_spec, _pool_cell)
+
+
+# -- fused multi-scheme evaluation ----------------------------------------
+#
+# Scheme-axis grid cells share their demand streams: the stream key
+# (:func:`repro.sim.tracestore.stream_key_doc`) deliberately excludes
+# scheme, threshold, and engine.  The trace store already dedupes
+# *generation* across such cells; fusion also dedupes the *replay* —
+# one interval fetch feeds every fused cell's core before the next
+# interval is touched, so N cells pay one stream walk over shared
+# arrays instead of N independent fetch+install passes.  Each core
+# still owns its memory system and scheme, so results are bit-identical
+# to solo runs by construction (the arrays are read-only to the engine).
+
+
+def fused_sweep_enabled() -> bool:
+    """The ``REPRO_FUSED_SWEEP`` knob (default on).
+
+    ``repro verify`` proves goldens pass with the knob both on and off;
+    benches measure the ratio between the two.
+    """
+    return env_bool(os.environ, "REPRO_FUSED_SWEEP", default=True)
+
+
+def _fuse_key(spec: ExperimentSpec) -> str | None:
+    """Grouping key for fused evaluation, or None when unfusable.
+
+    Cells fuse when they share stream identity *and* engine/interval
+    count (fused cores advance in lock-step through the same per-bank
+    arrays).  Fusion stays out of the way of the non-direct session
+    modes (they exercise the facade paths on purpose) and of armed
+    fault injection (deterministic fault-site counting assumes the
+    isolated per-cell path).
+    """
+    if session_mode() != "direct" or os.environ.get(FAULTS_ENV_VAR):
+        return None
+    try:
+        from repro.sim.simulator import TraceDrivenSimulator
+        from repro.sim.tracestore import stream_key
+
+        doc = TraceDrivenSimulator(spec).trace_key_doc()
+        return f"{stream_key(doc)}:{spec.engine}:{spec.n_intervals}"
+    except Exception:
+        return None
+
+
+def _run_specs_fused(specs_group: list) -> list:
+    """Run same-stream specs with one stream fetch per interval.
+
+    The first cell's core is the *lead*: it fetches every interval
+    (trace-store hit or generation, advancing its arrival RNG exactly
+    as a solo run would), and every core — lead included — installs the
+    shared arrays and serves them to exhaustion before the next
+    interval is fetched.  Follower RNGs are never consumed; stream
+    content is a pure function of the shared key, so the installed
+    arrays match what each follower would have generated itself.
+
+    Returns per-spec results in group order.  Any failure raises — the
+    caller falls back to the isolated per-cell path, which owns retry
+    and failure-classification semantics.
+    """
+    from repro.sim.simulator import TraceDrivenSimulator
+
+    sims = [TraceDrivenSimulator(spec) for spec in specs_group]
+    cores = [sim.open_core() for sim in sims]
+    lead = cores[0]
+    for interval in range(lead.n_intervals):
+        per_bank = lead.fetch_interval(interval)
+        for core in cores:
+            core.install_interval(interval, per_bank)
+            core.advance_installed()
+    return [sim._finalize(core.totals()) for sim, core in zip(sims, cores)]
+
+
+def _run_fused_groups(specs, indices, deliver) -> list[int]:
+    """One fused pass over ``indices``; returns what still must run.
+
+    Indices whose specs share a fuse key (groups of two or more) run
+    through :func:`_run_specs_fused`; each completed cell is handed to
+    ``deliver(index, result, elapsed)``.  Unfusable cells — and every
+    member of a group that failed for any reason — come back (in plan
+    order) for the isolated per-cell path.
+
+    When the per-cell seam has been replaced (robustness tests poison
+    ``run_spec``/``_pool_cell`` to simulate per-cell failures), fusing
+    would route around the replacement, so everything comes back for
+    the per-cell path instead.
+    """
+    if (run_spec, _pool_cell) != _UNPATCHED_CELL_SEAMS:
+        return sorted(indices)
+    groups: dict[str, list[int]] = {}
+    leftover: list[int] = []
+    for i in indices:
+        key = _fuse_key(specs[i])
+        if key is None:
+            leftover.append(i)
+        else:
+            groups.setdefault(key, []).append(i)
+    for members in groups.values():
+        if len(members) < 2:
+            leftover.extend(members)
+            continue
+        t0 = time.perf_counter()
+        try:
+            group_results = _run_specs_fused([specs[i] for i in members])
+        except Exception:
+            # Fusion is an optimization: fall back to the per-cell
+            # path, which owns failure classification and retries.
+            leftover.extend(members)
+            continue
+        per = (time.perf_counter() - t0) / len(members)
+        for i, result in zip(members, group_results):
+            deliver(i, result, per)
+    leftover.sort()
+    return leftover
+
+
 #: Environment knobs a worker must re-read per chunk: a *persistent*
 #: pool outlives environment changes in the parent (``repro verify``
 #: scopes REPRO_SESSION_MODE per run; benches toggle the trace store;
@@ -125,6 +248,7 @@ _POOL_ENV_KEYS = (
     "REPRO_TRACE_STORE",
     "REPRO_TRACE_STORE_DIR",
     "REPRO_BENCH_CACHE_DIR",
+    "REPRO_FUSED_SWEEP",
     FAULTS_ENV_VAR,
     FAULTS_ROUND_VAR,
 )
@@ -148,6 +272,20 @@ def _pool_env() -> dict[str, str | None]:
     return {key: os.environ.get(key) for key in _POOL_ENV_KEYS}
 
 
+def _pool_prime() -> None:
+    """Worker-side warmup run by :meth:`SweepPool._prime` at spawn.
+
+    Imports the modules every cell touches and warms the jit kernels,
+    so the first real chunk a worker receives starts simulating
+    immediately instead of compiling/importing on the clock.
+    """
+    import repro.sim.simulator  # noqa: F401 — import cost is the point
+    import repro.sim.tracestore  # noqa: F401
+    from repro.core.jitkern import warm_kernels
+
+    warm_kernels()
+
+
 def _pool_run_chunk(specs: list, env: dict, attempt: int = 1) -> list[dict]:
     """Worker-side: apply the parent's env, run one chunk cell by cell.
 
@@ -163,18 +301,26 @@ def _pool_run_chunk(specs: list, env: dict, attempt: int = 1) -> list[dict]:
             os.environ.pop(key, None)
         else:
             os.environ[key] = value
-    outcomes: list[dict] = []
-    for spec in specs:
+    outcomes: list[dict | None] = [None] * len(specs)
+
+    def deliver(i: int, result, elapsed: float) -> None:
+        outcomes[i] = {"ok": True, "result": result}
+
+    remaining = list(range(len(specs)))
+    if len(remaining) > 1 and fused_sweep_enabled():
+        remaining = _run_fused_groups(specs, remaining, deliver)
+    for i in remaining:
+        spec = specs[i]
         try:
             fault_point("pool.worker")
-            outcomes.append({"ok": True, "result": run_spec(spec)})
+            outcomes[i] = {"ok": True, "result": run_spec(spec)}
         except Exception as exc:
-            outcomes.append({
+            outcomes[i] = {
                 "ok": False,
                 "failure": CellFailure.from_exception(
                     spec, attempt, exc
                 ).to_dict(),
-            })
+            }
     return outcomes
 
 
@@ -206,7 +352,34 @@ class SweepPool:
                 max_workers=workers
             )
             cls._width = workers
+            cls._prime(cls._executor, workers)
         return cls._executor
+
+    @staticmethod
+    def _prime(executor, workers: int) -> None:
+        """Pay per-worker one-time costs at spawn, not inside chunk one.
+
+        Each fresh worker imports the simulation stack and warms the
+        jit kernels (under numba: loads or builds the compiled
+        artifacts) the first time it runs a cell.  Left lazy, that cost
+        lands *inside* the first chunk of the first plan — serialized
+        with real cell work, counted against ``cell_timeout`` budgets,
+        and re-paid by every plan that happens to grow the pool.
+        Priming at spawn pays it once, in parallel across workers,
+        which is what makes pool *reuse* (the whole point of a
+        persistent pool) measurably cheaper than a cold start.
+
+        Best-effort: one fast worker may pick up two prime tasks while
+        another gets none; the straggler then primes lazily as before.
+        """
+        futures = [executor.submit(_pool_prime) for _ in range(workers)]
+        for future in futures:
+            try:
+                future.result()
+            except Exception:
+                # A prime failure is never fatal: the worker (or its
+                # replacement) will simply pay the lazy path.
+                pass
 
     @classmethod
     def width(cls) -> int:
@@ -407,7 +580,14 @@ def _sigterm_as_interrupt():
 
 
 def _run_round_serial(specs, pending, attempt, on_ok, on_fail) -> None:
-    """One retry round, in-process: per-cell isolation, no pool."""
+    """One retry round, in-process: per-cell isolation, no pool.
+
+    Cells sharing a stream key run fused first (one stream fetch per
+    interval for the whole group); whatever the fused pass does not
+    complete falls through to the isolated per-cell loop.
+    """
+    if len(pending) > 1 and fused_sweep_enabled():
+        pending = _run_fused_groups(specs, pending, on_ok)
     for i in pending:
         t0 = time.perf_counter()
         try:

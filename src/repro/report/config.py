@@ -23,8 +23,10 @@ from typing import Mapping
 
 #: Engines accepted by the simulator (kept in sync with
 #: :data:`repro.sim.engine.ENGINES`; duplicated here so config parsing
-#: does not import the simulation stack).
-ENGINE_NAMES = ("batched", "scalar")
+#: does not import the simulation stack).  ``jit`` is the compiled
+#: tier — selectable everywhere, compiled only where numba is
+#: installed, bit-identical either way.
+ENGINE_NAMES = ("batched", "scalar", "jit")
 
 #: Execution paths ``run_spec`` can take (``REPRO_SESSION_MODE``):
 #: the direct batch loop, the streaming session facade, or the

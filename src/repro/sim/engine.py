@@ -33,8 +33,13 @@ from repro.dram.memory_system import MemorySystem
 #: DDR3 timing constants (multiples of 1.25 ns = 5 quanta).
 TIME_QUANTUM_NS = 0.25
 
-#: Engines selectable on the simulator / runner / CLI.
-ENGINES = ("scalar", "batched")
+#: Engines selectable on the simulator / runner / CLI.  ``scalar`` is
+#: the per-event reference loop, ``batched`` the vectorized numpy path,
+#: and ``jit`` the compiled tier (:mod:`repro.core.jitkern`): the same
+#: segment structure with each scheme's ``access_batch`` replaced by its
+#: ``access_batch_jit`` kernel driver.  All three are contractually
+#: bit-identical.
+ENGINES = ("scalar", "batched", "jit")
 
 
 def quantize_times_ns(times: np.ndarray) -> np.ndarray:
@@ -113,6 +118,7 @@ def advance_batched_streams(
     *,
     until_ns: float | None = None,
     max_accesses: int | None = None,
+    jit: bool = False,
 ) -> int:
     """Re-entrant core of :func:`run_batched_streams`.
 
@@ -129,6 +135,11 @@ def advance_batched_streams(
     boundary is only crossed here when the next access to be served
     lies beyond it — exactly when the scalar loop would cross it.  The
     session layer (:mod:`repro.api`) is built on this property.
+
+    ``jit=True`` selects the compiled tier: bank segments dispatch to
+    each scheme's ``access_batch_jit`` instead of ``access_batch``.
+    Everything else — segmentation, epoch crossing, limits — is shared,
+    which is precisely why the tiers stay bit-identical.
     """
     served = 0
     while True:
@@ -147,7 +158,9 @@ def advance_batched_streams(
             if max_accesses is not None:
                 j = min(j, i + (max_accesses - served))
             if j > i:
-                _run_bank_segment(memory, bank, times[i:j], rows[i:j])
+                _run_bank_segment(
+                    memory, bank, times[i:j], rows[i:j], jit=jit
+                )
                 cursors[bank] = j
                 served += j - i
             if j < len(times) and (next_time is None or times[j] < next_time):
@@ -164,12 +177,22 @@ def advance_batched_streams(
 
 
 def _run_bank_segment(
-    memory: MemorySystem, bank: int, times: np.ndarray, rows: np.ndarray
+    memory: MemorySystem,
+    bank: int,
+    times: np.ndarray,
+    rows: np.ndarray,
+    *,
+    jit: bool = False,
 ) -> None:
     """Process one bank's accesses of one epoch segment."""
     bank_state = memory.banks[bank]
     scheme = memory.schemes[bank]
-    events = scheme.access_batch(rows) if scheme is not None else []
+    if scheme is None:
+        events: list = []
+    elif jit:
+        events = scheme.access_batch_jit(rows)
+    else:
+        events = scheme.access_batch(rows)
     prev = 0
     for position, commands in events:
         bank_state.serve_accesses_batch(times[prev:position])

@@ -110,6 +110,10 @@ class SessionCore:
         self.full_intensity = full_intensity
         self.rows_fn = rows_fn
         self.engine = sim.engine
+        # The jit tier shares the batched engine's per-bank stream
+        # format and segment loop; only the bank-segment kernel differs.
+        self._banked = self.engine in ("batched", "jit")
+        self._jit = self.engine == "jit"
         self.n_banks = sim.n_banks_simulated
         self.n_intervals = sim.n_intervals
         self.epoch_ns = sim.epoch_s * 1e9
@@ -200,7 +204,7 @@ class SessionCore:
     def _install_streams(
         self, per_bank: list[tuple[np.ndarray, np.ndarray]]
     ) -> None:
-        if self.engine == "batched":
+        if self._banked:
             self._bank_times = [t for t, _ in per_bank]
             self._bank_rows = [
                 r.astype(np.int64, copy=False) for _, r in per_bank
@@ -217,7 +221,7 @@ class SessionCore:
     def _interval_exhausted(self) -> bool:
         if self.interval < 0:
             return True
-        if self.engine == "batched":
+        if self._banked:
             return all(
                 c >= len(t) for c, t in zip(self._cursors, self._bank_times)
             )
@@ -230,6 +234,58 @@ class SessionCore:
         self.interval += 1
         self._install_streams(self._fetch_interval(self.interval))
         return True
+
+    # -- fused multi-scheme evaluation (see repro.experiments.run) ---------
+
+    def fetch_interval(self, interval: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        """One interval's per-bank (times, rows) streams, fetched once.
+
+        Public entry for the fused sweep path: a *lead* core fetches
+        each interval (trace-store hit or generation, advancing its
+        arrival RNG exactly as a solo run would) and every fused
+        follower installs the same arrays via :meth:`install_interval`.
+        The arrays are only ever read by the engine, so sharing them
+        across cores is safe.
+        """
+        return self._fetch_interval(interval)
+
+    def install_interval(
+        self, interval: int, per_bank: list[tuple[np.ndarray, np.ndarray]]
+    ) -> None:
+        """Install externally fetched streams as interval ``interval``.
+
+        The follower's own arrival RNG is deliberately not consumed —
+        stream content is a pure function of the (shared) stream key, so
+        the installed arrays are bit-identical to what the follower
+        would have generated itself.
+        """
+        if interval != self.interval + 1:
+            raise ValueError(
+                f"interval {interval} installed out of order "
+                f"(core is at {self.interval})"
+            )
+        self.interval = interval
+        self._install_streams(per_bank)
+
+    def advance_installed(self) -> int:
+        """Serve the currently installed interval's stream to exhaustion.
+
+        Unlike :meth:`advance` this never loads the next interval — the
+        fused driver owns interval fetching.  Epoch boundaries inside
+        (and, on the next call, between) intervals cross exactly as the
+        solo loop crosses them: the engine only advances an epoch when
+        the next pending access lies beyond it.
+        """
+        if self.interval < 0:
+            return 0
+        if self._banked:
+            return advance_batched_streams(
+                self.memory,
+                list(zip(self._bank_times, self._bank_rows)),
+                self._cursors,
+                jit=self._jit,
+            )
+        return self._advance_scalar(None, None)
 
     @property
     def done(self) -> bool:
@@ -261,13 +317,14 @@ class SessionCore:
             budget = None if max_accesses is None else max_accesses - served
             if budget is not None and budget <= 0:
                 break
-            if self.engine == "batched":
+            if self._banked:
                 n = advance_batched_streams(
                     self.memory,
                     list(zip(self._bank_times, self._bank_rows)),
                     self._cursors,
                     until_ns=until_ns,
                     max_accesses=budget,
+                    jit=self._jit,
                 )
             else:
                 n = self._advance_scalar(until_ns, budget)
@@ -346,7 +403,7 @@ class SessionCore:
             raise ValueError(
                 f"injected rows out of range for bank with {n_rows} rows"
             )
-        if self.engine == "batched":
+        if self._banked:
             c = self._cursors[bank]
             pending_t = self._bank_times[bank][c:]
             pending_r = self._bank_rows[bank][c:]
@@ -385,7 +442,7 @@ class SessionCore:
         last = 0.0
         if self.interval < 0:
             return last
-        if self.engine == "batched":
+        if self._banked:
             for c, t in zip(self._cursors, self._bank_times):
                 if c > 0:
                     last = max(last, float(t[c - 1]))
@@ -435,7 +492,7 @@ class SessionCore:
             "memory": self.memory.to_state(),
         }
         if self.interval >= 0:
-            if self.engine == "batched":
+            if self._banked:
                 doc["streams"] = [
                     {
                         "times": t[c:].tolist(),
@@ -477,7 +534,7 @@ class SessionCore:
         core._position_floor = float(state.get("position_ns", 0.0))
         if core.interval >= 0:
             streams = state["streams"]
-            if core.engine == "batched":
+            if core._banked:
                 if len(streams) != core.n_banks:
                     raise ValueError(
                         f"snapshot carries {len(streams)} bank streams, "

@@ -1,0 +1,184 @@
+"""Three-engine differential suite: scalar vs batched vs jit.
+
+The jit tier's contract is the same as the batched engine's — *bit
+identical* results, whether the kernels run numba-compiled or through
+the pure-python fallback — plus two tier-specific guarantees: the SoA
+``to_arrays``/``from_arrays`` round-trip is lossless, and session
+checkpoint/restore works on jit specs exactly as on batched ones.
+Specs are sampled from a seeded generator (deterministic fuzz: wide
+coverage, reproducible failures) across every registered scheme.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_scheme, scheme_names
+from repro.experiments import ExperimentSpec, SchemeSpec, run_plan
+from repro.experiments.run import _fuse_key, run_spec
+from repro.sim.simulator import TraceDrivenSimulator
+
+ENGINES = ("scalar", "batched", "jit")
+
+#: Per-scheme randomized parameter draws (see :func:`_sample_spec`).
+FUZZ_DRAWS = 2
+
+#: Scheme-parameter samplers for the fuzzed axis.  Only knobs that
+#: change the hot-loop shape are varied; anything else is the default.
+_PARAM_SAMPLERS = {
+    "sca": lambda rng: {"n_counters": int(rng.choice([32, 128, 512]))},
+    "prcat": lambda rng: {"n_counters": int(rng.choice([32, 64, 128]))},
+    "drcat": lambda rng: {"max_levels": int(rng.choice([8, 11]))},
+    "pra": lambda rng: {"probability": float(rng.choice([0.002, 0.01]))},
+    "ccache": lambda rng: {},
+}
+
+
+def _sample_spec(scheme: str, rng: np.random.Generator) -> ExperimentSpec:
+    """One randomized experiment for ``scheme`` (engine left default).
+
+    Scales stay in the cheap regime (higher scale = fewer accesses) so
+    the full fuzz matrix remains tier-1 friendly even when the jit
+    engine runs its un-jitted fallback.
+    """
+    params = _PARAM_SAMPLERS.get(scheme, lambda _: {})(rng)
+    return ExperimentSpec(
+        scheme=SchemeSpec.create(scheme, **params),
+        workload=str(rng.choice(["mum", "libq", "black"])),
+        refresh_threshold=int(rng.choice([32768, 16384, 8192])),
+        scale=float(rng.choice([48.0, 96.0])),
+        n_banks=int(rng.choice([1, 2])),
+        n_intervals=int(rng.choice([1, 2])),
+    )
+
+
+def _tree_fingerprint(memory) -> dict:
+    """Engine-observable internals beyond the result document."""
+    out = dict(memory.scheme_stats())
+    for bank, scheme in enumerate(memory.schemes):
+        tree = getattr(scheme, "tree", None)
+        if tree is not None:
+            out[f"bank{bank}_sram_reads"] = tree.total_sram_reads
+            out[f"bank{bank}_partition"] = tuple(tree.partition())
+            out[f"bank{bank}_counts"] = tuple(tree._count)
+    return out
+
+
+@pytest.mark.parametrize("scheme", scheme_names())
+def test_trifecta_bit_identical(scheme):
+    """Deterministic fuzz: all three engines agree on sampled specs."""
+    rng = np.random.default_rng(abs(hash(scheme)) % (2**32))
+    for draw in range(FUZZ_DRAWS):
+        base = _sample_spec(scheme, rng)
+        docs = {}
+        prints = {}
+        for engine in ENGINES:
+            sim = TraceDrivenSimulator(
+                dataclasses.replace(base, engine=engine)
+            )
+            docs[engine] = sim.run().to_dict()
+            prints[engine] = _tree_fingerprint(sim._last_memory)
+        context = f"{scheme} draw {draw}: {base}"
+        assert docs["batched"] == docs["scalar"], context
+        assert docs["jit"] == docs["scalar"], context
+        assert prints["batched"] == prints["scalar"], context
+        assert prints["jit"] == prints["scalar"], context
+
+
+@pytest.mark.parametrize("scheme", scheme_names())
+def test_access_batch_jit_matches_access_batch(scheme):
+    """Kernel-level fuzz: one batch call, identical commands and state."""
+    rng = np.random.default_rng(7)
+    n_rows = 4096
+    for threshold in (64, 256):
+        ref = make_scheme(scheme, n_rows, threshold)
+        jitted = make_scheme(scheme, n_rows, threshold)
+        for _ in range(3):
+            rows = rng.integers(0, n_rows, size=2500)
+            # Skew the batch so some rows cross the threshold.
+            rows[rng.random(len(rows)) < 0.5] = int(
+                rng.integers(0, n_rows)
+            )
+            rows = np.asarray(rows, dtype=np.int64)
+            ref_events = ref.access_batch(rows.copy())
+            jit_events = jitted.access_batch_jit(rows.copy())
+            assert jit_events == ref_events
+            assert jitted.to_state() == ref.to_state()
+            assert jitted.stats.snapshot() == ref.stats.snapshot()
+
+
+@pytest.mark.parametrize("scheme", scheme_names())
+def test_soa_round_trip_is_lossless(scheme):
+    """to_arrays -> from_arrays reproduces the exact scheme state."""
+    rng = np.random.default_rng(11)
+    scheme_obj = make_scheme(scheme, 4096, 128)
+    scheme_obj.access_batch(
+        np.asarray(rng.integers(0, 4096, size=4000), dtype=np.int64)
+    )
+    before = scheme_obj.to_state()
+    try:
+        arrays = scheme_obj.to_arrays()
+    except NotImplementedError:
+        pytest.skip(f"{scheme} has no SoA form")
+    scheme_obj.from_arrays(arrays)
+    assert scheme_obj.to_state() == before
+    # A second export must be independent of (not aliased to) live state.
+    again = scheme_obj.to_arrays()
+    for key, value in arrays.items():
+        assert np.array_equal(again[key], value)
+
+
+@pytest.mark.parametrize("mode", ("session", "checkpoint"))
+@pytest.mark.parametrize("scheme", ("drcat", "ccache", "sca"))
+def test_jit_session_modes_match_direct(scheme, mode, monkeypatch):
+    """Streaming and checkpoint/restore round-trips on the jit tier."""
+    spec = ExperimentSpec(
+        scheme=SchemeSpec(scheme), workload="mum", engine="jit",
+        scale=64.0, n_banks=2, n_intervals=3,
+    )
+    monkeypatch.setenv("REPRO_SESSION_MODE", "direct")
+    direct = run_spec(spec)
+    monkeypatch.setenv("REPRO_SESSION_MODE", mode)
+    routed = run_spec(spec)
+    assert routed.to_dict() == direct.to_dict()
+
+
+def _scheme_axis_specs(engine: str) -> list:
+    base = ExperimentSpec(
+        scheme=SchemeSpec("drcat"), workload="libq", engine=engine,
+        scale=48.0, n_banks=1, n_intervals=2,
+    )
+    schemes = [SchemeSpec("pra"), SchemeSpec.create("sca", n_counters=64),
+               SchemeSpec("prcat"), SchemeSpec("drcat"),
+               SchemeSpec("ccache")]
+    return [
+        dataclasses.replace(
+            base, scheme=s, refresh_threshold=threshold
+        )
+        for s in schemes for threshold in (32768, 16384)
+    ]
+
+
+@pytest.mark.parametrize("engine", ("batched", "jit"))
+def test_fused_plan_matches_per_cell(engine, monkeypatch):
+    """Fused grouping is invisible in the results, serial and pooled."""
+    specs = _scheme_axis_specs(engine)
+    monkeypatch.setenv("REPRO_FUSED_SWEEP", "0")
+    per_cell = run_plan(specs)
+    monkeypatch.setenv("REPRO_FUSED_SWEEP", "1")
+    fused = run_plan(specs)
+    fused_pooled = run_plan(specs, workers=2)
+    for a, b, c in zip(per_cell, fused, fused_pooled):
+        assert a.to_dict() == b.to_dict() == c.to_dict()
+
+
+def test_fusion_steps_aside_for_faults_and_modes(monkeypatch):
+    """Fault injection and non-direct session modes bypass fusion."""
+    spec = _scheme_axis_specs("batched")[0]
+    assert _fuse_key(spec) is not None
+    monkeypatch.setenv("REPRO_FAULTS", "cache.put:raise:1")
+    assert _fuse_key(spec) is None
+    monkeypatch.delenv("REPRO_FAULTS")
+    monkeypatch.setenv("REPRO_SESSION_MODE", "checkpoint")
+    assert _fuse_key(spec) is None
