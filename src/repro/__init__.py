@@ -16,6 +16,9 @@ schemes — together with every substrate the evaluation depends on:
 * :mod:`repro.analysis` — analytical models (PRA unsurvivability, LFSR
   Monte-Carlo, SCA energy breakdown, split-threshold cost model).
 * :mod:`repro.sim` — the trace-driven simulator and experiment runner.
+* :mod:`repro.server` — ``repro serve``, the stdlib-only HTTP + SSE
+  service over the experiment layer (content-hash dedup, sharded plan
+  scheduling, streamed per-epoch metrics).
 
 Quickstart — stream a run incrementally through the session API::
 

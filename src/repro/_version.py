@@ -7,4 +7,4 @@ can never drift between the package, the metadata, and ``repro
 --version``.
 """
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"

@@ -37,7 +37,8 @@ the property tests):
    (``to_state``/``restore_state``), and the core's loop state (pending
    streams, cursors, arrival RNG, epoch clock) is explicit.
 3. Observer taps are read-only: registering them never changes the
-   numbers.
+   numbers.  Taps are also *isolated* — a raising callback is logged
+   and detached, never allowed to abort the simulation it observes.
 
 Injection (:meth:`Session.inject` / :meth:`Session.inject_attack`) is
 the one deliberate exception — it *adds* traffic, which is its purpose;
@@ -47,6 +48,7 @@ injected accesses are part of subsequent snapshots.
 from __future__ import annotations
 
 import json
+import logging
 from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
@@ -59,6 +61,8 @@ from repro.sim.metrics import RunTotals, SimulationResult
 from repro.sim.session import SessionCore
 from repro.sim.simulator import TraceDrivenSimulator
 from repro.workloads.attacks import attack_stream, get_kernel
+
+logger = logging.getLogger(__name__)
 
 #: Bump on incompatible snapshot-layout changes; :meth:`Session.restore`
 #: rejects other versions with a regeneration hint.
@@ -373,8 +377,7 @@ class Session:
         event = EpochEvent(
             epoch=epoch, time_ns=time_ns, totals=totals, delta=delta
         )
-        for tap in self._epoch_taps:
-            tap(event)
+        self._dispatch_isolated(self._epoch_taps, "on_epoch", event)
 
     def _dispatch_mitigation(
         self, bank: int, time_ns: float, cmd: RefreshCommand, rows: int
@@ -387,8 +390,30 @@ class Session:
             reason=cmd.reason,
             rows=rows,
         )
-        for tap in self._mitigation_taps:
-            tap(event)
+        self._dispatch_isolated(self._mitigation_taps, "on_mitigation", event)
+
+    def _dispatch_isolated(self, taps: list, name: str, event) -> None:
+        """Deliver one event to every tap, isolating each callback.
+
+        Observers are read-only bystanders; a raising one must never
+        abort the simulation it is watching (the SSE hub in
+        :mod:`repro.server` hangs arbitrary client code off these taps).
+        The offender is logged with its traceback and detached — once a
+        callback has thrown, its internal state is suspect and replaying
+        every subsequent event into it would just spam the log.
+        """
+        for tap in list(taps):
+            try:
+                tap(event)
+            except Exception:
+                logger.exception(
+                    "%s observer %r raised; detaching it (the run "
+                    "continues)", name, tap,
+                )
+                try:
+                    taps.remove(tap)
+                except ValueError:
+                    pass
 
     # -- checkpointing -----------------------------------------------------
 

@@ -768,6 +768,31 @@ def cmd_hardware(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the experiment layer over HTTP + SSE."""
+    import asyncio
+
+    from repro.server import ReproServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        driver_threads=args.driver_threads,
+        max_jobs=args.max_jobs,
+        job_ttl_s=args.job_ttl,
+    )
+    server = ReproServer(config)
+    try:
+        asyncio.run(server.serve(announce=True))
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -959,6 +984,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_wl = sub.add_parser("workloads", help="list the 18 workload models")
     p_wl.set_defaults(func=cmd_workloads)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve the experiment layer over HTTP (runs, plans, SSE)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 picks a free one)")
+    p_srv.add_argument("--workers", type=int, default=2,
+                       help="SweepPool width plan cells shard onto")
+    p_srv.add_argument("--cache-dir", default=None,
+                       help="result-cache root shared with repro sweep "
+                            "(default: a private temp dir)")
+    p_srv.add_argument("--driver-threads", type=int, default=4,
+                       help="concurrent job-driving threads")
+    p_srv.add_argument("--max-jobs", type=int, default=256,
+                       help="finished-job table bound before GC")
+    p_srv.add_argument("--job-ttl", type=float, default=3600.0,
+                       help="seconds a finished job stays queryable")
+    p_srv.set_defaults(func=cmd_serve)
 
     p_hw = sub.add_parser("hardware", help="print Table II hardware model")
     p_hw.add_argument("--counters", type=int, default=0,

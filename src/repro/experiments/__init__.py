@@ -21,8 +21,10 @@ from repro.experiments.spec import (
     load_spec,
 )
 from repro.experiments.run import SweepPool, SweepReport, run_plan, run_spec
+from repro.experiments.shared import SharedWorkRegistry
 
 __all__ = [
+    "SharedWorkRegistry",
     "SPEC_VERSION",
     "DEFAULT_SEED",
     "CACHE_VERSION",

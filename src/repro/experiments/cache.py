@@ -12,6 +12,12 @@ warm cache and skips the simulation entirely.
 Entries store the producing spec alongside the result; a hash collision
 or hand-edited file is detected and treated as a miss.  Corrupt entries
 are likewise misses, never errors.
+
+Publishes are atomic (``mkstemp`` + ``os.replace``) *and* serialized
+across processes by a per-store advisory lock (see
+:mod:`repro.locking`), so any number of concurrent writers — ``repro
+serve`` workers, parallel sweeps, ad-hoc CLI runs — can share one store
+directory without ever interleaving partial entries.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import tempfile
 from pathlib import Path
 
 from repro.experiments.spec import ExperimentSpec
+from repro.locking import advisory_lock
 from repro.testing.faults import corrupting, fault_point
 
 #: Manual salt: bump when cached-result semantics change in a way the
@@ -124,23 +131,36 @@ class ResultCache:
 
     def _write(self, path: Path, doc: dict,
                corrupt_site: str | None = None) -> Path:
+        """Publish one entry: advisory lock + atomic temp-file rename.
+
+        The rename alone makes a single publish atomic; the per-store
+        advisory lock (:func:`repro.locking.advisory_lock`) additionally
+        serializes concurrent multi-process writers — ``repro serve``
+        pool workers, parallel sweeps, and ad-hoc CLI runs can all
+        target one store — so interleaved publishes of the same entry
+        resolve to exactly one winner and partial entries can never be
+        observed.  Lock trouble (timeout, unwritable lock path) is an
+        ``OSError`` like any other failed write; every caller already
+        treats a failed put as a droppable optimization.
+        """
         text = json.dumps(doc, indent=1)
         if corrupt_site is not None:
             text = corrupting(corrupt_site, text)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.stem, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp, path)
-        except OSError:
+        with advisory_lock(self.root / ".publish"):
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
             try:
-                os.unlink(tmp)
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(tmp, path)
             except OSError:
-                pass
-            raise
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         return path
 
     # -- partial runs (session snapshots) --------------------------------

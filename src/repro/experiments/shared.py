@@ -1,0 +1,81 @@
+"""Shared-work registry: one execution per content hash, many waiters.
+
+The experiment layer's specs and plans are content-hashed
+(:meth:`ExperimentSpec.content_hash` / :meth:`Plan.content_hash`), which
+gives concurrent submitters a precise identity for "the same work".
+:class:`SharedWorkRegistry` turns that identity into in-flight
+deduplication: the first claimant of a hash becomes the *owner* and
+actually executes; every later claimant while the work is still in
+flight is handed the owner's ticket instead of starting a duplicate.
+Completed work leaves the registry — re-submissions of finished work are
+served by the :class:`~repro.experiments.cache.ResultCache` (hits) or
+re-executed (the cache was cleared; there is nothing to share).
+
+The registry is in-process and thread-safe — exactly the scope
+``repro serve`` needs, where every submission lands on one asyncio
+process before fan-out.  *Cross-process* duplicate suppression is the
+result cache's job (completed cells flush as they land, so a second
+process's cells hit), guarded by the advisory publish lock in
+:mod:`repro.locking`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class SharedWorkRegistry(Generic[T]):
+    """Thread-safe map of in-flight work, keyed by content hash.
+
+    Tickets are opaque caller objects (``repro serve`` stores job ids).
+    The lifecycle is ``claim`` → work runs → ``release``; claims between
+    the two share the owner's ticket.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[str, T] = {}
+        #: claims satisfied by an existing in-flight ticket (the
+        #: submissions that did *zero* new work); exposed on the
+        #: server's health surface and asserted by the dedup tests.
+        self.shared = 0
+
+    def claim(self, key: str, ticket: T) -> tuple[T, bool]:
+        """Claim ``key``; returns ``(ticket, owner?)``.
+
+        The first claimant's ticket is recorded and returned with
+        ``owner=True`` — that caller must eventually :meth:`release`.
+        Later claimants get the recorded ticket with ``owner=False``.
+        """
+        with self._lock:
+            held = self._inflight.get(key)
+            if held is not None:
+                self.shared += 1
+                return held, False
+            self._inflight[key] = ticket
+            return ticket, True
+
+    def release(self, key: str, ticket: T) -> None:
+        """Retire ``key`` (idempotent; only the owner's ticket matches).
+
+        Called when the work completes *or fails* — a failed execution
+        must not pin later identical submissions to its dead ticket.
+        """
+        with self._lock:
+            if self._inflight.get(key) == ticket:
+                del self._inflight[key]
+
+    def get(self, key: str) -> T | None:
+        """The in-flight ticket for ``key``, or None."""
+        with self._lock:
+            return self._inflight.get(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+
+__all__ = ["SharedWorkRegistry"]

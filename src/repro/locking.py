@@ -1,0 +1,207 @@
+"""Cross-process advisory file locks for store publishes.
+
+Every on-disk store in the stack (the sweep-cell :class:`ResultCache`,
+its session snapshots, the trace store's sidecars) publishes entries
+with ``tempfile.mkstemp`` → write → ``os.replace``, which makes each
+*individual* publish atomic.  The service layer adds a second hazard:
+many writer *processes* hammering one store directory concurrently —
+``repro serve`` pool workers, parallel sweeps, and a user's ad-hoc CLI
+run can all target the same entry at once.  :func:`advisory_lock`
+serializes the publish critical section per store root so two writers
+can never interleave the mkstemp/replace pair (or a future multi-file
+publish) and readers never observe a half-published entry set.
+
+Three implementations, picked at import time:
+
+* ``fcntl.flock`` (POSIX) — kernel advisory lock on a ``.lock`` file;
+  released automatically if the holder dies, so a crashed writer can
+  never wedge the store.
+* ``msvcrt.locking`` (Windows) — byte-range lock on the same file.
+* lock-directory fallback — ``os.mkdir`` is atomic on every
+  filesystem; a spin loop with stale-lock breaking (age-based) covers
+  platforms/filesystems where neither syscall is available (some
+  network mounts).
+
+Locks are *advisory*: they protect cooperating ``repro`` writers from
+each other, nothing else — exactly the contract the stores need, with
+zero behavior change for single-process use beyond one cheap syscall.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import time
+from pathlib import Path
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - platform dependent
+    fcntl = None
+
+try:  # Windows
+    import msvcrt
+except ImportError:  # pragma: no cover - platform dependent
+    msvcrt = None
+
+#: Suffix of the lock file (or lock directory, in the fallback) placed
+#: next to the protected resource.
+LOCK_SUFFIX = ".lock"
+
+#: A fallback lock directory older than this is presumed abandoned by a
+#: killed writer and is broken.  Publishes take milliseconds; a minute
+#: is orders of magnitude past any honest hold time.
+STALE_LOCK_S = 60.0
+
+#: Fallback spin interval while waiting on a held lock directory.
+_SPIN_S = 0.005
+
+
+class LockTimeout(OSError):
+    """An advisory lock could not be acquired within its timeout."""
+
+
+def _acquire_flock(path: Path, timeout: float):
+    """POSIX path: flock an open fd (auto-released on process death)."""
+    fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+    deadline = time.monotonic() + timeout
+    try:
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return fd
+            except OSError as exc:
+                if exc.errno not in (errno.EAGAIN, errno.EACCES):
+                    raise
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(
+                        f"timed out after {timeout:.1f}s waiting for {path}"
+                    ) from None
+                time.sleep(_SPIN_S)
+    except BaseException:
+        os.close(fd)
+        raise
+
+
+def _release_flock(fd: int) -> None:
+    try:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
+
+
+def _acquire_msvcrt(path: Path, timeout: float):  # pragma: no cover
+    """Windows path: lock the first byte of the lock file."""
+    fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+    deadline = time.monotonic() + timeout
+    try:
+        while True:
+            try:
+                msvcrt.locking(fd, msvcrt.LK_NBLCK, 1)
+                return fd
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(
+                        f"timed out after {timeout:.1f}s waiting for {path}"
+                    ) from None
+                time.sleep(_SPIN_S)
+    except BaseException:
+        os.close(fd)
+        raise
+
+
+def _release_msvcrt(fd: int) -> None:  # pragma: no cover
+    try:
+        os.lseek(fd, 0, os.SEEK_SET)
+        msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
+    finally:
+        os.close(fd)
+
+
+def _acquire_lockdir(path: Path, timeout: float) -> Path:
+    """Portable fallback: atomic mkdir, age-based stale-lock breaking."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            os.mkdir(path)
+            return path
+        except FileExistsError:
+            try:
+                age = time.time() - path.stat().st_mtime
+            except OSError:
+                continue  # holder just released; retry immediately
+            if age > STALE_LOCK_S:
+                # Abandoned by a killed writer: break it.  A racing
+                # breaker may win the rmdir; both then re-contend the
+                # mkdir, which stays atomic.
+                with contextlib.suppress(OSError):
+                    os.rmdir(path)
+                continue
+            if time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"timed out after {timeout:.1f}s waiting for {path}"
+                ) from None
+            time.sleep(_SPIN_S)
+
+
+def _release_lockdir(path: Path) -> None:
+    with contextlib.suppress(OSError):
+        os.rmdir(path)
+
+
+def lock_backend() -> str:
+    """Which implementation this platform uses (for status surfaces)."""
+    if fcntl is not None:
+        return "flock"
+    if msvcrt is not None:  # pragma: no cover - platform dependent
+        return "msvcrt"
+    return "lockdir"
+
+
+@contextlib.contextmanager
+def advisory_lock(target: "Path | str", timeout: float = 30.0,
+                  backend: str | None = None):
+    """Hold the cross-process advisory lock guarding ``target``.
+
+    ``target`` names the resource (a file or directory); the lock
+    itself lives at ``<target>.lock`` beside it.  Reentrant use from
+    one process is *not* supported — the critical sections in this
+    codebase are leaf-level and short.  ``backend`` forces an
+    implementation (tests exercise the fallback on POSIX).
+
+    Raises :class:`LockTimeout` when the lock stays contended past
+    ``timeout`` seconds — callers treat that like any other publish
+    failure (the stores degrade to recompute, never corrupt).
+    """
+    target = Path(target)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    path = target.parent / (target.name + LOCK_SUFFIX)
+    chosen = backend or lock_backend()
+    if chosen == "flock" and fcntl is not None:
+        fd = _acquire_flock(path, timeout)
+        try:
+            yield
+        finally:
+            _release_flock(fd)
+    elif chosen == "msvcrt" and msvcrt is not None:  # pragma: no cover
+        fd = _acquire_msvcrt(path, timeout)
+        try:
+            yield
+        finally:
+            _release_msvcrt(fd)
+    else:
+        held = _acquire_lockdir(path, timeout)
+        try:
+            yield
+        finally:
+            _release_lockdir(held)
+
+
+__all__ = [
+    "LOCK_SUFFIX",
+    "STALE_LOCK_S",
+    "LockTimeout",
+    "advisory_lock",
+    "lock_backend",
+]

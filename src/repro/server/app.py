@@ -1,0 +1,509 @@
+"""The ``repro serve`` application: routes → experiment layer.
+
+:class:`ReproServer` owns the job table, the SSE hub, a
+:class:`ResultCache` shared by every job, and a small thread pool that
+*drives* jobs (the heavy lifting still happens where it always did:
+single runs execute a streaming :class:`~repro.api.Session` on the
+driving thread, plans shard their cells onto the process-wide
+:class:`~repro.experiments.SweepPool` through the fault-tolerant
+:func:`run_plan` scheduler).
+
+Deduplication happens at two layers, both keyed by content hash:
+
+* **completed** work — the submit handlers consult the result cache
+  first; a full hit becomes a job that is born ``done`` (zero
+  simulation, provable via the cache hit/miss counters);
+* **in-flight** work — the job table's
+  :class:`~repro.experiments.shared.SharedWorkRegistry` attaches
+  concurrent identical submissions to the one job already executing.
+
+Every handler is synchronous and pure enough to call directly from
+tests (``server.handle(Request(...)) -> Response``); only the SSE
+endpoint returns a streaming response, whose generator bridges the
+job's :class:`~repro.server.hub.EventHub` channel onto the socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import logging
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+
+from repro._version import __version__
+from repro.experiments.cache import ResultCache
+from repro.experiments.run import run_plan
+from repro.locking import lock_backend
+from repro.server import wire
+from repro.server.http import (
+    HttpError,
+    Request,
+    Response,
+    read_request,
+    write_response,
+)
+from repro.server.hub import EventHub
+from repro.server.jobs import JobTable
+from repro.server.routes import match
+
+logger = logging.getLogger(__name__)
+
+#: How long one connection may take to send its request head + body.
+_REQUEST_TIMEOUT_S = 30.0
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one server instance (all CLI-exposed ones first)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    #: SweepPool width plan cells shard onto
+    workers: int = 2
+    #: result-cache directory; None = a private temp dir per server
+    cache_dir: str | None = None
+    #: job-driving threads (concurrent runs; plans serialize, see below)
+    driver_threads: int = 4
+    max_jobs: int = 256
+    job_ttl_s: float = 3600.0
+    #: per-job SSE event ring size (older events age out for late/slow
+    #: subscribers; publishers never block on it)
+    event_backlog: int = 512
+    #: SSE keep-alive comment cadence
+    keepalive_s: float = 15.0
+    max_body: int = wire.MAX_BODY_BYTES
+    #: plan-cell retry budget / timeout, passed through to run_plan
+    max_retries: int = 2
+    cell_timeout: float | None = None
+
+
+class ReproServer:
+    """The asyncio HTTP service over the experiment layer."""
+
+    def __init__(self, config: ServerConfig | None = None, *,
+                 clock=time.monotonic) -> None:
+        self.config = config or ServerConfig()
+        self.hub = EventHub(backlog=self.config.event_backlog)
+        self.jobs = JobTable(
+            self.hub, clock=clock,
+            max_jobs=self.config.max_jobs, ttl_s=self.config.job_ttl_s,
+        )
+        if self.config.cache_dir is None:
+            self._cache_root = tempfile.mkdtemp(prefix="repro-serve-cache-")
+        else:
+            self._cache_root = self.config.cache_dir
+        self.cache = ResultCache(self._cache_root)
+        self._drivers = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.driver_threads,
+            thread_name_prefix="repro-job",
+        )
+        #: one plan at a time: plans already fan out across the whole
+        #: process-wide SweepPool, so running two concurrently would
+        #: just thrash it (and SweepPool's build path is not re-entrant)
+        self._plan_lane = threading.Lock()
+        self.started_unix = time.time()
+        self.bound_port: int | None = None
+
+    # -- request dispatch --------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Route one request; never raises (errors become envelopes)."""
+        try:
+            found, params, path_known = match(request.method, request.path)
+            if found is None:
+                if path_known:
+                    raise wire.WireError(
+                        f"method {request.method} is not allowed on "
+                        f"{request.path}", status=405,
+                        code="method-not-allowed",
+                    )
+                raise wire.WireError(f"no such endpoint: {request.path}",
+                                     status=404, code="not-found")
+            handler = getattr(self, f"_h_{found.handler}")
+            return handler(request, params)
+        except wire.WireError as exc:
+            return Response(exc.status, wire.dump(wire.error_doc(exc)))
+        except Exception as exc:  # noqa: BLE001 - the 500 boundary
+            logger.exception("unhandled error serving %s %s",
+                             request.method, request.path)
+            return Response(500, wire.dump(wire.error_doc(exc)))
+
+    # -- endpoint handlers -------------------------------------------------
+
+    def _h_health(self, request: Request, params: dict) -> Response:
+        """``GET /v1/health`` — the ``repro verify`` header, as JSON."""
+        from repro.core.jitkern import jit_tier_label
+        from repro.sim.engine import ENGINES
+        from repro.sim.tracestore import default_root, store_enabled
+        from repro.testing.faults import faults_summary
+
+        self.jobs.gc()
+        engines = {name: "available" for name in ENGINES}
+        engines["jit"] = jit_tier_label()
+        doc = wire.envelope({
+            "service": "repro",
+            "version": __version__,
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_unix, 3),
+            "engines": engines,
+            "trace_store": {
+                "enabled": store_enabled(),
+                "root": str(default_root()),
+            },
+            "result_cache": {
+                "root": str(self.cache.root),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "lock_backend": lock_backend(),
+            },
+            "faults": faults_summary(),
+            "jobs": self.jobs.counts(),
+            "dedup": {"inflight": len(self.jobs.registry),
+                      "shared": self.jobs.registry.shared},
+            "workers": self.config.workers,
+        })
+        return Response(200, wire.dump(doc))
+
+    def _job_response(self, job, status: int = 200,
+                      include_results: bool = True) -> Response:
+        doc = job.to_dict(include_results=include_results)
+        doc["events_url"] = f"/v1/jobs/{job.id}/events"
+        doc["events"] = self.hub.channel_stats(job.id)
+        return Response(status, wire.dump(wire.envelope(doc)))
+
+    def _h_submit_run(self, request: Request, params: dict) -> Response:
+        """``POST /v1/runs`` — one spec; dedup by content hash."""
+        spec = wire.parse_run_request(wire.parse_json_body(request.body))
+        self.jobs.gc()
+        content_hash = spec.content_hash()
+        cached = self.cache.get(spec)
+        if cached is not None:
+            job = self.jobs.add_finished("run", content_hash, 1,
+                                         result=cached)
+            return self._job_response(job, status=200)
+        job, owner = self.jobs.submit("run", content_hash, 1)
+        if owner:
+            self._launch(job.id, self._execute_run, job.id, spec)
+        return self._job_response(job, status=202, include_results=False)
+
+    def _h_submit_plan(self, request: Request, params: dict) -> Response:
+        """``POST /v1/plans`` — a cell grid onto the sweep scheduler."""
+        plan = wire.parse_plan_request(wire.parse_json_body(request.body))
+        if len(plan) == 0:
+            raise wire.WireError("plan expands to zero cells",
+                                 status=422, code="empty-plan")
+        self.jobs.gc()
+        content_hash = plan.content_hash()
+        hits = [self.cache.get(spec) for spec in plan.specs]
+        if all(hit is not None for hit in hits):
+            job = self.jobs.add_finished("plan", content_hash, len(plan),
+                                         results=hits)
+            return self._job_response(job, status=200)
+        job, owner = self.jobs.submit("plan", content_hash, len(plan))
+        if owner:
+            self._launch(job.id, self._execute_plan, job.id, plan)
+        return self._job_response(job, status=202, include_results=False)
+
+    def _h_list_jobs(self, request: Request, params: dict) -> Response:
+        """``GET /v1/jobs`` — every live job, oldest first."""
+        self.jobs.gc()
+        doc = wire.envelope({
+            "jobs": [job.to_dict(include_results=False)
+                     for job in self.jobs.jobs()],
+        })
+        return Response(200, wire.dump(doc))
+
+    def _get_job(self, params: dict):
+        job = self.jobs.get(params["id"])
+        if job is None:
+            raise wire.WireError(f"no such job: {params['id']}",
+                                 status=404, code="not-found")
+        return job
+
+    def _h_job_status(self, request: Request, params: dict) -> Response:
+        """``GET /v1/jobs/<id>`` — status + results once terminal."""
+        job = self._get_job(params)
+        include = request.query.get("results", "1") != "0"
+        return self._job_response(job, include_results=include)
+
+    def _h_job_events(self, request: Request, params: dict) -> Response:
+        """``GET /v1/jobs/<id>/events`` — the job's SSE stream.
+
+        Replays the retained event ring, then streams live events until
+        the job finishes.  A slow consumer only loses *its own* oldest
+        events (reported via a ``dropped`` frame); it never slows the
+        simulation or other subscribers.
+        """
+        job = self._get_job(params)
+        subscription = self.hub.subscribe(job.id)
+        keepalive = self.config.keepalive_s
+
+        async def stream():
+            reported_drops = 0
+            try:
+                yield wire.sse_comment(f"repro {__version__} job {job.id}")
+                while True:
+                    batch, done = await subscription.next_batch(keepalive)
+                    if subscription.dropped > reported_drops:
+                        yield wire.sse_event("dropped", -1, {
+                            "job": job.id,
+                            "dropped": subscription.dropped,
+                        })
+                        reported_drops = subscription.dropped
+                    for event in batch:
+                        yield wire.sse_event(event.name, event.id,
+                                             event.data)
+                    if done:
+                        return
+                    if not batch:
+                        yield wire.sse_comment("keep-alive")
+            finally:
+                subscription.close()
+
+        return Response(
+            200,
+            content_type="text/event-stream; charset=utf-8",
+            headers={"Cache-Control": "no-cache"},
+            stream=stream(),
+        )
+
+    # -- job execution (driver threads) ------------------------------------
+
+    def _launch(self, job_id: str, fn, *args) -> None:
+        def run() -> None:
+            try:
+                fn(*args)
+            except Exception as exc:  # noqa: BLE001 - job boundary
+                logger.exception("job %s died in the driver", job_id)
+                with contextlib.suppress(Exception):
+                    self.jobs.mark_failed(
+                        job_id, f"{type(exc).__name__}: {exc}"
+                    )
+
+        self._drivers.submit(run)
+
+    def _execute_run(self, job_id: str, spec) -> None:
+        """Drive one spec through a Session, taps bridged to the hub.
+
+        The session facade is bit-identical to the batch path by the
+        PR-4 equivalence guarantee, so serving a run this way (to get
+        the observer taps) returns exactly what ``run_spec`` would.
+        """
+        from repro.api import Session
+
+        self.jobs.mark_running(job_id)
+        try:
+            session = Session(spec)
+
+            @session.on_epoch
+            def _epoch(event) -> None:
+                self.hub.publish(job_id, "epoch", {
+                    "job": job_id,
+                    "epoch": event.epoch,
+                    "time_ns": event.time_ns,
+                    "delta": event.delta.to_dict(),
+                    "totals": event.totals.to_dict(),
+                })
+
+            @session.on_mitigation
+            def _mitigation(event) -> None:
+                self.hub.publish(job_id, "mitigation", {
+                    "job": job_id,
+                    "time_ns": event.time_ns,
+                    "bank": event.bank,
+                    "low": event.low,
+                    "high": event.high,
+                    "reason": event.reason,
+                    "rows": event.rows,
+                })
+
+            result = session.result()
+        except Exception as exc:  # noqa: BLE001 - job boundary
+            logger.exception("run job %s failed", job_id)
+            self.jobs.mark_failed(job_id, f"{type(exc).__name__}: {exc}")
+            return
+        with contextlib.suppress(Exception):
+            self.cache.put(spec, result)
+        self.jobs.mark_done(job_id, result=result)
+
+    def _execute_plan(self, job_id: str, plan) -> None:
+        """Shard a plan onto the SweepPool via the retry scheduler."""
+        self.jobs.mark_running(job_id)
+        eventing = _EventingCache(self._cache_root, self.hub, job_id)
+        try:
+            with self._plan_lane:
+                report = run_plan(
+                    plan,
+                    workers=self.config.workers,
+                    cache=eventing,
+                    keep_going=True,
+                    max_retries=self.config.max_retries,
+                    cell_timeout=self.config.cell_timeout,
+                )
+        except Exception as exc:  # noqa: BLE001 - job boundary
+            logger.exception("plan job %s failed", job_id)
+            self.jobs.mark_failed(job_id, f"{type(exc).__name__}: {exc}")
+            return
+        payload = {"results": report.results, "report": report.to_dict()}
+        if report.ok:
+            self.jobs.mark_done(job_id, **payload)
+        else:
+            failed = len(report.failed)
+            self.jobs.mark_failed(
+                job_id, f"{failed} cell(s) permanently failed",
+            )
+            with contextlib.suppress(Exception):
+                job = self.jobs.get(job_id)
+                if job is not None:
+                    job.results = report.results
+                    job.report = report.to_dict()
+
+    # -- serving -----------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    read_request(reader, self.config.max_body),
+                    timeout=_REQUEST_TIMEOUT_S,
+                )
+            except HttpError as exc:
+                error = wire.WireError(str(exc), status=exc.status)
+                response = Response(exc.status,
+                                    wire.dump(wire.error_doc(error)))
+            except asyncio.TimeoutError:
+                error = wire.WireError("request timed out", status=408,
+                                       code="timeout")
+                response = Response(408, wire.dump(wire.error_doc(error)))
+            else:
+                if request is None:
+                    return
+                response = self.handle(request)
+            with contextlib.suppress(ConnectionError,
+                                     asyncio.CancelledError):
+                await write_response(writer, response)
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def serve(self, *, ready: "threading.Event | None" = None,
+                    announce: bool = False) -> None:
+        """Bind and serve until cancelled.
+
+        ``ready`` (a threading.Event) is set once the socket is bound
+        and :attr:`bound_port` is valid — the hook thread-based
+        embedders and the test harness synchronize on.
+        """
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+        )
+        self.bound_port = server.sockets[0].getsockname()[1]
+        if announce:
+            print(f"repro {__version__} serving on "
+                  f"http://{self.config.host}:{self.bound_port} "
+                  f"(plan workers: {self.config.workers}, cache: "
+                  f"{self._cache_root})")
+        if ready is not None:
+            ready.set()
+        async with server:
+            await server.serve_forever()
+
+    def close(self) -> None:
+        """Stop accepting job work (driver threads wind down)."""
+        self._drivers.shutdown(wait=False, cancel_futures=True)
+
+
+class ServerThread:
+    """Run a :class:`ReproServer` on a daemon thread (tests, notebooks).
+
+    ::
+
+        with ServerThread(ReproServer(config)) as base_url:
+            urllib.request.urlopen(base_url + "/v1/health")
+    """
+
+    def __init__(self, server: ReproServer) -> None:
+        self.server = server
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> str:
+        ready = threading.Event()
+
+        def main() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.server.serve(ready=ready))
+            except asyncio.CancelledError:
+                pass
+            finally:
+                with contextlib.suppress(Exception):
+                    loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=main, name="repro-serve", daemon=True,
+        )
+        self._thread.start()
+        if not ready.wait(timeout=30):
+            raise RuntimeError("server failed to bind within 30s")
+        host = self.server.config.host
+        return f"http://{host}:{self.server.bound_port}"
+
+    def __exit__(self, *exc_info) -> None:
+        loop = self._loop
+        if loop is not None:
+
+            def cancel_all() -> None:
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(cancel_all)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self.server.close()
+
+
+class _EventingCache(ResultCache):
+    """A ResultCache that narrates plan progress onto the job stream.
+
+    :func:`run_plan` flushes each completed cell through ``put`` as it
+    lands and consults ``get`` per cell up front, which makes the cache
+    the natural (and only parent-side) per-cell progress seam — no
+    scheduler changes needed.  Events carry the spec hash so clients
+    can correlate cells with the submitted plan.
+    """
+
+    def __init__(self, root: str, hub: EventHub, job_id: str) -> None:
+        super().__init__(root)
+        self._hub = hub
+        self._job_id = job_id
+
+    def get(self, spec):
+        hit = super().get(spec)
+        if hit is not None:
+            self._hub.publish(self._job_id, "cell", {
+                "job": self._job_id, "spec_hash": spec.content_hash(),
+                "status": "cached",
+            })
+        return hit
+
+    def put(self, spec, result):
+        path = super().put(spec, result)
+        self._hub.publish(self._job_id, "cell", {
+            "job": self._job_id, "spec_hash": spec.content_hash(),
+            "status": "done",
+        })
+        return path
+
+
+__all__ = ["ReproServer", "ServerConfig", "ServerThread"]

@@ -1,0 +1,266 @@
+"""The server's job table: submissions, lifecycle, dedup, and GC.
+
+A *job* is one accepted submission — a single spec (``POST /v1/runs``)
+or a whole plan (``POST /v1/plans``) — moving through ``queued`` →
+``running`` → ``done``/``failed``.  The table is the single source of
+truth the status endpoint reads and the executor writes, guarded by one
+lock because readers (asyncio handlers) and writers (worker threads)
+live on different threads.
+
+**Content-hash dedup** rides on the experiment layer's
+:class:`~repro.experiments.shared.SharedWorkRegistry`: while a hash is
+in flight, every further submission of the same hash is attached to the
+existing job — one simulation, many watchers.  (Completed work is the
+:class:`ResultCache`'s department: the executor consults it before
+simulating, so re-submitting finished work costs a cache read, not a
+run.)
+
+**GC** keeps the table bounded: finished jobs are evicted after
+``ttl_s`` seconds, and the oldest finished jobs are evicted early when
+the table exceeds ``max_jobs``.  Queued/running jobs are never evicted.
+The injected ``clock`` makes eviction deterministic under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.experiments.shared import SharedWorkRegistry
+
+#: Job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One accepted submission and everything known about it."""
+
+    id: str
+    kind: str  # "run" | "plan"
+    content_hash: str
+    n_cells: int
+    status: str = "queued"
+    #: wall-clock submission time (display only; GC uses the table clock)
+    created_unix: float = field(default_factory=time.time)
+    created_s: float = 0.0  # table-clock stamps
+    started_s: float | None = None
+    finished_s: float | None = None
+    #: True when the whole job was served from the ResultCache with
+    #: zero simulation (the "completed submissions are free" path).
+    cached: bool = False
+    #: submissions attached to this job beyond the first (dedup hits)
+    attached: int = 0
+    error: str | None = None
+    #: run jobs: the SimulationResult; plan jobs: list (None per failed
+    #: cell).  Held as live objects; serialized on demand.
+    result: object | None = None
+    results: list | None = None
+    #: plan jobs: the SweepReport dict (per-cell status/attempts/failures)
+    report: dict | None = None
+
+    @property
+    def finished(self) -> bool:
+        """True in a terminal state (done or failed)."""
+        return self.status in ("done", "failed")
+
+    def to_dict(self, include_results: bool = True) -> dict:
+        """The job-status document ``GET /v1/jobs/<id>`` serves."""
+        doc = {
+            "job": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "content_hash": self.content_hash,
+            "cells": self.n_cells,
+            "created_unix": self.created_unix,
+            "cached": self.cached,
+            "attached": self.attached,
+            "error": self.error,
+        }
+        if self.started_s is not None:
+            doc["queued_s"] = round(self.started_s - self.created_s, 6)
+        if self.finished_s is not None and self.started_s is not None:
+            doc["elapsed_s"] = round(self.finished_s - self.started_s, 6)
+        if self.report is not None:
+            doc["report"] = self.report
+        if include_results and self.status == "done":
+            if self.kind == "run":
+                doc["result"] = self.result.to_dict()
+            else:
+                doc["results"] = [
+                    (r.to_dict() if r is not None else None)
+                    for r in self.results
+                ]
+        return doc
+
+
+class JobTable:
+    """Thread-safe job registry with in-flight dedup and bounded GC."""
+
+    def __init__(self, hub, *, clock=time.monotonic,
+                 max_jobs: int = 256, ttl_s: float = 3600.0) -> None:
+        self._hub = hub
+        self._clock = clock
+        self.max_jobs = max_jobs
+        self.ttl_s = ttl_s
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._seq = 0
+        self.registry: SharedWorkRegistry[str] = SharedWorkRegistry()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, kind: str, content_hash: str,
+               n_cells: int) -> tuple[Job, bool]:
+        """Register one submission; returns ``(job, owner?)``.
+
+        The first submission of an in-flight hash creates the job and
+        returns ``owner=True`` — that caller must execute it and
+        eventually :meth:`mark_done`/:meth:`mark_failed`.  Concurrent
+        identical submissions get the same job back with
+        ``owner=False`` (and bump its ``attached`` count): exactly one
+        simulation is in flight per content hash.
+        """
+        while True:
+            with self._lock:
+                self._seq += 1
+                candidate_id = f"j{self._seq:05d}-{content_hash[:8]}"
+            job_id, owner = self.registry.claim(content_hash, candidate_id)
+            if owner:
+                break
+            with self._lock:
+                existing = self._jobs.get(job_id)
+                if existing is not None and not existing.finished:
+                    existing.attached += 1
+            if existing is not None and not existing.finished:
+                self._hub.publish(job_id, "attached",
+                                  {"job": job_id,
+                                   "attached": existing.attached})
+                return existing, False
+            # Stale claim: the owner finished (or was GC'd) between the
+            # claim and this read without releasing.  Clear and retry
+            # rather than wedging the hash forever.
+            self.registry.release(content_hash, job_id)
+        job = Job(
+            id=candidate_id, kind=kind, content_hash=content_hash,
+            n_cells=n_cells, created_s=self._clock(),
+        )
+        with self._lock:
+            self._jobs[candidate_id] = job
+        self._hub.open(candidate_id)
+        self._publish_status(job)
+        return job, True
+
+    def add_finished(self, kind: str, content_hash: str, n_cells: int,
+                     **payload) -> Job:
+        """Register a job born terminal (a cache-served submission)."""
+        with self._lock:
+            self._seq += 1
+            job = Job(
+                id=f"j{self._seq:05d}-{content_hash[:8]}",
+                kind=kind, content_hash=content_hash, n_cells=n_cells,
+                status="done", cached=True, created_s=self._clock(),
+            )
+            job.started_s = job.finished_s = job.created_s
+            for key, value in payload.items():
+                setattr(job, key, value)
+            self._jobs[job.id] = job
+        self._hub.open(job.id)
+        self._publish_status(job)
+        self._hub.close(job.id)
+        return job
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def mark_running(self, job_id: str) -> None:
+        """queued → running (executor thread picked the job up)."""
+        with self._lock:
+            job = self._jobs[job_id]
+            job.status = "running"
+            job.started_s = self._clock()
+        self._publish_status(job)
+
+    def _finish(self, job_id: str, status: str, **payload) -> Job:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.status = status
+            job.finished_s = self._clock()
+            for key, value in payload.items():
+                setattr(job, key, value)
+        self.registry.release(job.content_hash, job_id)
+        self._publish_status(job)
+        self._hub.close(job_id)
+        return job
+
+    def mark_done(self, job_id: str, **payload) -> Job:
+        """running → done; releases the dedup claim, closes the stream."""
+        return self._finish(job_id, "done", **payload)
+
+    def mark_failed(self, job_id: str, error: str) -> Job:
+        """running → failed; later identical submissions start fresh."""
+        return self._finish(job_id, "failed", error=error)
+
+    def _publish_status(self, job: Job) -> None:
+        self._hub.publish(job.id, "status", {
+            "job": job.id, "status": job.status, "kind": job.kind,
+            "cells": job.n_cells, "cached": job.cached,
+            "error": job.error,
+        })
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        """The job record, or None."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """All live jobs, oldest first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.created_s)
+
+    def counts(self) -> dict[str, int]:
+        """Job counts by status (health surface)."""
+        out = dict.fromkeys(JOB_STATES, 0)
+        with self._lock:
+            for job in self._jobs.values():
+                out[job.status] = out.get(job.status, 0) + 1
+        return out
+
+    # -- GC ----------------------------------------------------------------
+
+    def gc(self) -> list[str]:
+        """Evict expired/excess *finished* jobs; returns evicted ids.
+
+        Two triggers: a finished job older than ``ttl_s`` (by the table
+        clock) expires, and when the table still exceeds ``max_jobs``
+        the oldest finished jobs go first.  Live jobs are never
+        evicted, so a table full of running work simply stays large.
+        """
+        now = self._clock()
+        evicted: list[str] = []
+        with self._lock:
+            finished = sorted(
+                (j for j in self._jobs.values() if j.finished),
+                key=lambda j: j.finished_s,
+            )
+            for job in finished:
+                if now - job.finished_s >= self.ttl_s:
+                    del self._jobs[job.id]
+                    evicted.append(job.id)
+            overflow = len(self._jobs) - self.max_jobs
+            if overflow > 0:
+                for job in finished:
+                    if overflow <= 0:
+                        break
+                    if job.id in self._jobs:
+                        del self._jobs[job.id]
+                        evicted.append(job.id)
+                        overflow -= 1
+        for job_id in evicted:
+            self._hub.drop(job_id)
+        return evicted
+
+
+__all__ = ["JOB_STATES", "Job", "JobTable"]

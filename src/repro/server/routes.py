@@ -1,0 +1,71 @@
+"""URL dispatch: (method, path pattern) → handler name.
+
+Patterns are literal segments plus ``<name>`` captures (no regexes to
+maintain); :func:`match` returns the route and its captured path
+parameters.  A path that exists under a different method yields a 405
+distinct from a plain 404, so clients get an honest error surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Route:
+    """One endpoint: HTTP method, split pattern, handler name."""
+
+    method: str
+    segments: tuple[str, ...]
+    handler: str
+
+
+def route(method: str, pattern: str, handler: str) -> Route:
+    """Build a route from a ``/v1/jobs/<id>``-style pattern."""
+    segments = tuple(s for s in pattern.split("/") if s)
+    return Route(method.upper(), segments, handler)
+
+
+#: The service's endpoint table (the wire-layer tests pin this shape).
+ROUTES: tuple[Route, ...] = (
+    route("GET", "/v1/health", "health"),
+    route("POST", "/v1/runs", "submit_run"),
+    route("POST", "/v1/plans", "submit_plan"),
+    route("GET", "/v1/jobs", "list_jobs"),
+    route("GET", "/v1/jobs/<id>", "job_status"),
+    route("GET", "/v1/jobs/<id>/events", "job_events"),
+)
+
+
+def _bind(segments: tuple[str, ...], path_parts: list[str]
+          ) -> dict[str, str] | None:
+    if len(segments) != len(path_parts):
+        return None
+    params: dict[str, str] = {}
+    for pattern_part, actual in zip(segments, path_parts):
+        if pattern_part.startswith("<") and pattern_part.endswith(">"):
+            params[pattern_part[1:-1]] = actual
+        elif pattern_part != actual:
+            return None
+    return params
+
+
+def match(method: str, path: str) -> tuple[Route | None, dict[str, str], bool]:
+    """Resolve a request; returns ``(route, params, path_known)``.
+
+    ``route`` is None on a miss; ``path_known=True`` then means the
+    path matched some route under another method (405, not 404).
+    """
+    parts = [s for s in path.split("/") if s]
+    path_known = False
+    for candidate in ROUTES:
+        params = _bind(candidate.segments, parts)
+        if params is None:
+            continue
+        if candidate.method == method.upper():
+            return candidate, params, True
+        path_known = True
+    return None, {}, path_known
+
+
+__all__ = ["ROUTES", "Route", "match", "route"]

@@ -1,0 +1,142 @@
+"""JSON wire schema of the ``repro serve`` HTTP API.
+
+One module owns every document shape that crosses the wire, so the
+golden round-trip tests (and any future client) have a single surface
+to pin.  Requests reuse the experiment layer's existing serialized
+forms verbatim — a ``POST /v1/runs`` body is exactly the
+:meth:`ExperimentSpec.to_dict` document ``repro run --spec`` reads, and
+``POST /v1/plans`` takes the ``repro plan --spec`` document — wrapped in
+a thin envelope that leaves room for submission options.
+
+Responses carry ``wire_version`` so clients can detect incompatible
+servers; bump :data:`WIRE_VERSION` on breaking layout changes.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.plan import Plan
+from repro.experiments.spec import ExperimentSpec, SpecError
+
+#: Version stamp of every response envelope; bump on breaking changes.
+WIRE_VERSION = 1
+
+#: Upper bound on request body size (a plan grid document is a few KiB;
+#: anything near this is abuse, not an experiment).
+MAX_BODY_BYTES = 4 * 2**20
+
+
+class WireError(ValueError):
+    """A request the wire layer rejects; carries the HTTP status."""
+
+    def __init__(self, message: str, status: int = 400,
+                 code: str = "bad-request") -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+def parse_json_body(body: bytes) -> dict:
+    """Decode a request body into a JSON object (or raise 400)."""
+    if not body:
+        raise WireError("request body is empty (expected a JSON document)")
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"request body is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise WireError("request body must be a JSON object")
+    return doc
+
+
+def parse_run_request(doc: dict) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` a ``POST /v1/runs`` body describes.
+
+    Accepts either the bare spec document or ``{"spec": {...}}`` (the
+    envelope form mirrors ``{"plan": ...}`` submissions).
+    """
+    spec_doc = doc.get("spec", doc)
+    if not isinstance(spec_doc, dict):
+        raise WireError("'spec' must be a JSON object")
+    try:
+        return ExperimentSpec.from_dict(spec_doc)
+    except (SpecError, ValueError, TypeError, KeyError) as exc:
+        raise WireError(f"invalid experiment spec: {exc}",
+                        code="invalid-spec") from None
+
+
+def parse_plan_request(doc: dict) -> Plan:
+    """The :class:`Plan` a ``POST /v1/plans`` body describes.
+
+    Accepts the bare plan document (``kind: repro-experiment-plan``) or
+    ``{"plan": {...}}``.
+    """
+    plan_doc = doc.get("plan", doc)
+    if not isinstance(plan_doc, dict):
+        raise WireError("'plan' must be a JSON object")
+    try:
+        return Plan.from_dict(plan_doc)
+    except (SpecError, ValueError, TypeError, KeyError) as exc:
+        raise WireError(f"invalid experiment plan: {exc}",
+                        code="invalid-plan") from None
+
+
+def envelope(doc: dict) -> dict:
+    """Stamp one response document with the wire version."""
+    return {"wire_version": WIRE_VERSION, **doc}
+
+
+def error_doc(exc: "WireError | Exception", status: int = 500) -> dict:
+    """The error envelope every non-2xx response carries."""
+    if isinstance(exc, WireError):
+        return envelope({
+            "error": {"code": exc.code, "status": exc.status,
+                      "message": str(exc)},
+        })
+    return envelope({
+        "error": {"code": "internal", "status": status, "message": str(exc)},
+    })
+
+
+def dump(doc: dict) -> bytes:
+    """Canonical response bytes: sorted keys, trailing newline.
+
+    Sorted, separator-stable JSON makes byte-identity assertions
+    (server result vs direct ``repro run``) meaningful on the wire.
+    """
+    return (json.dumps(doc, sort_keys=True, indent=1) + "\n").encode("utf-8")
+
+
+# -- Server-Sent Events ----------------------------------------------------
+
+def sse_event(event: str, event_id: int, data: dict) -> bytes:
+    """One SSE frame: ``event``/``id``/``data`` lines + blank line.
+
+    ``data`` is a single compact-JSON line, so the frame never needs
+    multi-line data continuation.
+    """
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return (
+        f"event: {event}\nid: {event_id}\ndata: {payload}\n\n"
+    ).encode("utf-8")
+
+
+def sse_comment(text: str) -> bytes:
+    """An SSE comment frame (keep-alive; ignored by clients)."""
+    return f": {text}\n\n".encode("utf-8")
+
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_BODY_BYTES",
+    "WireError",
+    "parse_json_body",
+    "parse_run_request",
+    "parse_plan_request",
+    "envelope",
+    "error_doc",
+    "dump",
+    "sse_event",
+    "sse_comment",
+]

@@ -1,0 +1,197 @@
+"""Advisory-lock tests and the multi-process cache publish stress.
+
+The contract under test: concurrent writers — threads or whole
+processes — hammering one result store always leave it with complete,
+readable entries (one winner per entry, no torn JSON, no leaked temp
+files), because every publish is ``mkstemp`` → ``os.replace`` under a
+per-store advisory lock.
+"""
+
+import concurrent.futures
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.experiments import ExperimentSpec, ResultCache, SchemeSpec
+from repro.experiments.run import run_spec
+from repro.locking import (
+    LOCK_SUFFIX,
+    LockTimeout,
+    advisory_lock,
+    lock_backend,
+)
+
+FAST = dict(scale=128.0, n_banks=1, n_intervals=1)
+
+
+def fast_spec(**overrides):
+    fields = dict(scheme=SchemeSpec("drcat"), workload="libq", **FAST)
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+BACKENDS = ["lockdir"]
+if lock_backend() == "flock":
+    BACKENDS.append("flock")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestAdvisoryLock:
+    def test_acquire_release_cycle(self, tmp_path, backend):
+        target = tmp_path / "store"
+        with advisory_lock(target, backend=backend):
+            pass
+        with advisory_lock(target, backend=backend):  # re-acquirable
+            pass
+
+    def test_lock_artifact_lives_beside_target(self, tmp_path, backend):
+        target = tmp_path / "store"
+        with advisory_lock(target, backend=backend):
+            assert (tmp_path / ("store" + LOCK_SUFFIX)).exists()
+
+    def test_mutual_exclusion_across_threads(self, tmp_path, backend):
+        target = tmp_path / "store"
+        active = []
+        overlaps = []
+
+        def worker():
+            for _ in range(20):
+                with advisory_lock(target, backend=backend):
+                    active.append(1)
+                    if len(active) > 1:
+                        overlaps.append(True)
+                    time.sleep(0.0005)
+                    active.pop()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not overlaps
+
+    def test_contended_lock_times_out(self, tmp_path, backend):
+        target = tmp_path / "store"
+        release = threading.Event()
+        held = threading.Event()
+
+        def holder():
+            with advisory_lock(target, backend=backend):
+                held.set()
+                release.wait(10)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        try:
+            assert held.wait(5)
+            if backend == "flock":
+                # flock is per-open-file, so contend from a second
+                # process instead of a thread (same-process fds on one
+                # inode do conflict, but keep the test honest).
+                start = time.monotonic()
+                with pytest.raises(LockTimeout):
+                    _flock_in_subprocess(target, timeout=0.3)
+                assert time.monotonic() - start < 5
+            else:
+                with pytest.raises(LockTimeout):
+                    with advisory_lock(target, timeout=0.3,
+                                       backend=backend):
+                        pass
+        finally:
+            release.set()
+            t.join()
+
+
+def _flock_in_subprocess(target, timeout):
+    import subprocess
+    import sys
+
+    code = (
+        "import sys\n"
+        "from repro.locking import advisory_lock, LockTimeout\n"
+        "try:\n"
+        f"    with advisory_lock({str(target)!r}, timeout={timeout},"
+        " backend='flock'):\n"
+        "        pass\n"
+        "except LockTimeout:\n"
+        "    sys.exit(42)\n"
+    )
+    proc = subprocess.run([sys.executable, "-c", code],
+                          env={**os.environ,
+                               "PYTHONPATH": _pythonpath()},
+                          timeout=30)
+    if proc.returncode == 42:
+        raise LockTimeout("contended in subprocess")
+
+
+def _pythonpath():
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    return f"{src}{os.pathsep}{existing}" if existing else src
+
+
+class TestLockdirStaleBreaking:
+    def test_stale_lockdir_is_broken(self, tmp_path, monkeypatch):
+        import repro.locking as locking
+
+        target = tmp_path / "store"
+        stale = tmp_path / ("store" + LOCK_SUFFIX)
+        os.mkdir(stale)  # abandoned by a "killed" writer
+        monkeypatch.setattr(locking, "STALE_LOCK_S", 0.05)
+        time.sleep(0.1)
+        with advisory_lock(target, timeout=5, backend="lockdir"):
+            pass  # acquired despite the pre-existing dir
+
+    def test_fresh_lockdir_is_respected(self, tmp_path):
+        target = tmp_path / "store"
+        os.mkdir(tmp_path / ("store" + LOCK_SUFFIX))
+        with pytest.raises(LockTimeout):
+            with advisory_lock(target, timeout=0.2, backend="lockdir"):
+                pass
+
+
+# -- multi-process publish stress -------------------------------------------
+
+def _hammer(cache_root: str, writer: int, rounds: int) -> int:
+    """One stress process: publish the shared and a private entry."""
+    cache = ResultCache(cache_root)
+    result = run_spec(fast_spec())
+    shared = fast_spec(seed=777)
+    private = fast_spec(seed=1000 + writer)
+    for _ in range(rounds):
+        cache.put(shared, result)
+        cache.put(private, result)
+    return writer
+
+
+class TestMultiProcessStress:
+    def test_eight_writers_one_store(self, tmp_path):
+        """8 processes × 12 publishes each into one store: every entry
+        must come out complete and readable, with no temp residue."""
+        rounds = 12
+        with concurrent.futures.ProcessPoolExecutor(max_workers=8) as pool:
+            futures = [pool.submit(_hammer, str(tmp_path), w, rounds)
+                       for w in range(8)]
+            done = [f.result(timeout=300) for f in futures]
+        assert sorted(done) == list(range(8))
+
+        cache = ResultCache(tmp_path)
+        # The contended entry parses and round-trips through get().
+        assert cache.get(fast_spec(seed=777)) is not None
+        # Every private entry landed too.
+        for writer in range(8):
+            assert cache.get(fast_spec(seed=1000 + writer)) is not None
+        assert cache.hits == 9 and cache.misses == 0
+        # Raw files are all complete JSON documents...
+        entries = list(cache.root.glob("*.json"))
+        assert len(entries) == 9
+        for path in entries:
+            json.loads(path.read_text(encoding="utf-8"))
+        # ...and no mkstemp temp file survived.
+        assert not list(cache.root.glob("*.tmp"))

@@ -1,0 +1,156 @@
+"""Job-table lifecycle tests: submit → running → done/failed → GC,
+plus in-flight content-hash dedup via the shared-work registry."""
+
+import pytest
+
+from repro.experiments import SharedWorkRegistry
+from repro.server import EventHub
+from repro.server.jobs import JOB_STATES, JobTable
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def table():
+    clock = FakeClock()
+    t = JobTable(EventHub(), clock=clock, max_jobs=4, ttl_s=100.0)
+    t.clock = clock  # test handle
+    return t
+
+
+HASH = "a" * 16
+
+
+class TestSharedWorkRegistry:
+    def test_first_claim_owns(self):
+        reg = SharedWorkRegistry()
+        ticket, owner = reg.claim(HASH, "t1")
+        assert ticket == "t1" and owner
+
+    def test_second_claim_attaches(self):
+        reg = SharedWorkRegistry()
+        reg.claim(HASH, "t1")
+        ticket, owner = reg.claim(HASH, "t2")
+        assert ticket == "t1" and not owner
+        assert reg.shared == 1
+
+    def test_release_frees_the_key(self):
+        reg = SharedWorkRegistry()
+        reg.claim(HASH, "t1")
+        reg.release(HASH, "t1")
+        _ticket, owner = reg.claim(HASH, "t3")
+        assert owner
+
+    def test_release_requires_owner_ticket(self):
+        reg = SharedWorkRegistry()
+        reg.claim(HASH, "t1")
+        reg.release(HASH, "not-the-owner")  # ignored
+        _ticket, owner = reg.claim(HASH, "t2")
+        assert not owner
+
+
+class TestLifecycle:
+    def test_full_lifecycle_stamps(self, table):
+        job, owner = table.submit("run", HASH, 1)
+        assert owner and job.status == "queued"
+        table.clock.now = 1.0
+        table.mark_running(job.id)
+        assert table.get(job.id).status == "running"
+        table.clock.now = 3.5
+        table.mark_done(job.id, result=None)
+        final = table.get(job.id)
+        assert final.status == "done" and final.finished
+        doc = final.to_dict(include_results=False)
+        assert doc["queued_s"] == 1.0
+        assert doc["elapsed_s"] == 2.5
+
+    def test_failure_records_error(self, table):
+        job, _ = table.submit("run", HASH, 1)
+        table.mark_running(job.id)
+        table.mark_failed(job.id, "ValueError: boom")
+        final = table.get(job.id)
+        assert final.status == "failed"
+        assert final.error == "ValueError: boom"
+        assert final.to_dict()["error"] == "ValueError: boom"
+
+    def test_states_constant_matches_counts_keys(self, table):
+        assert tuple(table.counts()) == JOB_STATES
+
+    def test_job_ids_embed_the_content_hash(self, table):
+        job, _ = table.submit("run", HASH, 1)
+        assert job.id.endswith(HASH[:8])
+
+
+class TestDedup:
+    def test_concurrent_identical_submissions_share_one_job(self, table):
+        first, owner1 = table.submit("run", HASH, 1)
+        second, owner2 = table.submit("run", HASH, 1)
+        assert owner1 and not owner2
+        assert second is first
+        assert first.attached == 1
+
+    def test_finished_hash_starts_a_fresh_job(self, table):
+        first, _ = table.submit("run", HASH, 1)
+        table.mark_running(first.id)
+        table.mark_done(first.id, result=None)
+        second, owner = table.submit("run", HASH, 1)
+        assert owner and second.id != first.id
+
+    def test_failed_hash_starts_a_fresh_job(self, table):
+        # A failure must not wedge the hash: retries get a new attempt.
+        first, _ = table.submit("run", HASH, 1)
+        table.mark_running(first.id)
+        table.mark_failed(first.id, "boom")
+        second, owner = table.submit("run", HASH, 1)
+        assert owner and second.id != first.id
+
+    def test_distinct_hashes_do_not_dedup(self, table):
+        a, owner_a = table.submit("run", "b" * 16, 1)
+        b, owner_b = table.submit("run", "c" * 16, 1)
+        assert owner_a and owner_b and a.id != b.id
+
+    def test_cache_served_job_is_born_done(self, table):
+        job = table.add_finished("run", HASH, 1, result=None)
+        assert job.status == "done" and job.cached
+        assert job.finished_s is not None
+        # Born-terminal jobs never claim the hash, so a live submission
+        # of the same hash still gets ownership.
+        _, owner = table.submit("run", HASH, 1)
+        assert owner
+
+
+class TestGC:
+    def test_ttl_expires_finished_jobs_only(self, table):
+        done, _ = table.submit("run", "d" * 16, 1)
+        table.mark_running(done.id)
+        table.mark_done(done.id, result=None)
+        live, _ = table.submit("run", "e" * 16, 1)
+        table.clock.now = 500.0  # past ttl_s=100
+        evicted = table.gc()
+        assert evicted == [done.id]
+        assert table.get(done.id) is None
+        assert table.get(live.id) is not None  # live never evicted
+
+    def test_overflow_evicts_oldest_finished_first(self, table):
+        ids = []
+        for i in range(6):  # max_jobs=4
+            job, _ = table.submit("run", f"{i:x}" * 16, 1)
+            table.mark_running(job.id)
+            table.clock.now = float(i)
+            table.mark_done(job.id, result=None)
+            ids.append(job.id)
+        evicted = table.gc()
+        assert evicted == ids[:2]  # the two oldest-finished
+        assert len(table.jobs()) == 4
+
+    def test_gc_never_evicts_running_overflow(self, table):
+        for i in range(6):
+            table.submit("run", f"{i:x}" * 16, 1)  # all queued forever
+        assert table.gc() == []
+        assert len(table.jobs()) == 6

@@ -1,0 +1,124 @@
+"""Observer-tap isolation: a raising callback must never kill the run.
+
+The server streams runs through Session taps, so a broken observer (a
+disconnected SSE bridge, a buggy user callback) aborting the simulation
+would turn a client-side problem into a lost result.  The contract: the
+offender is logged and detached, the run completes, and the numbers are
+bit-identical to an unobserved run.
+"""
+
+import logging
+
+import pytest
+
+from repro.api import Session
+from repro.experiments import ExperimentSpec, SchemeSpec, run_spec
+
+FAST = dict(scale=128.0, n_banks=1, n_intervals=3)
+
+
+def fast_spec(**overrides):
+    fields = dict(scheme=SchemeSpec("drcat"), workload="libq", **FAST)
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+class TestEpochTapIsolation:
+    def test_raising_tap_does_not_abort_the_run(self):
+        session = Session(fast_spec())
+
+        @session.on_epoch
+        def bad(event):
+            raise RuntimeError("observer bug")
+
+        result = session.result()  # must not raise
+        assert result.totals.n_intervals == 3
+
+    def test_raising_tap_is_detached_after_first_failure(self):
+        session = Session(fast_spec())
+        calls = []
+
+        @session.on_epoch
+        def bad(event):
+            calls.append(event.epoch)
+            raise RuntimeError("observer bug")
+
+        session.result()
+        # Detached on its first raise: exactly one delivery, not one
+        # per epoch.
+        assert len(calls) == 1
+
+    def test_healthy_taps_survive_a_raising_sibling(self):
+        session = Session(fast_spec())
+        good_epochs = []
+
+        @session.on_epoch
+        def bad(event):
+            raise RuntimeError("observer bug")
+
+        @session.on_epoch
+        def good(event):
+            good_epochs.append(event.epoch)
+
+        session.result()
+        assert good_epochs == [1, 2, 3]
+
+    def test_result_bit_identical_despite_raising_tap(self):
+        spec = fast_spec(seed=11)
+        session = Session(spec)
+
+        @session.on_epoch
+        def bad(event):
+            raise RuntimeError("observer bug")
+
+        assert session.result().to_dict() == run_spec(spec).to_dict()
+
+    def test_offender_is_logged(self, caplog):
+        session = Session(fast_spec())
+
+        @session.on_epoch
+        def bad(event):
+            raise RuntimeError("observer bug")
+
+        with caplog.at_level(logging.ERROR, logger="repro.api"):
+            session.result()
+        assert any("detaching" in rec.message for rec in caplog.records)
+        assert any("on_epoch" in rec.getMessage()
+                   for rec in caplog.records)
+
+
+class TestMitigationTapIsolation:
+    @pytest.fixture()
+    def busy_spec(self):
+        # sca with a low threshold refreshes eagerly, so mitigation
+        # taps actually fire on a fast run.
+        return fast_spec(scheme=SchemeSpec("sca"), refresh_threshold=512)
+
+    def test_raising_mitigation_tap_does_not_abort(self, busy_spec):
+        session = Session(busy_spec)
+        fired = []
+
+        @session.on_mitigation
+        def bad(event):
+            fired.append(event)
+            raise RuntimeError("observer bug")
+
+        result = session.result()
+        assert fired, "precondition: the tap must have fired at all"
+        assert len(fired) == 1  # detached after the first raise
+        assert result.to_dict() == run_spec(busy_spec).to_dict()
+
+    def test_healthy_mitigation_tap_unaffected(self, busy_spec):
+        session = Session(busy_spec)
+        good = []
+
+        @session.on_mitigation
+        def bad(event):
+            raise RuntimeError("observer bug")
+
+        @session.on_mitigation
+        def fine(event):
+            good.append(event.rows)
+
+        session.result()
+        assert good and all(rows >= 1 for rows in good)
