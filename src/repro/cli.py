@@ -601,9 +601,10 @@ def _result_store_stats(root) -> dict:
     if root is None or not root.is_dir():
         return stats
     for partition in root.iterdir():
-        # The trace store nests under this root by default; it reports
-        # separately.
-        if not partition.is_dir() or partition.name == "traces":
+        # The trace store and the serve job journal nest under this
+        # root by default; both report separately.
+        if not partition.is_dir() or partition.name in ("traces",
+                                                        "journal"):
             continue
         stats["partitions"] += 1
         if partition.name != active:
@@ -615,6 +616,38 @@ def _result_store_stats(root) -> dict:
                 continue
             if partition.name == active and path.suffix == ".json":
                 stats["entries"] += 1
+    return stats
+
+
+def _journal_stats(result_root, gc: bool = True) -> dict:
+    """Serve job-journal segment stats (plus fully-applied-segment GC).
+
+    The journal lives at ``<cache-root>/journal``.  Segments every job
+    of which is terminal are fully applied — their results live in the
+    result cache — so stats/clear GC them the same way both commands
+    sweep orphaned ``.tmp`` files.
+    """
+    from pathlib import Path
+
+    from repro.server.journal import Journal
+
+    stats = {"root": None, "segments": 0, "bytes": 0, "records": 0,
+             "live_jobs": 0, "finished_jobs": 0, "gc_removed": 0}
+    if result_root is None:
+        return stats
+    journal_dir = Path(result_root) / "journal"
+    stats["root"] = str(journal_dir)
+    if not journal_dir.is_dir():
+        return stats
+    journal = Journal(journal_dir)
+    if gc:
+        stats["gc_removed"] = journal.gc()
+    snapshot = journal.stats()
+    stats["segments"] = snapshot.segments
+    stats["bytes"] = snapshot.bytes
+    stats["records"] = snapshot.records
+    stats["live_jobs"] = snapshot.live_jobs
+    stats["finished_jobs"] = snapshot.finished_jobs
     return stats
 
 
@@ -665,11 +698,26 @@ def cmd_cache(args: argparse.Namespace) -> int:
             stats = _result_store_stats(result_root)
             if result_root is not None and result_root.is_dir():
                 for partition in list(result_root.iterdir()):
-                    if partition.is_dir() and partition.name != "traces":
+                    if partition.is_dir() and partition.name not in (
+                        "traces", "journal"
+                    ):
                         shutil.rmtree(partition, ignore_errors=True)
             cleared.append(f"results: {stats['entries']} entr(ies) "
                            f"({stats['partitions']} partition(s)) removed "
                            f"from {stats['root']}")
+        if both:
+            # A full clear wipes the serve job journal too: with the
+            # results gone there is nothing its jobs could recover to
+            # without re-simulating anyway.
+            journal_stats = _journal_stats(result_root, gc=False)
+            if journal_stats["segments"]:
+                shutil.rmtree(Path(journal_stats["root"]),
+                              ignore_errors=True)
+            cleared.append(
+                f"journal: {journal_stats['segments']} segment(s) "
+                f"({journal_stats['records']} record(s)) removed from "
+                f"{journal_stats['root']}"
+            )
         if args.traces or both:
             stats = _trace_store_stats(trace_parent, trace_store)
             trace_store._ram.clear()
@@ -684,9 +732,11 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
 
     result_stats = _result_store_stats(result_root)
+    journal_stats = _journal_stats(result_root)
     trace_stats = _trace_store_stats(trace_parent, trace_store)
     if args.json:
         print(json.dumps({"results": result_stats, "traces": trace_stats,
+                          "journal": journal_stats,
                           "tmp_removed": tmp_removed},
                          indent=2))
         return 0
@@ -698,6 +748,12 @@ def cmd_cache(args: argparse.Namespace) -> int:
             "root": result_stats["root"] or "(no benchmarks dir)",
         },
         {
+            "store": "journal",
+            "entries": journal_stats["records"],
+            "MiB": round(journal_stats["bytes"] / 2**20, 2),
+            "root": journal_stats["root"] or "(no benchmarks dir)",
+        },
+        {
             "store": "traces",
             "entries": trace_stats["entries"],
             "MiB": round(trace_stats["bytes"] / 2**20, 2),
@@ -705,6 +761,13 @@ def cmd_cache(args: argparse.Namespace) -> int:
         },
     ]
     print(format_table(rows, ["store", "entries", "MiB", "root"]))
+    if journal_stats["gc_removed"]:
+        print(f"note: removed {journal_stats['gc_removed']} fully-applied "
+              "journal segment(s) (all jobs terminal)")
+    if journal_stats["live_jobs"]:
+        print(f"note: journal holds {journal_stats['live_jobs']} "
+              "unfinished job(s); the next repro serve on this "
+              "--cache-dir will resume them")
     for kind, stats in (("result", result_stats), ("trace", trace_stats)):
         if stats["stale_partitions"]:
             print(f"note: {stats['stale_partitions']} stale {kind} "
@@ -769,8 +832,16 @@ def cmd_hardware(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """``repro serve``: the experiment layer over HTTP + SSE."""
+    """``repro serve``: the experiment layer over HTTP + SSE.
+
+    SIGTERM/SIGINT trigger a graceful drain: new submissions get 503
+    while status reads stay live, running jobs checkpoint, and the
+    journal flushes — the process exits 0 within ``--drain-deadline``
+    either way (a missed deadline hard-exits; the fsync'd journal
+    already holds everything a restart needs).
+    """
     import asyncio
+    import os
 
     from repro.server import ReproServer, ServerConfig
 
@@ -782,14 +853,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
         driver_threads=args.driver_threads,
         max_jobs=args.max_jobs,
         job_ttl_s=args.job_ttl,
+        checkpoint_epochs=args.checkpoint_epochs,
+        drain_deadline_s=args.drain_deadline,
+        stall_timeout_s=args.stall_timeout,
+        max_queued=args.max_queued,
     )
     server = ReproServer(config)
+    clean = True
     try:
-        asyncio.run(server.serve(announce=True))
+        clean = asyncio.run(
+            server.serve(announce=True, handle_signals=True)
+        )
     except KeyboardInterrupt:
+        # Signal handlers need a running loop; a KeyboardInterrupt can
+        # still slip in before/after serve() — drain state is on disk.
         print("\nshutting down")
     finally:
         server.close()
+    if not clean:
+        # Hung driver threads are non-daemon; joining them at
+        # interpreter exit would blow the drain deadline.  Everything
+        # durable is already flushed — leave without looking back.
+        os._exit(0)
     return 0
 
 
@@ -1003,6 +1088,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="finished-job table bound before GC")
     p_srv.add_argument("--job-ttl", type=float, default=3600.0,
                        help="seconds a finished job stays queryable")
+    p_srv.add_argument("--checkpoint-epochs", type=int, default=2,
+                       help="run jobs snapshot a resume point every N "
+                            "epochs (0 disables periodic checkpoints)")
+    p_srv.add_argument("--drain-deadline", type=float, default=20.0,
+                       help="seconds a SIGTERM/SIGINT drain may take to "
+                            "checkpoint running work before hard exit")
+    p_srv.add_argument("--stall-timeout", type=float, default=120.0,
+                       help="seconds without a driver heartbeat before "
+                            "a running job is requeued")
+    p_srv.add_argument("--max-queued", type=int, default=64,
+                       help="queued-job bound before submissions get 429")
     p_srv.set_defaults(func=cmd_serve)
 
     p_hw = sub.add_parser("hardware", help="print Table II hardware model")

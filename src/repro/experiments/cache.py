@@ -203,9 +203,27 @@ class ResultCache:
     def put_snapshot(
         self, spec: ExperimentSpec, tag: str | int, snapshot: dict
     ) -> Path:
-        """Persist one partial-run snapshot (atomic, like :meth:`put`)."""
+        """Persist one partial-run snapshot (atomic, like :meth:`put`).
+
+        Instrumented as the ``server.checkpoint`` fault-injection site:
+        ``raise`` fails the write (callers treat a checkpoint as a
+        droppable optimization), ``corrupt`` tears the stored document
+        so a later :meth:`get_snapshot` must detect it and degrade to a
+        cold start.
+        """
+        fault_point("server.checkpoint")
         doc = {"spec": spec.to_dict(), "snapshot": snapshot}
-        return self._write(self.snapshot_path(spec, tag), doc)
+        return self._write(self.snapshot_path(spec, tag), doc,
+                           corrupt_site="server.checkpoint")
+
+    def delete_snapshot(self, spec: ExperimentSpec, tag: str | int) -> bool:
+        """Drop a stored snapshot (a finished run no longer needs its
+        resume point); returns whether a file was removed."""
+        try:
+            self.snapshot_path(spec, tag).unlink()
+            return True
+        except OSError:
+            return False
 
 
 def sweep_orphan_tmp(root: "Path | str | None") -> int:

@@ -469,12 +469,17 @@ class SweepReport:
     @property
     def ok(self) -> bool:
         """True when every cell completed (simulated or cached)."""
-        return not self.failed
+        return not self.failed and not self.pending
 
     @property
     def failed(self) -> list[CellStatus]:
         """Cells whose retry budget ran out."""
         return [c for c in self.cells if c.status == "failed"]
+
+    @property
+    def pending(self) -> list[CellStatus]:
+        """Cells a cooperative stop left untouched (resumable work)."""
+        return [c for c in self.cells if c.status == "pending"]
 
     def counts(self) -> dict[str, int]:
         """Cell counts by final status."""
@@ -518,6 +523,19 @@ def _backoff_s(round_no: int, salt: int = 0) -> float:
     base = min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * (2 ** (round_no - 1)))
     jitter = random.Random((round_no << 16) ^ salt).random()
     return base * (0.5 + jitter)
+
+
+def _backoff_wait(round_no: int, salt: int, stop) -> bool:
+    """Sleep one retry backoff; True when ``stop`` cut it short."""
+    deadline = time.monotonic() + _backoff_s(round_no, salt=salt)
+    while True:
+        if stop is not None and stop():
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        time.sleep(remaining if stop is None
+                   else min(remaining, _STOP_POLL_S))
 
 
 def _flush_cell(cache: ResultCache | None, spec, result) -> bool:
@@ -579,16 +597,58 @@ def _sigterm_as_interrupt():
             signal.signal(signal.SIGTERM, previous)
 
 
-def _run_round_serial(specs, pending, attempt, on_ok, on_fail) -> None:
+class _StopRequested(Exception):
+    """Internal: a ``run_plan(stop=...)`` callback asked for a drain."""
+
+
+#: How often a pooled wait re-checks its ``stop`` callback.
+_STOP_POLL_S = 0.25
+
+
+def _wait_future(future, budget, stop):
+    """``future.result(timeout=budget)`` that polls ``stop`` while waiting.
+
+    The budget is honored exactly (waits happen in ``_STOP_POLL_S``
+    slices that never overshoot the deadline); a truthy ``stop`` raises
+    :class:`_StopRequested` between slices.
+    """
+    if stop is None:
+        return future.result(timeout=budget)
+    deadline = None if budget is None else time.monotonic() + budget
+    while True:
+        if stop():
+            raise _StopRequested
+        slice_s = _STOP_POLL_S
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise concurrent.futures.TimeoutError
+            slice_s = min(slice_s, remaining)
+        try:
+            return future.result(timeout=slice_s)
+        except concurrent.futures.TimeoutError:
+            if deadline is None or time.monotonic() < deadline:
+                continue
+            raise
+
+
+def _run_round_serial(specs, pending, attempt, on_ok, on_fail,
+                      stop=None) -> None:
     """One retry round, in-process: per-cell isolation, no pool.
 
     Cells sharing a stream key run fused first (one stream fetch per
     interval for the whole group); whatever the fused pass does not
-    complete falls through to the isolated per-cell loop.
+    complete falls through to the isolated per-cell loop.  A truthy
+    ``stop`` between cells ends the round early; untouched cells keep
+    their ``pending`` status and resume on the next run.
     """
+    if stop is not None and stop():
+        return
     if len(pending) > 1 and fused_sweep_enabled():
         pending = _run_fused_groups(specs, pending, on_ok)
     for i in pending:
+        if stop is not None and stop():
+            return
         t0 = time.perf_counter()
         try:
             result = _pool_cell(specs[i])
@@ -603,7 +663,8 @@ def _run_round_serial(specs, pending, attempt, on_ok, on_fail) -> None:
 
 
 def _run_round_pooled(
-    specs, pending, workers, cell_timeout, attempt, on_ok, on_fail
+    specs, pending, workers, cell_timeout, attempt, on_ok, on_fail,
+    stop=None,
 ) -> None:
     """One retry round on the process pool, chunked.
 
@@ -611,6 +672,10 @@ def _run_round_pooled(
     callback.  A broken pool fails only the chunks that had not
     finished; a chunk exceeding its time budget fails retryably and the
     hung workers are terminated so the next round gets a live pool.
+    A truthy ``stop`` (polled while waiting on chunks) drains like an
+    interrupt — finished chunks flush, the rest are cancelled and the
+    pool killed — but raises :class:`_StopRequested` for the scheduler
+    to absorb instead of propagating to the caller.
     """
     width = min(workers, len(pending))
     pool = SweepPool.get(width)
@@ -638,7 +703,7 @@ def _run_round_pooled(
             )
             t0 = time.perf_counter()
             try:
-                outcomes = future.result(timeout=budget)
+                outcomes = _wait_future(future, budget, stop)
             except concurrent.futures.TimeoutError:
                 future.cancel()
                 hung = True
@@ -668,7 +733,7 @@ def _run_round_pooled(
                     on_fail(
                         i, CellFailure.from_dict(outcome["failure"]), per
                     )
-    except (KeyboardInterrupt, SystemExit):
+    except (KeyboardInterrupt, SystemExit, _StopRequested) as exc:
         # Drain: deliver every chunk that did finish (flushing its
         # cells to the cache via on_ok), cancel the rest, tear the
         # pool down, and let the interrupt propagate.
@@ -683,7 +748,14 @@ def _run_round_pooled(
                         on_ok(i, outcome["result"], 0.0)
             else:
                 future.cancel()
-        SweepPool.shutdown(cancel_futures=True)
+        if isinstance(exc, _StopRequested):
+            # Cooperative stop is deadline-bound (graceful drain must
+            # exit on time): terminate running chunks rather than wait.
+            # Mid-write kills are safe — every store publish is an
+            # atomic rename.
+            SweepPool.kill()
+        else:
+            SweepPool.shutdown(cancel_futures=True)
         raise
     if hung:
         SweepPool.kill()
@@ -699,6 +771,7 @@ def run_plan(
     keep_going: bool = False,
     max_retries: int = 2,
     cell_timeout: float | None = None,
+    stop=None,
 ):
     """Run every cell of a plan, fault-tolerantly; results in plan order.
 
@@ -721,9 +794,21 @@ def run_plan(
     failure records and the partial :class:`SweepReport`) — unless
     ``keep_going=True``, in which case the full :class:`SweepReport`
     is returned instead, with ``None`` results for failed cells.
+
+    ``stop`` (a zero-argument callable, polled between cells and while
+    waiting on pooled chunks) requests a cooperative drain: completed
+    cells flush to the cache as usual, untouched cells stay ``pending``
+    in the report, and the call returns promptly instead of finishing
+    the plan.  Because a stopped report is inherently partial, ``stop``
+    requires ``keep_going=True`` — the ``repro serve`` graceful-drain
+    path is the intended caller, and it resumes the job from the cache
+    after restart.
     """
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    if stop is not None and not keep_going:
+        raise ValueError("stop= requires keep_going=True: a stopped "
+                         "plan yields a partial report, not results")
     specs = tuple(plan.specs if isinstance(plan, Plan) else plan)
     cache = ResultCache.coerce(cache)
     if cache is not None and session_mode() != "direct":
@@ -762,8 +847,10 @@ def run_plan(
         with _sigterm_as_interrupt():
             round_no = 0
             while pending and round_no <= max_retries:
-                if round_no:
-                    time.sleep(_backoff_s(round_no, salt=len(pending)))
+                if stop is not None and stop():
+                    break
+                if round_no and _backoff_wait(round_no, len(pending), stop):
+                    break
                 if faults_on:
                     # Injected faults hold fire past round zero so every
                     # armed failure is transient by construction; the
@@ -787,15 +874,20 @@ def run_plan(
 
                 for i in pending:
                     tick(i)
-                if workers > 1 and len(pending) > 1:
-                    _run_round_pooled(
-                        specs, pending, workers, cell_timeout, attempt,
-                        on_ok, on_fail,
-                    )
-                else:
-                    _run_round_serial(
-                        specs, pending, attempt, on_ok, on_fail
-                    )
+                try:
+                    if workers > 1 and len(pending) > 1:
+                        _run_round_pooled(
+                            specs, pending, workers, cell_timeout,
+                            attempt, on_ok, on_fail, stop=stop,
+                        )
+                    else:
+                        _run_round_serial(
+                            specs, pending, attempt, on_ok, on_fail,
+                            stop=stop,
+                        )
+                except _StopRequested:
+                    pending = next_pending
+                    break
                 pending = next_pending
                 round_no += 1
     finally:

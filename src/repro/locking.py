@@ -31,7 +31,9 @@ from __future__ import annotations
 
 import contextlib
 import errno
+import math
 import os
+import threading
 import time
 from pathlib import Path
 
@@ -51,11 +53,66 @@ LOCK_SUFFIX = ".lock"
 
 #: A fallback lock directory older than this is presumed abandoned by a
 #: killed writer and is broken.  Publishes take milliseconds; a minute
-#: is orders of magnitude past any honest hold time.
+#: is orders of magnitude past any honest hold time.  Overridable via
+#: ``REPRO_LOCK_STALE_S`` (see :func:`stale_lock_s`) for filesystems
+#: with coarse or skewed mtimes.
 STALE_LOCK_S = 60.0
+
+#: Environment override for the stale-break age.
+STALE_ENV_VAR = "REPRO_LOCK_STALE_S"
 
 #: Fallback spin interval while waiting on a held lock directory.
 _SPIN_S = 0.005
+
+
+def stale_lock_s() -> float:
+    """The effective lockdir stale-break age, in seconds.
+
+    ``REPRO_LOCK_STALE_S`` overrides the :data:`STALE_LOCK_S` default;
+    a malformed or non-positive value raises so a typo'd deployment
+    fails loudly instead of silently never (or always) breaking locks.
+    """
+    raw = os.environ.get(STALE_ENV_VAR)
+    if raw is None or not raw.strip():
+        return STALE_LOCK_S
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{STALE_ENV_VAR}={raw!r} is not a number (seconds)"
+        ) from None
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(
+            f"{STALE_ENV_VAR} must be a finite number > 0 seconds, "
+            f"got {raw!r}"
+        )
+    return value
+
+
+#: Process-wide lock accounting, surfaced by ``/v1/health`` so lock
+#: pressure on a shared store is observable instead of silently eaten
+#: as latency.  ``contended`` counts acquires that had to wait at least
+#: one spin; ``stale_broken`` counts abandoned lockdirs broken by age.
+_STATS_LOCK = threading.Lock()
+_STATS = {"acquires": 0, "contended": 0, "timeouts": 0, "stale_broken": 0}
+
+
+def _count(key: str) -> None:
+    with _STATS_LOCK:
+        _STATS[key] += 1
+
+
+def lock_stats() -> dict:
+    """A snapshot of the process-wide lock counters."""
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def reset_lock_stats() -> None:
+    """Zero the lock counters (test isolation)."""
+    with _STATS_LOCK:
+        for key in _STATS:
+            _STATS[key] = 0
 
 
 class LockTimeout(OSError):
@@ -66,15 +123,21 @@ def _acquire_flock(path: Path, timeout: float):
     """POSIX path: flock an open fd (auto-released on process death)."""
     fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
     deadline = time.monotonic() + timeout
+    waited = False
     try:
         while True:
             try:
                 fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                _count("acquires")
                 return fd
             except OSError as exc:
                 if exc.errno not in (errno.EAGAIN, errno.EACCES):
                     raise
+                if not waited:
+                    waited = True
+                    _count("contended")
                 if time.monotonic() >= deadline:
+                    _count("timeouts")
                     raise LockTimeout(
                         f"timed out after {timeout:.1f}s waiting for {path}"
                     ) from None
@@ -95,13 +158,19 @@ def _acquire_msvcrt(path: Path, timeout: float):  # pragma: no cover
     """Windows path: lock the first byte of the lock file."""
     fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
     deadline = time.monotonic() + timeout
+    waited = False
     try:
         while True:
             try:
                 msvcrt.locking(fd, msvcrt.LK_NBLCK, 1)
+                _count("acquires")
                 return fd
             except OSError:
+                if not waited:
+                    waited = True
+                    _count("contended")
                 if time.monotonic() >= deadline:
+                    _count("timeouts")
                     raise LockTimeout(
                         f"timed out after {timeout:.1f}s waiting for {path}"
                     ) from None
@@ -122,23 +191,31 @@ def _release_msvcrt(fd: int) -> None:  # pragma: no cover
 def _acquire_lockdir(path: Path, timeout: float) -> Path:
     """Portable fallback: atomic mkdir, age-based stale-lock breaking."""
     deadline = time.monotonic() + timeout
+    stale_after = stale_lock_s()
+    waited = False
     while True:
         try:
             os.mkdir(path)
+            _count("acquires")
             return path
         except FileExistsError:
             try:
                 age = time.time() - path.stat().st_mtime
             except OSError:
                 continue  # holder just released; retry immediately
-            if age > STALE_LOCK_S:
+            if age > stale_after:
                 # Abandoned by a killed writer: break it.  A racing
                 # breaker may win the rmdir; both then re-contend the
                 # mkdir, which stays atomic.
                 with contextlib.suppress(OSError):
                     os.rmdir(path)
+                _count("stale_broken")
                 continue
+            if not waited:
+                waited = True
+                _count("contended")
             if time.monotonic() >= deadline:
+                _count("timeouts")
                 raise LockTimeout(
                     f"timed out after {timeout:.1f}s waiting for {path}"
                 ) from None
@@ -200,8 +277,12 @@ def advisory_lock(target: "Path | str", timeout: float = 30.0,
 
 __all__ = [
     "LOCK_SUFFIX",
+    "STALE_ENV_VAR",
     "STALE_LOCK_S",
     "LockTimeout",
     "advisory_lock",
     "lock_backend",
+    "lock_stats",
+    "reset_lock_stats",
+    "stale_lock_s",
 ]

@@ -15,8 +15,14 @@ exposes the declarative experiment layer:
   mitigation events, and job lifecycle over Server-Sent Events.
 * ``GET /v1/health`` — version, engine tiers, cache/trace-store status.
 
+The service is crash-safe: accepted jobs are journaled durably
+(:mod:`~repro.server.journal`), recovered idempotently on restart, and
+drained gracefully on SIGTERM — see the failure-model section of
+DESIGN.md.
+
 Module map: :mod:`~repro.server.wire` (JSON wire schema),
 :mod:`~repro.server.jobs` (job table + content-hash dedup),
+:mod:`~repro.server.journal` (durable job journal),
 :mod:`~repro.server.hub` (SSE fan-out with per-client backpressure),
 :mod:`~repro.server.http` (HTTP/1.1 framing), :mod:`~repro.server.routes`
 (URL dispatch), :mod:`~repro.server.app` (the service itself).
@@ -25,6 +31,7 @@ Module map: :mod:`~repro.server.wire` (JSON wire schema),
 from repro.server.app import ReproServer, ServerConfig, ServerThread
 from repro.server.hub import EventHub
 from repro.server.jobs import Job, JobTable
+from repro.server.journal import Journal, JournaledJob
 from repro.server.wire import WIRE_VERSION, WireError
 
 __all__ = [
@@ -33,6 +40,8 @@ __all__ = [
     "EventHub",
     "Job",
     "JobTable",
+    "Journal",
+    "JournaledJob",
     "ReproServer",
     "ServerConfig",
     "ServerThread",

@@ -21,6 +21,27 @@ Every handler is synchronous and pure enough to call directly from
 tests (``server.handle(Request(...)) -> Response``); only the SSE
 endpoint returns a streaming response, whose generator bridges the
 job's :class:`~repro.server.hub.EventHub` channel onto the socket.
+
+Crash safety
+------------
+The server is restart-transparent: every accepted submission is
+journaled (:mod:`repro.server.journal`) before work starts, and
+:meth:`ReproServer.__init__` replays the journal from the previous
+incarnation — finished jobs reload their results from the
+:class:`ResultCache`, unfinished jobs are re-enqueued (plans recompute
+only the cells the cache does not already hold; runs resume from the
+periodic ``"serve"`` session snapshot the driver checkpoints every
+``checkpoint_epochs`` epochs).  Recovered results are byte-identical to
+an uninterrupted run: cells by per-cell seeding, sessions by the PR-4
+snapshot/restore equivalence proof.
+
+SIGTERM/SIGINT trigger a *graceful drain* (see :meth:`drain`): new
+submissions get 503 + Retry-After while status reads stay live, running
+sessions checkpoint, running plans stop cooperatively at the next cell
+boundary, the journal flushes, and the process exits within
+``drain_deadline_s``.  A supervision loop requeues jobs whose driver
+thread stops heartbeating, and admission control sheds load (429) when
+the queue is full.
 """
 
 from __future__ import annotations
@@ -33,11 +54,13 @@ import tempfile
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro._version import __version__
+from repro.errors import is_retryable
 from repro.experiments.cache import ResultCache
 from repro.experiments.run import run_plan
-from repro.locking import lock_backend
+from repro.locking import lock_backend, lock_stats
 from repro.server import wire
 from repro.server.http import (
     HttpError,
@@ -47,13 +70,23 @@ from repro.server.http import (
     write_response,
 )
 from repro.server.hub import EventHub
-from repro.server.jobs import JobTable
+from repro.server.journal import Journal, JournaledJob
+from repro.server.jobs import JOB_STATES, Job, JobTable
 from repro.server.routes import match
+from repro.testing.faults import fault_point
 
 logger = logging.getLogger(__name__)
 
 #: How long one connection may take to send its request head + body.
 _REQUEST_TIMEOUT_S = 30.0
+
+#: Journal directory name under the cache root (beside the
+#: fingerprint-salted result partitions, so code edits that move the
+#: partition never orphan the journal).
+JOURNAL_DIR = "journal"
+
+#: The snapshot tag run-job checkpoints are stored under.
+SNAPSHOT_TAG = "serve"
 
 
 @dataclass
@@ -79,6 +112,20 @@ class ServerConfig:
     #: plan-cell retry budget / timeout, passed through to run_plan
     max_retries: int = 2
     cell_timeout: float | None = None
+    #: run jobs checkpoint a session snapshot every this many epochs
+    #: (0 disables periodic checkpoints; drain still checkpoints)
+    checkpoint_epochs: int = 2
+    #: graceful-drain budget: running work gets this long to checkpoint
+    #: and stop before the process exits anyway
+    drain_deadline_s: float = 20.0
+    #: a running job whose heartbeat is older than this is presumed
+    #: stalled and requeued under a fresh generation
+    stall_timeout_s: float = 120.0
+    #: admission control: reject (429) when this many jobs are queued
+    max_queued: int = 64
+    #: how many times a job may be requeued (stall or retryable driver
+    #: failure) before it is marked failed
+    max_job_requeues: int = 2
 
 
 class ReproServer:
@@ -88,15 +135,17 @@ class ReproServer:
                  clock=time.monotonic) -> None:
         self.config = config or ServerConfig()
         self.hub = EventHub(backlog=self.config.event_backlog)
-        self.jobs = JobTable(
-            self.hub, clock=clock,
-            max_jobs=self.config.max_jobs, ttl_s=self.config.job_ttl_s,
-        )
         if self.config.cache_dir is None:
             self._cache_root = tempfile.mkdtemp(prefix="repro-serve-cache-")
         else:
             self._cache_root = self.config.cache_dir
         self.cache = ResultCache(self._cache_root)
+        self.journal = Journal(Path(self._cache_root) / JOURNAL_DIR)
+        self.jobs = JobTable(
+            self.hub, clock=clock,
+            max_jobs=self.config.max_jobs, ttl_s=self.config.job_ttl_s,
+            journal=self.journal,
+        )
         self._drivers = concurrent.futures.ThreadPoolExecutor(
             max_workers=self.config.driver_threads,
             thread_name_prefix="repro-job",
@@ -105,8 +154,134 @@ class ReproServer:
         #: process-wide SweepPool, so running two concurrently would
         #: just thrash it (and SweepPool's build path is not re-entrant)
         self._plan_lane = threading.Lock()
+        #: job_id → (execute fn, payload), kept while the job is live so
+        #: requeues (stall, retryable driver failure) can relaunch it
+        self._work: dict[str, tuple] = {}
+        self._work_lock = threading.Lock()
+        self._draining = threading.Event()
+        #: driver threads currently executing a job (drain waits on 0)
+        self._active_drivers = 0
+        self._active_lock = threading.Lock()
+        #: what startup recovery did (surfaced in /v1/health)
+        self.recovery = {
+            "replayed": 0, "requeued": 0, "restored_done": 0,
+            "restored_failed": 0, "resumed_from_snapshot": 0,
+            "skipped": 0, "supervisor_requeues": 0,
+        }
         self.started_unix = time.time()
         self.bound_port: int | None = None
+        self._recover()
+
+    # -- startup recovery --------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the journal of a previous incarnation (if any).
+
+        Recovery matrix, per replayed job state:
+
+        ========== =====================================================
+        queued     re-enqueue (re-parse the journaled document)
+        running    re-enqueue; run jobs resume from their ``"serve"``
+                   snapshot, plan jobs recompute only uncached cells
+        done       reload results from the ResultCache — or re-enqueue
+                   when the cache no longer holds them
+        failed     restore as failed (``recovered=true``)
+        ========== =====================================================
+
+        Terminal jobs older than ``job_ttl_s`` are skipped (the table
+        would GC them immediately anyway).  After the fold the journal
+        is compacted to one fresh segment holding exactly the surviving
+        jobs, so restart chains never re-read dead history.
+        """
+        replayed = self.journal.replay()
+        if not replayed:
+            return
+        survivors: list[JournaledJob] = []
+        relaunch: list[tuple[Job, object, object]] = []
+        now = time.time()
+        for entry in replayed.values():
+            self.recovery["replayed"] += 1
+            if entry.finished and entry.finished_unix is not None and \
+                    now - entry.finished_unix >= self.config.job_ttl_s:
+                self.recovery["skipped"] += 1
+                continue
+            job = Job(
+                id=entry.id, kind=entry.kind,
+                content_hash=entry.content_hash, n_cells=entry.n_cells,
+                created_unix=entry.submitted_unix,
+                created_s=self.jobs._clock(),
+            )
+            if entry.status == "failed":
+                job.status = "failed"
+                job.error = entry.error
+                job.started_s = job.finished_s = job.created_s
+                self.jobs.adopt(job)
+                self.recovery["restored_failed"] += 1
+                survivors.append(entry)
+                continue
+            try:
+                payload, execute = self._parse_recovered(entry)
+            except Exception as exc:  # noqa: BLE001 - corrupt doc
+                job.status = "failed"
+                job.error = f"recovery: unreadable document " \
+                            f"({type(exc).__name__}: {exc})"
+                job.started_s = job.finished_s = job.created_s
+                self.jobs.adopt(job)
+                entry.status, entry.error = "failed", job.error
+                self.recovery["restored_failed"] += 1
+                survivors.append(entry)
+                continue
+            if entry.status == "done":
+                results = self._cached_results(entry.kind, payload)
+                if results is not None:
+                    job.status = "done"
+                    job.cached = True
+                    job.started_s = job.finished_s = job.created_s
+                    for key, value in results.items():
+                        setattr(job, key, value)
+                    self.jobs.adopt(job)
+                    self.recovery["restored_done"] += 1
+                    survivors.append(entry)
+                    continue
+                # The cache lost the results (cleared, or a code edit
+                # moved the partition): the job must earn "done" again.
+            job.status = "queued"
+            entry.status, entry.error, entry.finished_unix = \
+                "queued", None, None
+            if self.jobs.adopt(job):
+                relaunch.append((job, payload, execute))
+                self.recovery["requeued"] += 1
+            survivors.append(entry)
+        # Compact *before* relaunching: post-compaction appends land in
+        # the fresh segment; records written into doomed segments first
+        # would be deleted out from under the jobs that wrote them.
+        try:
+            self.journal.compact(survivors)
+        except OSError:
+            logger.exception("journal compaction failed; recovering "
+                             "on the uncompacted journal")
+        for job, payload, execute in relaunch:
+            self._launch(job.id, execute, payload,
+                         generation=job.generation)
+
+    def _parse_recovered(self, entry: JournaledJob):
+        """(payload, execute fn) for one journaled document."""
+        if entry.kind == "run":
+            spec = wire.parse_run_request(entry.doc)
+            return spec, self._execute_run
+        plan = wire.parse_plan_request(entry.doc)
+        return plan, self._execute_plan
+
+    def _cached_results(self, kind: str, payload) -> dict | None:
+        """A done job's results out of the cache, or None if any are
+        missing (the job then re-executes instead)."""
+        if kind == "run":
+            result = self.cache.get(payload)
+            return None if result is None else {"result": result}
+        hits = [self.cache.get(spec) for spec in payload.specs]
+        if any(hit is None for hit in hits):
+            return None
+        return {"results": hits}
 
     # -- request dispatch --------------------------------------------------
 
@@ -126,7 +301,11 @@ class ReproServer:
             handler = getattr(self, f"_h_{found.handler}")
             return handler(request, params)
         except wire.WireError as exc:
-            return Response(exc.status, wire.dump(wire.error_doc(exc)))
+            headers = {}
+            if exc.retry_after is not None:
+                headers["Retry-After"] = str(int(exc.retry_after))
+            return Response(exc.status, wire.dump(wire.error_doc(exc)),
+                            headers=headers)
         except Exception as exc:  # noqa: BLE001 - the 500 boundary
             logger.exception("unhandled error serving %s %s",
                              request.method, request.path)
@@ -147,7 +326,7 @@ class ReproServer:
         doc = wire.envelope({
             "service": "repro",
             "version": __version__,
-            "status": "ok",
+            "status": "draining" if self._draining.is_set() else "ok",
             "uptime_s": round(time.time() - self.started_unix, 3),
             "engines": engines,
             "trace_store": {
@@ -165,8 +344,29 @@ class ReproServer:
             "dedup": {"inflight": len(self.jobs.registry),
                       "shared": self.jobs.registry.shared},
             "workers": self.config.workers,
+            "journal": self.journal.stats().to_dict(),
+            "recovery": dict(self.recovery),
+            "locks": lock_stats(),
+            "draining": self._draining.is_set(),
         })
         return Response(200, wire.dump(doc))
+
+    def _admit(self) -> None:
+        """Admission control for submissions (reads stay open).
+
+        Draining → 503 (come back after the restart); queue saturated →
+        429 (back off and retry).  Both carry ``Retry-After``.
+        """
+        if self._draining.is_set():
+            raise wire.WireError(
+                "server is draining; resubmit after restart",
+                status=503, code="draining", retry_after=5,
+            )
+        if self.jobs.counts()["queued"] >= self.config.max_queued:
+            raise wire.WireError(
+                f"job queue is full ({self.config.max_queued} queued)",
+                status=429, code="queue-full", retry_after=2,
+            )
 
     def _job_response(self, job, status: int = 200,
                       include_results: bool = True) -> Response:
@@ -177,7 +377,8 @@ class ReproServer:
 
     def _h_submit_run(self, request: Request, params: dict) -> Response:
         """``POST /v1/runs`` — one spec; dedup by content hash."""
-        spec = wire.parse_run_request(wire.parse_json_body(request.body))
+        doc = wire.parse_json_body(request.body)
+        spec = wire.parse_run_request(doc)
         self.jobs.gc()
         content_hash = spec.content_hash()
         cached = self.cache.get(spec)
@@ -185,14 +386,16 @@ class ReproServer:
             job = self.jobs.add_finished("run", content_hash, 1,
                                          result=cached)
             return self._job_response(job, status=200)
-        job, owner = self.jobs.submit("run", content_hash, 1)
+        self._admit()
+        job, owner = self.jobs.submit("run", content_hash, 1, doc=doc)
         if owner:
-            self._launch(job.id, self._execute_run, job.id, spec)
+            self._launch(job.id, self._execute_run, spec)
         return self._job_response(job, status=202, include_results=False)
 
     def _h_submit_plan(self, request: Request, params: dict) -> Response:
         """``POST /v1/plans`` — a cell grid onto the sweep scheduler."""
-        plan = wire.parse_plan_request(wire.parse_json_body(request.body))
+        doc = wire.parse_json_body(request.body)
+        plan = wire.parse_plan_request(doc)
         if len(plan) == 0:
             raise wire.WireError("plan expands to zero cells",
                                  status=422, code="empty-plan")
@@ -203,17 +406,29 @@ class ReproServer:
             job = self.jobs.add_finished("plan", content_hash, len(plan),
                                          results=hits)
             return self._job_response(job, status=200)
-        job, owner = self.jobs.submit("plan", content_hash, len(plan))
+        self._admit()
+        job, owner = self.jobs.submit("plan", content_hash, len(plan),
+                                      doc=doc)
         if owner:
-            self._launch(job.id, self._execute_plan, job.id, plan)
+            self._launch(job.id, self._execute_plan, plan)
         return self._job_response(job, status=202, include_results=False)
 
     def _h_list_jobs(self, request: Request, params: dict) -> Response:
-        """``GET /v1/jobs`` — every live job, oldest first."""
+        """``GET /v1/jobs`` — every live job, oldest first.
+
+        ``?state=queued|running|done|failed`` filters; recovered jobs
+        carry ``recovered: true`` in their documents.
+        """
         self.jobs.gc()
+        state = request.query.get("state")
+        if state is not None and state not in JOB_STATES:
+            raise wire.WireError(
+                f"unknown state filter {state!r}: expected one of "
+                f"{', '.join(JOB_STATES)}", status=422, code="bad-state",
+            )
         doc = wire.envelope({
             "jobs": [job.to_dict(include_results=False)
-                     for job in self.jobs.jobs()],
+                     for job in self.jobs.jobs(state)],
         })
         return Response(200, wire.dump(doc))
 
@@ -273,31 +488,127 @@ class ReproServer:
 
     # -- job execution (driver threads) ------------------------------------
 
-    def _launch(self, job_id: str, fn, *args) -> None:
+    def _launch(self, job_id: str, fn, payload, generation: int = 0) -> None:
+        """Register a job's work and hand it to a driver thread.
+
+        The (fn, payload) pair is remembered while the job is live so a
+        requeue — stall supervision or a retryable driver failure — can
+        relaunch it under a fresh generation without the submission.
+        """
+        with self._work_lock:
+            self._work[job_id] = (fn, payload)
+        self._spawn(job_id, generation)
+
+    def _spawn(self, job_id: str, generation: int) -> None:
+        with self._work_lock:
+            work = self._work.get(job_id)
+        if work is None:  # job finished between requeue and relaunch
+            return
+        fn, payload = work
+
         def run() -> None:
+            with self._active_lock:
+                self._active_drivers += 1
             try:
-                fn(*args)
+                fault_point("server.driver")
+                fn(job_id, payload, generation)
             except Exception as exc:  # noqa: BLE001 - job boundary
-                logger.exception("job %s died in the driver", job_id)
-                with contextlib.suppress(Exception):
-                    self.jobs.mark_failed(
-                        job_id, f"{type(exc).__name__}: {exc}"
-                    )
+                self._driver_failed(job_id, generation, exc)
+            finally:
+                job = self.jobs.get(job_id)
+                if job is None or job.finished:
+                    with self._work_lock:
+                        self._work.pop(job_id, None)
+                with self._active_lock:
+                    self._active_drivers -= 1
 
         self._drivers.submit(run)
 
-    def _execute_run(self, job_id: str, spec) -> None:
+    def _driver_failed(self, job_id: str, generation: int,
+                       exc: Exception) -> None:
+        """A driver thread died: requeue retryably, else fail the job."""
+        logger.exception("job %s died in the driver (generation %d)",
+                         job_id, generation)
+        job = self.jobs.get(job_id)
+        if (
+            job is not None and not job.finished
+            and generation == job.generation
+            and is_retryable(exc)
+            and job.requeues < self.config.max_job_requeues
+            and not self._draining.is_set()
+        ):
+            new_generation = self.jobs.requeue(job_id)
+            if new_generation is not None:
+                self._spawn(job_id, new_generation)
+                return
+        with contextlib.suppress(Exception):
+            self.jobs.mark_failed(
+                job_id, f"{type(exc).__name__}: {exc}", generation
+            )
+
+    def supervise_once(self) -> list[str]:
+        """One supervision pass: requeue stalled jobs; returns their ids.
+
+        A running job whose heartbeat went quiet for ``stall_timeout_s``
+        has a hung driver thread (Python threads cannot be killed).
+        The job is requeued under a new generation — the zombie thread's
+        later stamps are stale-generation no-ops, and its stray cache
+        writes are benign because determinism makes the bytes identical.
+        Out-of-budget jobs are failed instead of requeued forever.
+        """
+        if self._draining.is_set():
+            return []
+        requeued: list[str] = []
+        for job in self.jobs.stalled(self.config.stall_timeout_s):
+            if job.requeues >= self.config.max_job_requeues:
+                with contextlib.suppress(Exception):
+                    self.jobs.mark_failed(
+                        job.id,
+                        f"driver stalled (no heartbeat for "
+                        f"{self.config.stall_timeout_s:.0f}s) and the "
+                        f"requeue budget is spent", job.generation,
+                    )
+                continue
+            new_generation = self.jobs.requeue(job.id)
+            if new_generation is not None:
+                logger.warning("job %s stalled; requeued as generation %d",
+                               job.id, new_generation)
+                self.recovery["supervisor_requeues"] += 1
+                self._spawn(job.id, new_generation)
+                requeued.append(job.id)
+        return requeued
+
+    def _execute_run(self, job_id: str, spec, generation: int = 0) -> None:
         """Drive one spec through a Session, taps bridged to the hub.
 
         The session facade is bit-identical to the batch path by the
         PR-4 equivalence guarantee, so serving a run this way (to get
         the observer taps) returns exactly what ``run_spec`` would.
+
+        The run advances epoch by epoch so the driver can heartbeat,
+        checkpoint a resumable snapshot every ``checkpoint_epochs``
+        epochs, and stop at an epoch boundary when a drain begins.  A
+        stored ``"serve"`` snapshot (from a killed or drained ancestor)
+        is resumed instead of restarting from zero — byte-identical
+        either way by the snapshot/restore equivalence proof.
         """
         from repro.api import Session
 
-        self.jobs.mark_running(job_id)
+        if not self.jobs.mark_running(job_id, generation):
+            return
         try:
-            session = Session(spec)
+            session = None
+            stored = self.cache.get_snapshot(spec, SNAPSHOT_TAG)
+            if stored is not None:
+                try:
+                    session = Session.restore(stored)
+                    self.recovery["resumed_from_snapshot"] += 1
+                except Exception:  # noqa: BLE001 - corrupt snapshot
+                    logger.warning("job %s: stored snapshot unusable; "
+                                   "cold-starting", job_id)
+                    session = None
+            if session is None:
+                session = Session(spec)
 
             @session.on_epoch
             def _epoch(event) -> None:
@@ -321,40 +632,89 @@ class ReproServer:
                     "rows": event.rows,
                 })
 
+            every = self.config.checkpoint_epochs
+            epoch_ns = session.epoch_ns
+            for k in range(1, spec.n_intervals + 1):
+                # Epochs an ancestor already served are no-ops: advance
+                # serves arrivals strictly before the boundary, and the
+                # restored position is already past it.
+                if session.position_ns >= k * epoch_ns:
+                    continue
+                if self._draining.is_set():
+                    with contextlib.suppress(Exception):
+                        self.cache.put_snapshot(
+                            spec, SNAPSHOT_TAG, session.snapshot()
+                        )
+                    return  # still journaled "running" → restart resumes
+                session.advance(k * epoch_ns)
+                self.jobs.touch(job_id, generation)
+                if every and k % every == 0 and not session.done:
+                    with contextlib.suppress(Exception):
+                        self.cache.put_snapshot(
+                            spec, SNAPSHOT_TAG, session.snapshot()
+                        )
             result = session.result()
         except Exception as exc:  # noqa: BLE001 - job boundary
             logger.exception("run job %s failed", job_id)
-            self.jobs.mark_failed(job_id, f"{type(exc).__name__}: {exc}")
+            self.jobs.mark_failed(job_id, f"{type(exc).__name__}: {exc}",
+                                  generation)
             return
         with contextlib.suppress(Exception):
             self.cache.put(spec, result)
-        self.jobs.mark_done(job_id, result=result)
+        if self.jobs.mark_done(job_id, generation, result=result):
+            # The run is terminal and cached; its resume point is dead
+            # weight (and must not shadow a future identical spec).
+            self.cache.delete_snapshot(spec, SNAPSHOT_TAG)
 
-    def _execute_plan(self, job_id: str, plan) -> None:
-        """Shard a plan onto the SweepPool via the retry scheduler."""
-        self.jobs.mark_running(job_id)
-        eventing = _EventingCache(self._cache_root, self.hub, job_id)
+    def _execute_plan(self, job_id: str, plan, generation: int = 0) -> None:
+        """Shard a plan onto the SweepPool via the retry scheduler.
+
+        The scheduler's cooperative ``stop`` hook is wired to the drain
+        flag: a drain stops the plan at the next cell boundary with all
+        completed cells already flushed to the cache, and the journal's
+        ``running`` record makes the restarted server recompute only
+        what is missing.
+        """
+        if not self.jobs.mark_running(job_id, generation):
+            return
+        eventing = _EventingCache(
+            self._cache_root, self.hub, job_id,
+            on_cell=lambda: self.jobs.touch(job_id, generation),
+        )
+        # The plan lane can be held by a draining/zombie plan driver;
+        # poll instead of blocking so a drain never deadlocks here.
+        while not self._plan_lane.acquire(timeout=0.25):
+            self.jobs.touch(job_id, generation)
+            if self._draining.is_set():
+                return  # journaled "running" → restart re-enqueues
         try:
-            with self._plan_lane:
-                report = run_plan(
-                    plan,
-                    workers=self.config.workers,
-                    cache=eventing,
-                    keep_going=True,
-                    max_retries=self.config.max_retries,
-                    cell_timeout=self.config.cell_timeout,
-                )
+            report = run_plan(
+                plan,
+                workers=self.config.workers,
+                cache=eventing,
+                keep_going=True,
+                max_retries=self.config.max_retries,
+                cell_timeout=self.config.cell_timeout,
+                stop=self._draining.is_set,
+            )
         except Exception as exc:  # noqa: BLE001 - job boundary
             logger.exception("plan job %s failed", job_id)
-            self.jobs.mark_failed(job_id, f"{type(exc).__name__}: {exc}")
+            self.jobs.mark_failed(job_id, f"{type(exc).__name__}: {exc}",
+                                  generation)
+            return
+        finally:
+            self._plan_lane.release()
+        if report.pending:
+            # A drain stopped the plan mid-flight: leave the job in its
+            # journaled "running" state for the next incarnation.
             return
         payload = {"results": report.results, "report": report.to_dict()}
         if report.ok:
-            self.jobs.mark_done(job_id, **payload)
+            self.jobs.mark_done(job_id, generation, **payload)
         else:
             failed = len(report.failed)
             self.jobs.mark_failed(
-                job_id, f"{failed} cell(s) permanently failed",
+                job_id, f"{failed} cell(s) permanently failed", generation,
             )
             with contextlib.suppress(Exception):
                 job = self.jobs.get(job_id)
@@ -394,30 +754,112 @@ class ReproServer:
                 await writer.wait_closed()
 
     async def serve(self, *, ready: "threading.Event | None" = None,
-                    announce: bool = False) -> None:
-        """Bind and serve until cancelled.
+                    announce: bool = False,
+                    handle_signals: bool = False) -> bool:
+        """Bind and serve until cancelled (or, with signals, drained.)
 
         ``ready`` (a threading.Event) is set once the socket is bound
         and :attr:`bound_port` is valid — the hook thread-based
         embedders and the test harness synchronize on.
+
+        With ``handle_signals`` (the ``repro serve`` CLI path), SIGTERM
+        and SIGINT trigger a graceful drain: submissions 503 while
+        status reads stay live, running work checkpoints, and this
+        coroutine returns — True for a clean drain, False when the
+        deadline expired with drivers still running (the CLI then
+        hard-exits; the journal has everything).
         """
         server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port,
         )
         self.bound_port = server.sockets[0].getsockname()[1]
+        # Signal handlers must be live before the announce/ready gate:
+        # supervisors send SIGTERM as soon as they see either, and a
+        # not-yet-replaced default disposition would kill the process.
+        stop = asyncio.Event()
+        if handle_signals:
+            import signal
+
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError, ValueError):
+                    loop.add_signal_handler(signum, stop.set)
         if announce:
             print(f"repro {__version__} serving on "
                   f"http://{self.config.host}:{self.bound_port} "
                   f"(plan workers: {self.config.workers}, cache: "
-                  f"{self._cache_root})")
+                  f"{self._cache_root})", flush=True)
         if ready is not None:
             ready.set()
-        async with server:
-            await server.serve_forever()
+        supervisor = asyncio.ensure_future(self._supervise_forever())
+        try:
+            async with server:
+                if not handle_signals:
+                    await server.serve_forever()
+                    return True  # pragma: no cover - cancelled instead
+                await stop.wait()
+                if announce:
+                    print("repro serve: draining "
+                          f"(deadline {self.config.drain_deadline_s:.0f}s)",
+                          flush=True)
+                clean = await asyncio.to_thread(self.drain)
+                if announce:
+                    print("repro serve: drained cleanly" if clean else
+                          "repro serve: drain deadline expired; "
+                          "journal is flushed, exiting hard", flush=True)
+                return clean
+        finally:
+            supervisor.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await supervisor
+
+    async def _supervise_forever(self) -> None:
+        """Background stall detection while the server runs."""
+        period = max(1.0, min(5.0, self.config.stall_timeout_s / 4))
+        while True:
+            await asyncio.sleep(period)
+            with contextlib.suppress(Exception):
+                self.supervise_once()
+
+    # -- drain & teardown --------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Flip the drain flag: submissions 503, drivers start stopping."""
+        self._draining.set()
+
+    def drain(self, deadline_s: float | None = None) -> bool:
+        """Gracefully stop job execution; True when drivers got idle.
+
+        Sequence: set the drain flag (submissions now 503 + Retry-After
+        while status/results reads stay live), cancel queued driver
+        tasks (their jobs are journaled ``queued`` and will re-enqueue
+        on restart), wait up to the deadline for running drivers to
+        checkpoint and stop cooperatively, then flush and close the
+        journal.  Even on a missed deadline the on-disk state is fully
+        resumable — every journal append was already fsync'd.
+        """
+        self.begin_drain()
+        deadline = time.monotonic() + (
+            self.config.drain_deadline_s if deadline_s is None
+            else deadline_s
+        )
+        self._drivers.shutdown(wait=False, cancel_futures=True)
+        while time.monotonic() < deadline:
+            with self._active_lock:
+                active = self._active_drivers
+            if active == 0:
+                break
+            time.sleep(0.05)
+        with self._active_lock:
+            clean = self._active_drivers == 0
+        self.journal.close()
+        return clean
 
     def close(self) -> None:
         """Stop accepting job work (driver threads wind down)."""
+        self._draining.set()
         self._drivers.shutdown(wait=False, cancel_futures=True)
+        self.journal.close()
 
 
 class ServerThread:
@@ -483,10 +925,19 @@ class _EventingCache(ResultCache):
     can correlate cells with the submitted plan.
     """
 
-    def __init__(self, root: str, hub: EventHub, job_id: str) -> None:
+    def __init__(self, root: str, hub: EventHub, job_id: str,
+                 on_cell=None) -> None:
         super().__init__(root)
         self._hub = hub
         self._job_id = job_id
+        #: optional per-cell callback — the plan driver wires its job
+        #: heartbeat here, so supervision sees cell-level progress
+        self._on_cell = on_cell
+
+    def _cell_landed(self) -> None:
+        if self._on_cell is not None:
+            with contextlib.suppress(Exception):
+                self._on_cell()
 
     def get(self, spec):
         hit = super().get(spec)
@@ -495,6 +946,7 @@ class _EventingCache(ResultCache):
                 "job": self._job_id, "spec_hash": spec.content_hash(),
                 "status": "cached",
             })
+            self._cell_landed()
         return hit
 
     def put(self, spec, result):
@@ -503,6 +955,7 @@ class _EventingCache(ResultCache):
             "job": self._job_id, "spec_hash": spec.content_hash(),
             "status": "done",
         })
+        self._cell_landed()
         return path
 
 

@@ -37,6 +37,7 @@ STATUS_REASONS = {
     408: "Request Timeout",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }

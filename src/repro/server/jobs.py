@@ -19,6 +19,18 @@ run.)
 ``ttl_s`` seconds, and the oldest finished jobs are evicted early when
 the table exceeds ``max_jobs``.  Queued/running jobs are never evicted.
 The injected ``clock`` makes eviction deterministic under test.
+
+**Durability** is delegated: when the table is built with a
+:class:`~repro.server.journal.Journal`, every submission and lifecycle
+transition is journaled *before* it is acted on, and on restart the
+server replays the journal and re-inserts the survivors via
+:meth:`JobTable.adopt` (which re-claims the dedup hash for live jobs
+and flags them ``recovered``).  **Supervision** rides on per-job
+heartbeats: driver threads :meth:`touch` their job as they make
+progress, :meth:`stalled` surfaces running jobs whose heartbeat went
+quiet, and :meth:`requeue` sends a stalled or retryably-failed job back
+to ``queued`` under a new *generation* — stamps from the old (possibly
+still running, unkillable) driver thread are stale-generation no-ops.
 """
 
 from __future__ import annotations
@@ -53,6 +65,16 @@ class Job:
     #: submissions attached to this job beyond the first (dedup hits)
     attached: int = 0
     error: str | None = None
+    #: True when this job was rebuilt from the journal after a restart.
+    recovered: bool = False
+    #: Bumped every requeue; driver threads carry the generation they
+    #: were launched under, so a superseded (hung, then replaced) thread
+    #: cannot stamp the job's fresh attempt.
+    generation: int = 0
+    #: how many times this job went running → queued (stall/retry)
+    requeues: int = 0
+    #: table-clock stamp of the driver's last sign of life (supervision)
+    heartbeat_s: float | None = None
     #: run jobs: the SimulationResult; plan jobs: list (None per failed
     #: cell).  Held as live objects; serialized on demand.
     result: object | None = None
@@ -77,6 +99,8 @@ class Job:
             "cached": self.cached,
             "attached": self.attached,
             "error": self.error,
+            "recovered": self.recovered,
+            "requeues": self.requeues,
         }
         if self.started_s is not None:
             doc["queued_s"] = round(self.started_s - self.created_s, 6)
@@ -99,20 +123,27 @@ class JobTable:
     """Thread-safe job registry with in-flight dedup and bounded GC."""
 
     def __init__(self, hub, *, clock=time.monotonic,
-                 max_jobs: int = 256, ttl_s: float = 3600.0) -> None:
+                 max_jobs: int = 256, ttl_s: float = 3600.0,
+                 journal=None) -> None:
         self._hub = hub
         self._clock = clock
         self.max_jobs = max_jobs
         self.ttl_s = ttl_s
+        self.journal = journal
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._seq = 0
         self.registry: SharedWorkRegistry[str] = SharedWorkRegistry()
 
+    def _journal_state(self, job: Job) -> None:
+        if self.journal is not None:
+            self.journal.record_state(job.id, job.status, error=job.error,
+                                      cached=job.cached)
+
     # -- submission --------------------------------------------------------
 
     def submit(self, kind: str, content_hash: str,
-               n_cells: int) -> tuple[Job, bool]:
+               n_cells: int, doc: dict | None = None) -> tuple[Job, bool]:
         """Register one submission; returns ``(job, owner?)``.
 
         The first submission of an in-flight hash creates the job and
@@ -121,6 +152,11 @@ class JobTable:
         identical submissions get the same job back with
         ``owner=False`` (and bump its ``attached`` count): exactly one
         simulation is in flight per content hash.
+
+        ``doc`` is the submission's wire document (spec or plan); when
+        the table has a journal, owner submissions are journaled with
+        it *before* this returns, so a crash at any later point can
+        re-execute the job from the document alone.
         """
         while True:
             with self._lock:
@@ -148,6 +184,9 @@ class JobTable:
         )
         with self._lock:
             self._jobs[candidate_id] = job
+        if self.journal is not None and doc is not None:
+            self.journal.record_submit(job.id, kind, content_hash,
+                                       n_cells, doc)
         self._hub.open(candidate_id)
         self._publish_status(job)
         return job, True
@@ -173,33 +212,134 @@ class JobTable:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def mark_running(self, job_id: str) -> None:
-        """queued → running (executor thread picked the job up)."""
-        with self._lock:
-            job = self._jobs[job_id]
-            job.status = "running"
-            job.started_s = self._clock()
-        self._publish_status(job)
+    def mark_running(self, job_id: str,
+                     generation: int | None = None) -> bool:
+        """queued → running (executor thread picked the job up).
 
-    def _finish(self, job_id: str, status: str, **payload) -> Job:
+        A ``generation`` that no longer matches (the job was requeued
+        away from a stalled thread) makes this a no-op returning False.
+        """
         with self._lock:
-            job = self._jobs[job_id]
+            job = self._jobs.get(job_id)
+            if job is None or job.finished or (
+                generation is not None and generation != job.generation
+            ):
+                return False
+            job.status = "running"
+            job.started_s = job.heartbeat_s = self._clock()
+        self._journal_state(job)
+        self._publish_status(job)
+        return True
+
+    def touch(self, job_id: str, generation: int | None = None) -> bool:
+        """Stamp the job's heartbeat (driver made progress); False when
+        the job is gone, finished, or ``generation`` is stale."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.finished or (
+                generation is not None and generation != job.generation
+            ):
+                return False
+            job.heartbeat_s = self._clock()
+            return True
+
+    def _finish(self, job_id: str, status: str,
+                generation: int | None = None, **payload) -> Job | None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.finished or (
+                generation is not None and generation != job.generation
+            ):
+                return None
             job.status = status
             job.finished_s = self._clock()
             for key, value in payload.items():
                 setattr(job, key, value)
         self.registry.release(job.content_hash, job_id)
+        self._journal_state(job)
         self._publish_status(job)
         self._hub.close(job_id)
         return job
 
-    def mark_done(self, job_id: str, **payload) -> Job:
-        """running → done; releases the dedup claim, closes the stream."""
-        return self._finish(job_id, "done", **payload)
+    def mark_done(self, job_id: str, generation: int | None = None,
+                  **payload) -> Job | None:
+        """running → done; releases the dedup claim, closes the stream.
 
-    def mark_failed(self, job_id: str, error: str) -> Job:
+        Returns None (and changes nothing) for a stale ``generation`` —
+        a superseded driver thread finishing late cannot overwrite the
+        requeued attempt.  Benign either way: determinism means both
+        attempts produce identical bytes.
+        """
+        return self._finish(job_id, "done", generation, **payload)
+
+    def mark_failed(self, job_id: str, error: str,
+                    generation: int | None = None) -> Job | None:
         """running → failed; later identical submissions start fresh."""
-        return self._finish(job_id, "failed", error=error)
+        return self._finish(job_id, "failed", generation, error=error)
+
+    def requeue(self, job_id: str) -> int | None:
+        """Send a live job back to ``queued`` under a new generation.
+
+        Used for stalled drivers (supervision) and retryable driver
+        failures.  The dedup claim is *kept* — the job still owns its
+        hash; only the executing thread is replaced.  Returns the new
+        generation, or None when the job is gone or already terminal.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.finished:
+                return None
+            job.status = "queued"
+            job.generation += 1
+            job.requeues += 1
+            job.started_s = None
+            job.heartbeat_s = None
+        self._journal_state(job)
+        self._publish_status(job)
+        return job.generation
+
+    def adopt(self, job: Job) -> bool:
+        """Insert a journal-recovered job; returns whether it is viable.
+
+        Flags the job ``recovered``, floors the id sequence past it (so
+        fresh submissions never collide with replayed ids), re-claims
+        the dedup hash for live jobs, and opens/replays its event
+        channel.  A live job whose hash is somehow already owned — a
+        state no legitimate journal produces — is adopted as ``failed``
+        rather than left to shadow the owner, and False is returned.
+        """
+        job.recovered = True
+        viable = True
+        if not job.finished:
+            _, owner = self.registry.claim(job.content_hash, job.id)
+            if not owner:
+                job.status = "failed"
+                job.error = "recovery: content hash already owned"
+                job.finished_s = self._clock()
+                viable = False
+        with self._lock:
+            try:
+                seq = int(job.id[1:].split("-", 1)[0])
+            except ValueError:
+                seq = 0
+            self._seq = max(self._seq, seq)
+            self._jobs[job.id] = job
+        self._hub.open(job.id)
+        self._publish_status(job)
+        if job.finished:
+            self._hub.close(job.id)
+        return viable
+
+    def stalled(self, timeout_s: float) -> list[Job]:
+        """Running jobs whose heartbeat went quiet for ``timeout_s``."""
+        now = self._clock()
+        with self._lock:
+            return [
+                job for job in self._jobs.values()
+                if job.status == "running"
+                and (job.heartbeat_s or job.started_s or 0.0)
+                <= now - timeout_s
+            ]
 
     def _publish_status(self, job: Job) -> None:
         self._hub.publish(job.id, "status", {
@@ -215,10 +355,14 @@ class JobTable:
         with self._lock:
             return self._jobs.get(job_id)
 
-    def jobs(self) -> list[Job]:
-        """All live jobs, oldest first."""
+    def jobs(self, state: str | None = None) -> list[Job]:
+        """All live jobs, oldest first (optionally filtered by state)."""
         with self._lock:
-            return sorted(self._jobs.values(), key=lambda j: j.created_s)
+            selected = [
+                job for job in self._jobs.values()
+                if state is None or job.status == state
+            ]
+        return sorted(selected, key=lambda j: j.created_s)
 
     def counts(self) -> dict[str, int]:
         """Job counts by status (health surface)."""

@@ -28,13 +28,21 @@ MAX_BODY_BYTES = 4 * 2**20
 
 
 class WireError(ValueError):
-    """A request the wire layer rejects; carries the HTTP status."""
+    """A request the wire layer rejects; carries the HTTP status.
+
+    ``retry_after`` (seconds) marks a *transient* rejection — admission
+    control turning work away while draining (503) or saturated (429);
+    the handler surfaces it as a ``Retry-After`` header so well-behaved
+    clients back off instead of hammering.
+    """
 
     def __init__(self, message: str, status: int = 400,
-                 code: str = "bad-request") -> None:
+                 code: str = "bad-request",
+                 retry_after: float | None = None) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
+        self.retry_after = retry_after
 
 
 def parse_json_body(body: bytes) -> dict:

@@ -24,6 +24,16 @@ Sites (where the fault fires):
 ``cache.put``             :meth:`ResultCache.put <repro.experiments.cache.ResultCache.put>`
 ``pool.worker``           worker-side, per cell, inside a sweep chunk
 ``session.advance``       :meth:`SessionCore.advance <repro.sim.session.SessionCore.advance>`
+``server.journal.write``  :meth:`Journal.append <repro.server.journal.Journal.append>`
+``server.journal.read``   journal segment bytes on replay (``corrupt``:
+                          torn-tail recovery must degrade to the last
+                          good frame)
+``server.driver``         top of a ``repro serve`` job-driver execution
+                          (``raise`` exercises retryable requeue)
+``server.checkpoint``     :meth:`ResultCache.put_snapshot
+                          <repro.experiments.cache.ResultCache.put_snapshot>`
+                          (a failed/corrupt checkpoint must degrade to
+                          a longer recompute, never a wrong result)
 ========================  ====================================================
 
 Kinds (what happens):
@@ -64,6 +74,10 @@ FAULT_SITES = (
     "cache.put",
     "pool.worker",
     "session.advance",
+    "server.journal.write",
+    "server.journal.read",
+    "server.driver",
+    "server.checkpoint",
 )
 
 FAULT_KINDS = ("raise", "corrupt", "delay", "kill-worker")

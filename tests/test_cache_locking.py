@@ -19,9 +19,13 @@ from repro.experiments import ExperimentSpec, ResultCache, SchemeSpec
 from repro.experiments.run import run_spec
 from repro.locking import (
     LOCK_SUFFIX,
+    STALE_ENV_VAR,
     LockTimeout,
     advisory_lock,
     lock_backend,
+    lock_stats,
+    reset_lock_stats,
+    stale_lock_s,
 )
 
 FAST = dict(scale=128.0, n_banks=1, n_intervals=1)
@@ -154,6 +158,81 @@ class TestLockdirStaleBreaking:
         with pytest.raises(LockTimeout):
             with advisory_lock(target, timeout=0.2, backend="lockdir"):
                 pass
+
+
+class TestStaleAgeConfig:
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv(STALE_ENV_VAR, raising=False)
+        assert stale_lock_s() == 60.0
+
+    def test_env_override_is_honored(self, monkeypatch):
+        monkeypatch.setenv(STALE_ENV_VAR, "2.5")
+        assert stale_lock_s() == 2.5
+
+    def test_env_override_breaks_locks_at_configured_age(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "store"
+        os.mkdir(tmp_path / ("store" + LOCK_SUFFIX))
+        monkeypatch.setenv(STALE_ENV_VAR, "0.05")
+        time.sleep(0.1)
+        with advisory_lock(target, timeout=5, backend="lockdir"):
+            pass  # the abandoned dir aged out under the override
+
+    @pytest.mark.parametrize("raw", ["soon", "", " ", "0", "-3", "nan"])
+    def test_malformed_or_nonpositive_values_fail_loudly(
+        self, monkeypatch, raw
+    ):
+        monkeypatch.setenv(STALE_ENV_VAR, raw)
+        if not raw.strip():  # empty counts as unset, not malformed
+            assert stale_lock_s() == 60.0
+            return
+        with pytest.raises(ValueError, match="REPRO_LOCK_STALE_S"):
+            stale_lock_s()
+
+
+class TestLockStats:
+    @pytest.fixture(autouse=True)
+    def _fresh_counters(self):
+        reset_lock_stats()
+        yield
+        reset_lock_stats()
+
+    def test_acquires_are_counted(self, tmp_path):
+        with advisory_lock(tmp_path / "store", backend="lockdir"):
+            pass
+        stats = lock_stats()
+        assert stats["acquires"] == 1
+        assert stats["contended"] == 0
+        assert stats["timeouts"] == 0
+
+    def test_timeouts_and_contention_are_counted(self, tmp_path):
+        target = tmp_path / "store"
+        os.mkdir(tmp_path / ("store" + LOCK_SUFFIX))  # held elsewhere
+        with pytest.raises(LockTimeout):
+            with advisory_lock(target, timeout=0.2, backend="lockdir"):
+                pass
+        stats = lock_stats()
+        assert stats["timeouts"] == 1
+        assert stats["contended"] == 1
+
+    def test_stale_breaks_are_counted(self, tmp_path, monkeypatch):
+        target = tmp_path / "store"
+        os.mkdir(tmp_path / ("store" + LOCK_SUFFIX))
+        monkeypatch.setenv(STALE_ENV_VAR, "0.05")
+        time.sleep(0.1)
+        with advisory_lock(target, timeout=5, backend="lockdir"):
+            pass
+        assert lock_stats()["stale_broken"] == 1
+
+    def test_reset_zeroes_every_counter(self, tmp_path):
+        with advisory_lock(tmp_path / "store", backend="lockdir"):
+            pass
+        reset_lock_stats()
+        assert lock_stats() == {
+            "acquires": 0, "contended": 0, "timeouts": 0,
+            "stale_broken": 0,
+        }
 
 
 # -- multi-process publish stress -------------------------------------------
